@@ -1,0 +1,91 @@
+// Figure 4 — weak scaling: throughput (GFLOPS, upper plot) from 4 to 256
+// nodes and parallel efficiency (lower plot) from 1 to 256 nodes, for
+// MPI-only (48 ranks/node), MPI+OMP fork-join (4 ranks/node) and TAMPI+OSS
+// (4 ranks/node).
+//
+// Paper numbers to compare against (shape, not absolute seconds):
+//  * TAMPI+OSS throughput speedup vs MPI-only: 1.50x @128 nodes,
+//    1.49x @256 nodes (1.54x on the non-refinement part @256);
+//  * fork-join never exceeds 1.06x, and is below MPI-only on 1-4 nodes;
+//  * efficiency @256 nodes: TAMPI+OSS 0.86 (0.94 non-refine),
+//    MPI-only 0.72, fork-join 0.75.
+//
+// The problem doubles with the node count: same initial mesh for every
+// variant (one initial block per MPI-only rank), doubling the total blocks
+// in one direction per node-count doubling (§V-C).
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace dfamr;
+using namespace dfamr::bench;
+
+int main(int argc, char** argv) {
+    print_header("Figure 4: weak scaling 1..256 nodes (GFLOPS + efficiency)",
+                 "Sala, Rico, Beltran (CLUSTER 2020), Fig. 4");
+    int max_nodes = 256;
+    if (argc > 1) max_nodes = std::atoi(argv[1]);
+
+    const CostModel costs;
+    const Config base = weak_scaling_config();
+
+    struct Point {
+        double gflops = 0, nr_gflops = 0;
+    };
+    std::map<std::string, std::map<int, Point>> series;
+
+    TextTable table({"Nodes", "Variant", "Total(s)", "Refine(s)", "GFLOPS", "Eff.", "Eff. (NR)"});
+    std::vector<int> node_counts;
+    for (int n = 1; n <= max_nodes; n *= 2) node_counts.push_back(n);
+
+    struct Setup {
+        Variant variant;
+        int ranks_per_node;
+        const char* name;
+    };
+    const Setup setups[] = {
+        {Variant::MpiOnly, 48, "MPI-only"},
+        {Variant::ForkJoin, 4, "MPI+OMP"},
+        {Variant::TampiOss, 4, "TAMPI+OSS"},
+    };
+
+    for (const Setup& s : setups) {
+        for (int nodes : node_counts) {
+            // Weak scaling: the global block grid grows with the node count.
+            const Vec3i grid = sim::factor3(48 * nodes);
+            const SimResult r = run_point(base, s.variant, nodes, s.ranks_per_node, grid, costs);
+            Point p;
+            p.gflops = r.gflops();
+            p.nr_gflops = r.non_refine_s() > 0
+                              ? static_cast<double>(r.total_flops) / r.non_refine_s() * 1e-9
+                              : 0;
+            series[s.name][nodes] = p;
+            const Point& one = series[s.name][node_counts.front()];
+            const double eff = p.gflops / (one.gflops * nodes);
+            const double eff_nr = p.nr_gflops / (one.nr_gflops * nodes);
+            table.add_row({std::to_string(nodes), s.name, TextTable::num(r.total_s, 4),
+                           TextTable::num(r.refine_s, 4), TextTable::num(p.gflops, 1),
+                           TextTable::num(eff, 3), TextTable::num(eff_nr, 3)});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nTAMPI+OSS throughput speedup over MPI-only per node count:\n");
+    for (int nodes : node_counts) {
+        const double total = series["TAMPI+OSS"][nodes].gflops / series["MPI-only"][nodes].gflops;
+        const double nr =
+            series["TAMPI+OSS"][nodes].nr_gflops / series["MPI-only"][nodes].nr_gflops;
+        std::printf("  %3d nodes: %.2fx total, %.2fx non-refine\n", nodes, total, nr);
+    }
+    std::printf("MPI+OMP fork-join speedup over MPI-only per node count:\n");
+    for (int nodes : node_counts) {
+        std::printf("  %3d nodes: %.2fx\n", nodes,
+                    series["MPI+OMP"][nodes].gflops / series["MPI-only"][nodes].gflops);
+    }
+    std::printf(
+        "\npaper: TAMPI+OSS 1.50x/1.49x @128/256 nodes (1.54x NR @256); fork-join <= 1.06x;\n"
+        "efficiencies @256: TAMPI+OSS 0.86 (0.94 NR), MPI-only 0.72, fork-join 0.75\n");
+    return 0;
+}

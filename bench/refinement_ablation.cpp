@@ -1,0 +1,65 @@
+// §IV-B ablation — "Our taskification strategy removes nearly 80% of the
+// total refinement time compared to our previous sequential refinement."
+//
+// Runs the TAMPI+OSS variant on 4 nodes with the refinement data operations
+// (split/coarsen copies, block exchange) taskified vs sequential, and
+// reports the reduction. Also reports the split/merge and exchange shares
+// of the refinement busy time (paper: ~25% and ~70% respectively).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace dfamr;
+using namespace dfamr::bench;
+
+int main() {
+    print_header("Refinement ablation: taskified vs sequential refinement (TAMPI+OSS, 4 nodes)",
+                 "Sala, Rico, Beltran (CLUSTER 2020), §IV-B claims");
+    const CostModel costs;
+    const int nodes = 4;
+    const Vec3i grid = sim::factor3(48 * nodes);
+    const ClusterSpec cluster = marenostrum(nodes, 4);
+
+    auto run_one = [&](bool taskify) {
+        Config cfg = with_paper_tampi_options(table1_config());
+        sim::arrange(cfg, grid, cluster.total_ranks());
+        cfg.taskify_refinement = taskify;
+        return sim::run_simulated(cfg, Variant::TampiOss, cluster, costs);
+    };
+    const SimResult serial = run_one(false);
+    const SimResult tasked = run_one(true);
+
+    TextTable table({"refinement mode", "Total(s)", "Refine(s)", "NoRefine(s)"});
+    table.add_row({"sequential (pre-paper)", TextTable::num(serial.total_s, 4),
+                   TextTable::num(serial.refine_s, 4), TextTable::num(serial.non_refine_s(), 4)});
+    table.add_row({"taskified (§IV-B)", TextTable::num(tasked.total_s, 4),
+                   TextTable::num(tasked.refine_s, 4), TextTable::num(tasked.non_refine_s(), 4)});
+    table.print(std::cout);
+
+    const double reduction = 100.0 * (serial.refine_s - tasked.refine_s) / serial.refine_s;
+    std::printf("\nrefinement time reduction from taskification: %.1f%% (paper: ~80%%)\n",
+                reduction);
+
+    // Phase composition of the sequential refinement (paper: split/coarsen
+    // copies ~25%, exchange ~70% of refinement time).
+    auto busy = [&](const SimResult& r, amr::PhaseKind k) {
+        auto it = r.stats.busy_ns_by_kind.find(k);
+        return it == r.stats.busy_ns_by_kind.end() ? 0.0 : it->second * 1e-9;
+    };
+    const double split_merge = busy(serial, amr::PhaseKind::RefineSplit) +
+                               busy(serial, amr::PhaseKind::RefineMerge);
+    const double exchange = busy(serial, amr::PhaseKind::RefineExchange) +
+                            busy(serial, amr::PhaseKind::LoadBalance);
+    const double control = busy(serial, amr::PhaseKind::Control);
+    const double total_busy = split_merge + exchange + control;
+    if (total_busy > 0) {
+        std::printf("sequential refinement busy-time composition:\n");
+        std::printf("  split/coarsen copies : %.1f%% (paper: ~25%%)\n",
+                    100.0 * split_merge / total_busy);
+        std::printf("  exchange + balance   : %.1f%% (paper: ~70%%)\n",
+                    100.0 * exchange / total_busy);
+        std::printf("  control              : %.1f%%\n", 100.0 * control / total_busy);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Table I — "The time (s) varying the number of ranks per node on 4 nodes."
+//
+// Paper: single-sphere input on 4 nodes; MPI+OMP fork-join and TAMPI+OSS at
+// 1/2/4/8/16 ranks per node, reporting Total / Refine / No-Refine time.
+// Expected shape: 1 rank/node is worst for both variants (the rank spans
+// both NUMA domains); fork-join stabilizes around 4 ranks/node; TAMPI+OSS
+// performs best around 2-4 ranks/node, with a refinement time roughly 30-40%
+// below fork-join's.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace dfamr;
+using namespace dfamr::bench;
+
+int main() {
+    print_header("Table I: time (s) varying ranks per node on 4 nodes",
+                 "Sala, Rico, Beltran (CLUSTER 2020), Table I");
+
+    const CostModel costs;  // MareNostrum-like defaults (see cost_model.hpp)
+    const int nodes = 4;
+    const Vec3i grid = sim::factor3(48 * nodes);
+    const Config cfg = table1_config();
+
+    TextTable table({"Ranks x Node", "MPI+OMP Total", "MPI+OMP Refine", "MPI+OMP NoRefine",
+                     "TAMPI+OSS Total", "TAMPI+OSS Refine", "TAMPI+OSS NoRefine"});
+    for (int rpn : {1, 2, 4, 8, 16}) {
+        const SimResult fj = run_point(cfg, Variant::ForkJoin, nodes, rpn, grid, costs);
+        const SimResult df = run_point(cfg, Variant::TampiOss, nodes, rpn, grid, costs);
+        table.add_row({std::to_string(rpn), TextTable::num(fj.total_s, 3),
+                       TextTable::num(fj.refine_s, 3), TextTable::num(fj.non_refine_s(), 3),
+                       TextTable::num(df.total_s, 3), TextTable::num(df.refine_s, 3),
+                       TextTable::num(df.non_refine_s(), 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\npaper's Table I (seconds, 20 ts x 60 stages on the real machine):\n");
+    std::printf("  ranks/node:        1      2      4      8      16\n");
+    std::printf("  MPI+OMP   total:  485.2  375.4  352.0  348.6  344.0\n");
+    std::printf("  TAMPI+OSS total:  469.8  303.9  306.2  314.5  322.3\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Table II — "The non-refinement time (s) varying the number of
+// communication tasks per neighbor and direction on 64 nodes."
+//
+// Paper: TAMPI+OSS with --send_faces on 64 nodes; --max_comm_tasks in
+// {1, 2, 4, 8, 16, all}. Expected shape: a shallow U — 1 task per
+// direction+neighbor under-exposes parallelism, "all" (one task+message per
+// face) pays per-message latency and per-task overhead; the best range is
+// 4..16 (the paper settles on 8).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace dfamr;
+using namespace dfamr::bench;
+
+int main() {
+    print_header("Table II: non-refinement time (s) vs communication tasks on 64 nodes",
+                 "Sala, Rico, Beltran (CLUSTER 2020), Table II");
+
+    const CostModel costs;
+    const int nodes = 64;
+    const Vec3i grid = sim::factor3(48 * nodes);
+    const ClusterSpec cluster = marenostrum(nodes, 4);
+
+    TextTable table({"Tasks", "Time(s)"});
+    for (int tasks : {1, 2, 4, 8, 16, 0}) {  // 0 = one per face ("all")
+        Config cfg = weak_scaling_config();
+        // The paper's 99-timestep run refines a large share of the domain;
+        // our shortened run compensates with a deeper refinement cadence so
+        // the per-neighbor face counts (the quantity this table sweeps) are
+        // comparable.
+        cfg.refine_freq = 2;
+        cfg.block_change = 2;
+        cfg.num_refine = 4;
+        sim::arrange(cfg, grid, cluster.total_ranks());
+        cfg.send_faces = true;
+        cfg.separate_buffers = true;
+        cfg.delayed_checksum = true;
+        cfg.max_comm_tasks = tasks;
+        const SimResult r = sim::run_simulated(cfg, Variant::TampiOss, cluster, costs);
+        table.add_row({tasks == 0 ? "all" : std::to_string(tasks),
+                       TextTable::num(r.non_refine_s(), 4)});
+    }
+    table.print(std::cout);
+
+    std::printf("\npaper's Table II (seconds, on the real machine):\n");
+    std::printf("  tasks:   1      2      4      8      16     all\n");
+    std::printf("  time :  612.5  600.0  594.9  595.5  597.8  627.5\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest complete use of the dfamr public API.
+//
+// Builds a tiny AMR problem (one sphere crossing a 2-rank mesh), runs the
+// paper's data-flow variant (tasks + TAMPI on the in-process MPI), and
+// prints what happened. Start here, then look at single_sphere.cpp and
+// four_spheres.cpp for the paper's actual input problems.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/variants.hpp"
+
+int main() {
+    using namespace dfamr;
+
+    // 1) Describe the problem: a 2x1x1 rank grid, each rank starting with
+    //    one 8^3-cell block of 8 variables, refined up to 2 levels around a
+    //    moving sphere.
+    amr::Config cfg;
+    cfg.npx = 2;
+    cfg.npy = 1;
+    cfg.npz = 1;
+    cfg.init_x = cfg.init_y = cfg.init_z = 1;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 8;
+    cfg.num_tsteps = 4;
+    cfg.stages_per_ts = 4;
+    cfg.checksum_freq = 4;   // validate every 4 stages
+    cfg.num_refine = 2;      // up to 2 refinement levels
+    cfg.refine_freq = 2;     // refine every 2 timesteps
+    cfg.workers = 2;         // cores per rank for the tasking runtime
+
+    amr::ObjectSpec sphere;
+    sphere.type = amr::ObjectType::SpheroidSurface;
+    sphere.center = {0.15, 0.5, 0.5};
+    sphere.size = {0.2, 0.2, 0.2};
+    sphere.move = {0.15, 0.0, 0.0};
+    sphere.bounce = true;
+    cfg.objects.push_back(sphere);
+
+    // 2) Run the data-flow variant (OmpSs-2-style tasks + TAMPI): every
+    //    phase — ghost exchange, stencil, checksum, refinement, load
+    //    balancing — executes as tasks connected by data dependencies.
+    const core::RunResult result = core::run_variant(cfg, amr::Variant::TampiOss);
+
+    // 3) Inspect the outcome.
+    std::printf("dfamr quickstart (TAMPI+OSS data-flow variant)\n");
+    std::printf("  total time           : %.3f s\n", result.times.total);
+    std::printf("  refinement time      : %.3f s\n", result.times.refine);
+    std::printf("  stencil FLOPs        : %lld\n", static_cast<long long>(result.total_flops));
+    std::printf("  final mesh blocks    : %lld\n", static_cast<long long>(result.final_blocks));
+    std::printf("  MPI messages         : %llu\n", static_cast<unsigned long long>(result.messages));
+    std::printf("  checksum validations : %zu (%s)\n", result.checksums.size(),
+                result.validation_ok ? "all within tolerance" : "FAILED");
+    if (!result.checksums.empty()) {
+        std::printf("  last global checksum : %.6f\n", result.checksums.back());
+    }
+    return result.validation_ok ? 0 : 1;
+}

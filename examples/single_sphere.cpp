@@ -1,0 +1,103 @@
+// The paper's first input problem (§V, from Rico et al.): a big sphere
+// entering the mesh from a lower corner, refining the intersecting regions
+// as it advances — the input that produces early load imbalance.
+//
+// Runs the problem in real execution mode (in-process MPI ranks + tasking
+// runtime) with a configurable variant, and prints a per-phase summary.
+// Defaults are scaled down from the paper's 4-node configuration so the run
+// finishes quickly on a development machine; every miniAMR option can be
+// overridden on the command line (see --help).
+//
+//   ./examples/single_sphere
+//   ./examples/single_sphere --variant mpi   --npx 4
+//   ./examples/single_sphere --variant tampi --send_faces --separate_buffers
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/variants.hpp"
+
+using namespace dfamr;
+
+namespace {
+
+amr::Variant parse_variant(const std::string& name) {
+    if (name == "mpi") return amr::Variant::MpiOnly;
+    if (name == "forkjoin") return amr::Variant::ForkJoin;
+    if (name == "tampi") return amr::Variant::TampiOss;
+    throw ConfigError("unknown variant '" + name + "' (mpi | forkjoin | tampi)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliParser cli(
+        "single_sphere — the Rico et al. input problem: one large sphere entering the mesh "
+        "from a lower corner (paper §V)");
+    amr::Config::register_cli(cli);
+    cli.add_option("--variant", "variant to run: mpi | forkjoin | tampi", "tampi");
+    cli.add_option("--trace_csv", "write a per-core trace CSV to this path", "");
+
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        // Paper-shaped defaults, scaled down for a workstation: the paper's
+        // own run is 20 timesteps x 60 stages on 18^3 x 60-var blocks.
+        amr::Config cfg = amr::single_sphere_input();
+        cfg.npx = 2;
+        cfg.npy = cfg.npz = 1;
+        cfg.init_x = 1;
+        cfg.init_y = cfg.init_z = 2;
+        cfg.nx = cfg.ny = cfg.nz = 8;
+        cfg.num_vars = 8;
+        cfg.num_tsteps = 5;
+        cfg.stages_per_ts = 6;
+        cfg.num_refine = 2;
+        cfg.workers = 2;
+        // The sphere still needs to reach the mesh over the shortened run.
+        cfg.objects[0].move = {0.8 / cfg.num_tsteps, 0.8 / cfg.num_tsteps, 0.8 / cfg.num_tsteps};
+
+        // Explicit command-line options override the scaled defaults.
+        cfg = amr::Config::from_cli(cli, cfg);
+
+        const amr::Variant variant = parse_variant(cli.get_string("--variant"));
+        amr::Tracer tracer;
+        const std::string trace_path = cli.get_string("--trace_csv");
+        tracer.enable(!trace_path.empty());
+
+        std::printf("single sphere input — %s, %d ranks x %d workers\n",
+                    to_string(variant).c_str(), cfg.num_ranks(), cfg.workers);
+        const core::RunResult r =
+            core::run_variant(cfg, variant, tracer.enabled() ? &tracer : nullptr);
+
+        TextTable table({"metric", "value"});
+        table.add_row({"total time (s)", TextTable::num(r.times.total, 3)});
+        table.add_row({"refinement time (s)", TextTable::num(r.times.refine, 3)});
+        table.add_row({"non-refinement time (s)", TextTable::num(r.times.non_refine(), 3)});
+        if (variant != amr::Variant::TampiOss) {
+            table.add_row({"communication time (s)", TextTable::num(r.times.comm, 3)});
+            table.add_row({"stencil time (s)", TextTable::num(r.times.stencil, 3)});
+        }
+        table.add_row({"GFLOPS", TextTable::num(r.gflops(), 2)});
+        table.add_row({"final blocks", std::to_string(r.final_blocks)});
+        table.add_row({"MPI messages", std::to_string(r.messages)});
+        table.add_row({"checksums validated", std::to_string(r.checksums.size())});
+        table.add_row({"validation", r.validation_ok ? "OK" : "FAILED"});
+        table.print(std::cout);
+
+        if (tracer.enabled()) {
+            std::ofstream out(trace_path);
+            out << tracer.to_csv();
+            const amr::TraceAnalysis a = tracer.analyze();
+            std::printf("trace: %d cores, utilization %.1f%%, phase overlap %.3f ms -> %s\n",
+                        a.cores, a.utilization * 100, a.overlap_ns * 1e-6, trace_path.c_str());
+        }
+        return r.validation_ok ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

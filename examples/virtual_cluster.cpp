@@ -1,0 +1,87 @@
+// Bonus example: the discrete-event cluster simulator as a user-facing tool.
+//
+// Plans a weak-scaling study on a virtual MareNostrum4-like machine —
+// useful to predict how a configuration behaves at node counts you do not
+// have. This is the same engine the bench/ binaries use to regenerate the
+// paper's figures.
+//
+//   ./examples/virtual_cluster
+//   ./examples/virtual_cluster --nodes 32 --ranks_per_node 2
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/run_sim.hpp"
+
+using namespace dfamr;
+
+int main(int argc, char** argv) {
+    CliParser cli("virtual_cluster — simulate the mini-app on N virtual nodes (DES)");
+    cli.add_option("--nodes", "virtual nodes to simulate", "8");
+    cli.add_option("--cores_per_node", "cores per node", "48");
+    cli.add_option("--ranks_per_node", "hybrid ranks per node", "4");
+    cli.add_option("--num_tsteps", "timesteps", "4");
+    cli.add_option("--stages_per_ts", "stages per timestep", "4");
+
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+        const int nodes = static_cast<int>(cli.get_int("--nodes"));
+
+        // Calibrate compute costs from this machine's real kernels.
+        const sim::CostModel costs = sim::calibrate();
+        std::printf("calibrated: stencil %.2f ns/cell/var, copy %.3f ns/B\n",
+                    costs.stencil_ns_per_cell_var, costs.copy_ns_per_byte);
+
+        amr::Config cfg = amr::four_spheres_input();
+        cfg.num_tsteps = static_cast<int>(cli.get_int("--num_tsteps"));
+        cfg.stages_per_ts = static_cast<int>(cli.get_int("--stages_per_ts"));
+        cfg.checksum_freq = 4;
+        cfg.refine_freq = 2;
+        cfg.block_change = 1;
+
+        TextTable table({"variant", "ranks", "cores/rank", "total (s)", "refine (s)",
+                         "GFLOPS", "messages"});
+        const Vec3i grid = sim::factor3(static_cast<int>(cli.get_int("--cores_per_node")) * nodes);
+
+        sim::ClusterSpec mpi;
+        mpi.nodes = nodes;
+        mpi.cores_per_node = static_cast<int>(cli.get_int("--cores_per_node"));
+        mpi.ranks_per_node = mpi.cores_per_node;  // MPI-only: 1 rank per core
+        sim::ClusterSpec hyb = mpi;
+        hyb.ranks_per_node = static_cast<int>(cli.get_int("--ranks_per_node"));
+
+        struct Setup {
+            amr::Variant variant;
+            sim::ClusterSpec cluster;
+            bool paper_options;
+        };
+        const Setup setups[] = {
+            {amr::Variant::MpiOnly, mpi, false},
+            {amr::Variant::ForkJoin, hyb, false},
+            {amr::Variant::TampiOss, hyb, true},
+        };
+        for (const Setup& s : setups) {
+            amr::Config run_cfg = cfg;
+            sim::arrange(run_cfg, grid, s.cluster.total_ranks());
+            if (s.paper_options) {
+                run_cfg.send_faces = true;
+                run_cfg.separate_buffers = true;
+                run_cfg.max_comm_tasks = 8;
+                run_cfg.delayed_checksum = true;
+            }
+            const sim::SimResult r = sim::run_simulated(run_cfg, s.variant, s.cluster, costs);
+            table.add_row({to_string(s.variant), std::to_string(s.cluster.total_ranks()),
+                           std::to_string(s.cluster.cores_per_rank()),
+                           TextTable::num(r.total_s, 4), TextTable::num(r.refine_s, 4),
+                           TextTable::num(r.gflops(), 1), std::to_string(r.stats.messages)});
+        }
+        std::printf("simulated %d nodes (%s-core), four-spheres input:\n", nodes,
+                    cli.get_string("--cores_per_node").c_str());
+        table.print(std::cout);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,401 @@
+#include "amr/block.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dfamr::amr {
+
+namespace {
+
+/// Deterministic cell field: hash of the quantized physical position and the
+/// variable index, mapped to [1, 2). Identical across variants and
+/// decompositions by construction.
+double field_value(int var, const Vec3d& pos, std::uint64_t seed) {
+    auto mix = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    constexpr double kScale = 1 << 20;
+    std::uint64_t h = seed;
+    h = mix(h ^ static_cast<std::uint64_t>(var));
+    h = mix(h ^ static_cast<std::uint64_t>(std::llround(pos.x * kScale)));
+    h = mix(h ^ static_cast<std::uint64_t>(std::llround(pos.y * kScale)));
+    h = mix(h ^ static_cast<std::uint64_t>(std::llround(pos.z * kScale)));
+    return 1.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+thread_local std::vector<double> tls_scratch;
+
+}  // namespace
+
+BlockKey BlockKey::child(int octant, int max_level) const {
+    DFAMR_ASSERT(level < max_level && octant >= 0 && octant < 8);
+    const std::int64_t half = side(max_level) / 2;
+    BlockKey c;
+    c.level = level + 1;
+    c.anchor = {anchor.x + ((octant & 1) ? half : 0), anchor.y + ((octant & 2) ? half : 0),
+                anchor.z + ((octant & 4) ? half : 0)};
+    return c;
+}
+
+BlockKey BlockKey::parent(int max_level) const {
+    DFAMR_ASSERT(level > 0);
+    const std::int64_t parent_side = side(max_level) * 2;
+    BlockKey p;
+    p.level = level - 1;
+    p.anchor = {(anchor.x / parent_side) * parent_side, (anchor.y / parent_side) * parent_side,
+                (anchor.z / parent_side) * parent_side};
+    return p;
+}
+
+int BlockKey::octant_in_parent(int max_level) const {
+    const std::int64_t s = side(max_level);
+    const BlockKey p = parent(max_level);
+    int o = 0;
+    if (anchor.x - p.anchor.x >= s) o |= 1;
+    if (anchor.y - p.anchor.y >= s) o |= 2;
+    if (anchor.z - p.anchor.z >= s) o |= 4;
+    return o;
+}
+
+Block::Block(BlockKey key, const BlockShape& shape)
+    : key_(key), shape_(shape), data_(static_cast<std::size_t>(shape.total_cells()), 0.0) {
+    DFAMR_REQUIRE(shape.nx > 0 && shape.ny > 0 && shape.nz > 0 && shape.num_vars > 0,
+                  "invalid block shape");
+}
+
+std::int64_t Block::index(int var, int x, int y, int z) const {
+    return var * shape_.stride_var() + x * shape_.stride_x() + y * shape_.stride_y() + z;
+}
+
+double& Block::at(int var, int x, int y, int z) {
+    return data_[static_cast<std::size_t>(index(var, x, y, z))];
+}
+double Block::at(int var, int x, int y, int z) const {
+    return data_[static_cast<std::size_t>(index(var, x, y, z))];
+}
+
+std::span<double> Block::group_span(int var_begin, int var_end) {
+    return {data_.data() + var_begin * shape_.stride_var(),
+            static_cast<std::size_t>((var_end - var_begin) * shape_.stride_var())};
+}
+std::span<const double> Block::group_span(int var_begin, int var_end) const {
+    return {data_.data() + var_begin * shape_.stride_var(),
+            static_cast<std::size_t>((var_end - var_begin) * shape_.stride_var())};
+}
+
+void Block::init_cells(const Box& box, std::uint64_t seed) {
+    const Vec3d ext = box.extent();
+    const Vec3d cell{ext.x / shape_.nx, ext.y / shape_.ny, ext.z / shape_.nz};
+    for (int v = 0; v < shape_.num_vars; ++v) {
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    const Vec3d pos{box.lo.x + (x - 0.5) * cell.x, box.lo.y + (y - 0.5) * cell.y,
+                                    box.lo.z + (z - 0.5) * cell.z};
+                    at(v, x, y, z) = field_value(v, pos, seed);
+                }
+            }
+        }
+    }
+}
+
+std::int64_t Block::face_value_count(const FaceGeom& g, int vars) const {
+    return g.rel == FaceRel::Same ? shape_.face_values_same(g.axis, vars)
+                                  : shape_.face_values_mixed(g.axis, vars);
+}
+
+namespace {
+/// Maps (plane coordinate a, in-plane coordinates u, v) to (x, y, z).
+struct PlaneIndexer {
+    int axis;
+    int ua, va;  // the two in-plane axes
+
+    Vec3i coords(int a, int u, int v) const {
+        Vec3i c;
+        c[axis] = a;
+        c[ua] = u;
+        c[va] = v;
+        return c;
+    }
+};
+
+PlaneIndexer plane_indexer(const BlockShape& shape, int axis) {
+    const auto [u, v] = shape.plane_axes(axis);
+    return PlaneIndexer{axis, u, v};
+}
+}  // namespace
+
+void Block::pack_face(const FaceGeom& g, int var_begin, int var_end, std::span<double> out) const {
+    const PlaneIndexer pi = plane_indexer(shape_, g.axis);
+    const int U = shape_.dim(pi.ua), V = shape_.dim(pi.va);
+    const int a = g.sense > 0 ? shape_.dim(g.axis) : 1;  // interior boundary plane
+    DFAMR_REQUIRE(static_cast<std::int64_t>(out.size()) == face_value_count(g, var_end - var_begin),
+                  "pack_face: wrong buffer size");
+    std::size_t o = 0;
+    for (int var = var_begin; var < var_end; ++var) {
+        switch (g.rel) {
+            case FaceRel::Same:
+                for (int u = 1; u <= U; ++u) {
+                    for (int v = 1; v <= V; ++v) {
+                        const Vec3i c = pi.coords(a, u, v);
+                        out[o++] = at(var, c.x, c.y, c.z);
+                    }
+                }
+                break;
+            case FaceRel::Coarser:  // receiver coarser: restrict my whole face
+                for (int u = 0; u < U / 2; ++u) {
+                    for (int v = 0; v < V / 2; ++v) {
+                        double sum = 0;
+                        for (int du = 1; du <= 2; ++du) {
+                            for (int dv = 1; dv <= 2; ++dv) {
+                                const Vec3i c = pi.coords(a, 2 * u + du, 2 * v + dv);
+                                sum += at(var, c.x, c.y, c.z);
+                            }
+                        }
+                        out[o++] = 0.25 * sum;
+                    }
+                }
+                break;
+            case FaceRel::Finer: {  // receiver finer: send quarter `quad` raw
+                const int qu = (g.quad & 1) * (U / 2);
+                const int qv = ((g.quad >> 1) & 1) * (V / 2);
+                for (int u = 0; u < U / 2; ++u) {
+                    for (int v = 0; v < V / 2; ++v) {
+                        const Vec3i c = pi.coords(a, qu + u + 1, qv + v + 1);
+                        out[o++] = at(var, c.x, c.y, c.z);
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+void Block::unpack_face(const FaceGeom& g, int var_begin, int var_end,
+                        std::span<const double> in) {
+    const PlaneIndexer pi = plane_indexer(shape_, g.axis);
+    const int U = shape_.dim(pi.ua), V = shape_.dim(pi.va);
+    const int a = g.sense > 0 ? shape_.dim(g.axis) + 1 : 0;  // ghost plane
+    DFAMR_REQUIRE(static_cast<std::int64_t>(in.size()) == face_value_count(g, var_end - var_begin),
+                  "unpack_face: wrong buffer size");
+    std::size_t o = 0;
+    for (int var = var_begin; var < var_end; ++var) {
+        switch (g.rel) {
+            case FaceRel::Same:
+                for (int u = 1; u <= U; ++u) {
+                    for (int v = 1; v <= V; ++v) {
+                        const Vec3i c = pi.coords(a, u, v);
+                        at(var, c.x, c.y, c.z) = in[o++];
+                    }
+                }
+                break;
+            case FaceRel::Coarser:  // sender coarser: prolong onto my ghosts
+                for (int u = 1; u <= U; ++u) {
+                    for (int v = 1; v <= V; ++v) {
+                        const std::size_t src = o + static_cast<std::size_t>(((u - 1) / 2) * (V / 2) +
+                                                                             (v - 1) / 2);
+                        const Vec3i c = pi.coords(a, u, v);
+                        at(var, c.x, c.y, c.z) = in[src];
+                    }
+                }
+                o += static_cast<std::size_t>((U / 2) * (V / 2));
+                break;
+            case FaceRel::Finer: {  // sender finer: place into quarter `quad`
+                const int qu = (g.quad & 1) * (U / 2);
+                const int qv = ((g.quad >> 1) & 1) * (V / 2);
+                for (int u = 0; u < U / 2; ++u) {
+                    for (int v = 0; v < V / 2; ++v) {
+                        const Vec3i c = pi.coords(a, qu + u + 1, qv + v + 1);
+                        at(var, c.x, c.y, c.z) = in[o++];
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+void Block::copy_face_from(const Block& src, const FaceGeom& g, int var_begin, int var_end) {
+    // `g` is my view (rel = neighbor's level vs mine, sense = side of me the
+    // neighbor is on). pack_face takes the sender's view (rel = receiver's
+    // level vs sender), so flip sense and the level relation; `quad` always
+    // names the quarter of the coarser side's face and is shared.
+    FaceGeom src_geom = g;
+    src_geom.sense = -g.sense;
+    if (g.rel == FaceRel::Coarser) {
+        src_geom.rel = FaceRel::Finer;
+    } else if (g.rel == FaceRel::Finer) {
+        src_geom.rel = FaceRel::Coarser;
+    }
+    const std::int64_t n = face_value_count(g, var_end - var_begin);
+    if (static_cast<std::int64_t>(tls_scratch.size()) < n) {
+        tls_scratch.resize(static_cast<std::size_t>(n));
+    }
+    std::span<double> buf(tls_scratch.data(), static_cast<std::size_t>(n));
+    src.pack_face(src_geom, var_begin, var_end, buf);
+    unpack_face(g, var_begin, var_end, buf);
+}
+
+void Block::reflect_face(int axis, int sense, int var_begin, int var_end) {
+    const PlaneIndexer pi = plane_indexer(shape_, axis);
+    const int U = shape_.dim(pi.ua), V = shape_.dim(pi.va);
+    const int a_ghost = sense > 0 ? shape_.dim(axis) + 1 : 0;
+    const int a_int = sense > 0 ? shape_.dim(axis) : 1;
+    for (int var = var_begin; var < var_end; ++var) {
+        for (int u = 1; u <= U; ++u) {
+            for (int v = 1; v <= V; ++v) {
+                const Vec3i cg = pi.coords(a_ghost, u, v);
+                const Vec3i ci = pi.coords(a_int, u, v);
+                at(var, cg.x, cg.y, cg.z) = at(var, ci.x, ci.y, ci.z);
+            }
+        }
+    }
+}
+
+void Block::fill_from_parent(const Block& parent, int octant) {
+    const int ox = (octant & 1) * (shape_.nx / 2);
+    const int oy = ((octant >> 1) & 1) * (shape_.ny / 2);
+    const int oz = ((octant >> 2) & 1) * (shape_.nz / 2);
+    for (int v = 0; v < shape_.num_vars; ++v) {
+        for (int x = 1; x <= shape_.nx; ++x) {
+            const int px = ox + (x + 1) / 2;
+            for (int y = 1; y <= shape_.ny; ++y) {
+                const int py = oy + (y + 1) / 2;
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    const int pz = oz + (z + 1) / 2;
+                    at(v, x, y, z) = parent.at(v, px, py, pz);
+                }
+            }
+        }
+    }
+}
+
+void Block::absorb_child(const Block& child, int octant) {
+    const int ox = (octant & 1) * (shape_.nx / 2);
+    const int oy = ((octant >> 1) & 1) * (shape_.ny / 2);
+    const int oz = ((octant >> 2) & 1) * (shape_.nz / 2);
+    // Zero my octant region, then accumulate the average of 2x2x2 children.
+    for (int v = 0; v < shape_.num_vars; ++v) {
+        for (int x = 1; x <= shape_.nx / 2; ++x) {
+            for (int y = 1; y <= shape_.ny / 2; ++y) {
+                for (int z = 1; z <= shape_.nz / 2; ++z) {
+                    at(v, ox + x, oy + y, oz + z) = 0.0;
+                }
+            }
+        }
+        for (int x = 1; x <= shape_.nx; ++x) {
+            const int px = ox + (x + 1) / 2;
+            for (int y = 1; y <= shape_.ny; ++y) {
+                const int py = oy + (y + 1) / 2;
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    const int pz = oz + (z + 1) / 2;
+                    at(v, px, py, pz) += 0.125 * child.at(v, x, y, z);
+                }
+            }
+        }
+    }
+}
+
+std::int64_t Block::stencil7(int var_begin, int var_end) {
+    const std::int64_t plane = shape_.stride_var();
+    if (static_cast<std::int64_t>(tls_scratch.size()) < plane) {
+        tls_scratch.resize(static_cast<std::size_t>(plane));
+    }
+    for (int v = var_begin; v < var_end; ++v) {
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    tls_scratch[static_cast<std::size_t>(index(0, x, y, z))] =
+                        (at(v, x - 1, y, z) + at(v, x + 1, y, z) + at(v, x, y - 1, z) +
+                         at(v, x, y + 1, z) + at(v, x, y, z - 1) + at(v, x, y, z + 1) +
+                         at(v, x, y, z)) /
+                        7.0;
+                }
+            }
+        }
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    at(v, x, y, z) = tls_scratch[static_cast<std::size_t>(index(0, x, y, z))];
+                }
+            }
+        }
+    }
+    // miniAMR accounting: 7 floating-point operations per cell per variable.
+    return 7 * static_cast<std::int64_t>(shape_.nx) * shape_.ny * shape_.nz *
+           (var_end - var_begin);
+}
+
+void Block::fill_ghost_edges(int var) {
+    // Face exchange fills face ghosts only; the 27-point stencil also reads
+    // edge and corner ghosts. Fill them block-locally by clamping to the
+    // nearest valid cell (deterministic and identical across variants).
+    auto clamp1 = [](int c, int n) { return c < 1 ? 1 : (c > n ? n : c); };
+    for (int x = 0; x <= shape_.nx + 1; ++x) {
+        const bool ox = x < 1 || x > shape_.nx;
+        for (int y = 0; y <= shape_.ny + 1; ++y) {
+            const bool oy = y < 1 || y > shape_.ny;
+            for (int z = 0; z <= shape_.nz + 1; ++z) {
+                const bool oz = z < 1 || z > shape_.nz;
+                if (static_cast<int>(ox) + static_cast<int>(oy) + static_cast<int>(oz) >= 2) {
+                    at(var, x, y, z) =
+                        at(var, clamp1(x, shape_.nx), clamp1(y, shape_.ny), clamp1(z, shape_.nz));
+                }
+            }
+        }
+    }
+}
+
+std::int64_t Block::stencil27(int var_begin, int var_end) {
+    const std::int64_t plane = shape_.stride_var();
+    if (static_cast<std::int64_t>(tls_scratch.size()) < plane) {
+        tls_scratch.resize(static_cast<std::size_t>(plane));
+    }
+    for (int v = var_begin; v < var_end; ++v) fill_ghost_edges(v);
+    for (int v = var_begin; v < var_end; ++v) {
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    double sum = 0;
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dz = -1; dz <= 1; ++dz) {
+                                sum += at(v, x + dx, y + dy, z + dz);
+                            }
+                        }
+                    }
+                    tls_scratch[static_cast<std::size_t>(index(0, x, y, z))] = sum / 27.0;
+                }
+            }
+        }
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    at(v, x, y, z) = tls_scratch[static_cast<std::size_t>(index(0, x, y, z))];
+                }
+            }
+        }
+    }
+    return 27 * static_cast<std::int64_t>(shape_.nx) * shape_.ny * shape_.nz *
+           (var_end - var_begin);
+}
+
+double Block::checksum(int var_begin, int var_end) const {
+    double sum = 0;
+    for (int v = var_begin; v < var_end; ++v) {
+        for (int x = 1; x <= shape_.nx; ++x) {
+            for (int y = 1; y <= shape_.ny; ++y) {
+                for (int z = 1; z <= shape_.nz; ++z) {
+                    sum += at(v, x, y, z);
+                }
+            }
+        }
+    }
+    return sum;
+}
+
+}  // namespace dfamr::amr

@@ -1,0 +1,128 @@
+#include "amr/comm_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dfamr::amr {
+
+namespace {
+
+/// Canonical (sender block, receiver block) order shared by both endpoints.
+struct TransferOrder {
+    bool outgoing;  // true: order by (mine, theirs); false: by (theirs, mine)
+    bool operator()(const FaceTransfer& a, const FaceTransfer& b) const {
+        const BlockKey& a1 = outgoing ? a.mine : a.theirs;
+        const BlockKey& a2 = outgoing ? a.theirs : a.mine;
+        const BlockKey& b1 = outgoing ? b.mine : b.theirs;
+        const BlockKey& b2 = outgoing ? b.theirs : b.mine;
+        if (a1 != b1) return a1 < b1;
+        return a2 < b2;
+    }
+};
+
+/// Assigns stream offsets and builds the message chunks for one list.
+void layout_stream(std::vector<FaceTransfer>& faces, std::vector<MessageChunk>& chunks,
+                   std::int64_t& total_values, int direction, const CommPlanOptions& options) {
+    total_values = 0;
+    for (FaceTransfer& f : faces) {
+        f.value_offset = total_values;
+        total_values += f.value_count;
+    }
+    chunks.clear();
+    if (faces.empty()) return;
+
+    int num_chunks = 1;
+    if (options.send_faces) {
+        const int n = static_cast<int>(faces.size());
+        num_chunks = options.max_comm_tasks > 0 ? std::min(options.max_comm_tasks, n) : n;
+    }
+    const int n = static_cast<int>(faces.size());
+    int face_cursor = 0;
+    for (int c = 0; c < num_chunks; ++c) {
+        // Balanced contiguous split: chunk c covers [c*n/k, (c+1)*n/k).
+        const int first = face_cursor;
+        const int last = (c + 1) * n / num_chunks;  // exclusive
+        if (last <= first) continue;
+        MessageChunk chunk;
+        chunk.first_face = first;
+        chunk.face_count = last - first;
+        chunk.value_offset = faces[static_cast<std::size_t>(first)].value_offset;
+        const FaceTransfer& tail = faces[static_cast<std::size_t>(last - 1)];
+        chunk.value_count = tail.value_offset + tail.value_count - chunk.value_offset;
+        chunk.tag = direction_tag(direction, static_cast<int>(chunks.size()));
+        chunks.push_back(chunk);
+        face_cursor = last;
+    }
+    DFAMR_ASSERT(face_cursor == n);
+}
+
+}  // namespace
+
+CommPlan::CommPlan(const GlobalStructure& structure, const BlockShape& shape, int rank,
+                   const CommPlanOptions& options)
+    : CommPlan(structure, shape, rank, options, structure.blocks_of(rank)) {}
+
+CommPlan::CommPlan(const GlobalStructure& structure, const BlockShape& shape, int rank,
+                   const CommPlanOptions& options, std::span<const BlockKey> mine)
+    : rank_(rank) {
+    for (int axis = 0; axis < 3; ++axis) {
+        DirectionPlan& plan = directions_[static_cast<std::size_t>(axis)];
+        std::map<int, NeighborExchange> by_peer;
+        for (const BlockKey& key : mine) {
+            for (int sense : {+1, -1}) {
+                if (structure.at_domain_boundary(key, axis, sense)) {
+                    plan.boundary.emplace_back(key, sense);
+                    continue;
+                }
+                for (const FaceNeighbor& nb : structure.face_neighbors(key, axis, sense)) {
+                    FaceGeom geom{axis, sense, nb.rel, nb.quad};
+                    if (nb.owner == rank) {
+                        plan.copies.push_back(IntraCopy{key, nb.key, geom});
+                        continue;
+                    }
+                    NeighborExchange& ex = by_peer[nb.owner];
+                    ex.peer = nb.owner;
+                    const std::int64_t values = nb.rel == FaceRel::Same
+                                                    ? shape.face_values_same(axis, 1)
+                                                    : shape.face_values_mixed(axis, 1);
+                    // I receive the neighbor's boundary into my ghost AND
+                    // send my boundary for the neighbor's ghost.
+                    FaceTransfer recv{key, nb.key, geom, 0, values};
+                    FaceTransfer send{key, nb.key, geom, 0, values};
+                    ex.recvs.push_back(recv);
+                    ex.sends.push_back(send);
+                }
+            }
+        }
+        // Deterministic intra-copy order (map iteration gave deterministic
+        // block order already, keep as-is) and canonical per-peer streams.
+        for (auto& [peer, ex] : by_peer) {
+            std::sort(ex.sends.begin(), ex.sends.end(), TransferOrder{true});
+            std::sort(ex.recvs.begin(), ex.recvs.end(), TransferOrder{false});
+            layout_stream(ex.sends, ex.send_chunks, ex.send_values, axis, options);
+            layout_stream(ex.recvs, ex.recv_chunks, ex.recv_values, axis, options);
+            plan.neighbors.push_back(std::move(ex));
+        }
+    }
+}
+
+std::int64_t CommPlan::total_send_messages() const {
+    std::int64_t n = 0;
+    for (const DirectionPlan& plan : directions_) {
+        for (const NeighborExchange& ex : plan.neighbors) {
+            n += static_cast<std::int64_t>(ex.send_chunks.size());
+        }
+    }
+    return n;
+}
+
+std::int64_t CommPlan::total_send_values() const {
+    std::int64_t n = 0;
+    for (const DirectionPlan& plan : directions_) {
+        for (const NeighborExchange& ex : plan.neighbors) n += ex.send_values;
+    }
+    return n;
+}
+
+}  // namespace dfamr::amr

@@ -1,0 +1,207 @@
+#include "amr/object.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dfamr::amr {
+
+namespace {
+
+/// Axis a hemispheroid is cut along: 0/1/2 for x/y/z; +1 keeps p[axis] >= c,
+/// -1 keeps p[axis] <= c. Returns false if `t` is not a hemispheroid.
+bool hemi_params(ObjectType t, int& axis, int& sign) {
+    const int code = static_cast<int>(t);
+    if (code < 4 || code > 15) return false;
+    const int idx = (code - 4) / 2;  // 0..5 → +x,-x,+y,-y,+z,-z
+    axis = idx / 2;
+    sign = (idx % 2 == 0) ? +1 : -1;
+    return true;
+}
+
+bool cylinder_axis(ObjectType t, int& axis) {
+    const int code = static_cast<int>(t);
+    if (code < 16 || code > 21) return false;
+    axis = (code - 16) / 2;
+    return true;
+}
+
+/// Squared normalized distance from the ellipsoid center to the closest
+/// point of `block`, where each axis is scaled by the object semi-size.
+/// <= 1 means the block intersects the full ellipsoid.
+double ellipsoid_box_distance2(const Vec3d& center, const Vec3d& size, const Box& block) {
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+        const double clamped = std::clamp(center[a], block.lo[a], block.hi[a]);
+        const double n = (center[a] - clamped) / size[a];
+        d2 += n * n;
+    }
+    return d2;
+}
+
+bool point_in_ellipsoid(const Vec3d& center, const Vec3d& size, const Vec3d& p) {
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+        const double n = (p[a] - center[a]) / size[a];
+        d2 += n * n;
+    }
+    return d2 <= 1.0;
+}
+
+/// Squared normalized 2D distance in the plane orthogonal to `axis`.
+double ellipse_box_distance2(const Vec3d& center, const Vec3d& size, const Box& block, int axis) {
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+        if (a == axis) continue;
+        const double clamped = std::clamp(center[a], block.lo[a], block.hi[a]);
+        const double n = (center[a] - clamped) / size[a];
+        d2 += n * n;
+    }
+    return d2;
+}
+
+bool point_in_ellipse(const Vec3d& center, const Vec3d& size, const Vec3d& p, int axis) {
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+        if (a == axis) continue;
+        const double n = (p[a] - center[a]) / size[a];
+        d2 += n * n;
+    }
+    return d2 <= 1.0;
+}
+
+}  // namespace
+
+std::string to_string(ObjectType t) {
+    switch (t) {
+        case ObjectType::RectangleSurface: return "rectangle";
+        case ObjectType::RectangleSolid: return "solid rectangle";
+        case ObjectType::SpheroidSurface: return "spheroid";
+        case ObjectType::SpheroidSolid: return "solid spheroid";
+        case ObjectType::HemispheroidPlusXSurface: return "hemispheroid +x";
+        case ObjectType::HemispheroidPlusXSolid: return "solid hemispheroid +x";
+        case ObjectType::HemispheroidMinusXSurface: return "hemispheroid -x";
+        case ObjectType::HemispheroidMinusXSolid: return "solid hemispheroid -x";
+        case ObjectType::HemispheroidPlusYSurface: return "hemispheroid +y";
+        case ObjectType::HemispheroidPlusYSolid: return "solid hemispheroid +y";
+        case ObjectType::HemispheroidMinusYSurface: return "hemispheroid -y";
+        case ObjectType::HemispheroidMinusYSolid: return "solid hemispheroid -y";
+        case ObjectType::HemispheroidPlusZSurface: return "hemispheroid +z";
+        case ObjectType::HemispheroidPlusZSolid: return "solid hemispheroid +z";
+        case ObjectType::HemispheroidMinusZSurface: return "hemispheroid -z";
+        case ObjectType::HemispheroidMinusZSolid: return "solid hemispheroid -z";
+        case ObjectType::CylinderXSurface: return "cylinder x";
+        case ObjectType::CylinderXSolid: return "solid cylinder x";
+        case ObjectType::CylinderYSurface: return "cylinder y";
+        case ObjectType::CylinderYSolid: return "solid cylinder y";
+        case ObjectType::CylinderZSurface: return "cylinder z";
+        case ObjectType::CylinderZSolid: return "solid cylinder z";
+    }
+    return "unknown";
+}
+
+void ObjectSpec::step() {
+    center = center + move;
+    size = size + inc;
+    if (bounce) {
+        for (int a = 0; a < 3; ++a) {
+            if (center[a] - size[a] < 0.0 && move[a] < 0.0) move[a] = -move[a];
+            if (center[a] + size[a] > 1.0 && move[a] > 0.0) move[a] = -move[a];
+        }
+    }
+}
+
+Box ObjectSpec::bounding_box() const {
+    Box bb{center - size, center + size};
+    int axis = 0, sign = 0;
+    if (hemi_params(type, axis, sign)) {
+        if (sign > 0) {
+            bb.lo[axis] = center[axis];
+        } else {
+            bb.hi[axis] = center[axis];
+        }
+    }
+    return bb;
+}
+
+bool ObjectSpec::volume_intersects(const Box& block) const {
+    DFAMR_REQUIRE(size.x > 0 && size.y > 0 && size.z > 0, "object has non-positive size");
+    int axis = 0, sign = 0;
+    switch (type) {
+        case ObjectType::RectangleSurface:
+        case ObjectType::RectangleSolid:
+            return block.intersects(Box{center - size, center + size});
+        case ObjectType::SpheroidSurface:
+        case ObjectType::SpheroidSolid:
+            return ellipsoid_box_distance2(center, size, block) <= 1.0;
+        default:
+            break;
+    }
+    if (hemi_params(type, axis, sign)) {
+        // Clip the block to the hemispheroid's half-space; the clipped box
+        // intersects the volume iff it intersects the full ellipsoid.
+        Box clipped = block;
+        if (sign > 0) {
+            clipped.lo[axis] = std::max(clipped.lo[axis], center[axis]);
+        } else {
+            clipped.hi[axis] = std::min(clipped.hi[axis], center[axis]);
+        }
+        if (clipped.lo[axis] > clipped.hi[axis]) return false;
+        return ellipsoid_box_distance2(center, size, clipped) <= 1.0;
+    }
+    if (cylinder_axis(type, axis)) {
+        if (block.hi[axis] < center[axis] - size[axis] ||
+            block.lo[axis] > center[axis] + size[axis]) {
+            return false;
+        }
+        return ellipse_box_distance2(center, size, block, axis) <= 1.0;
+    }
+    throw Error("unhandled object type");
+}
+
+bool ObjectSpec::volume_contains(const Box& block) const {
+    int axis = 0, sign = 0;
+    switch (type) {
+        case ObjectType::RectangleSurface:
+        case ObjectType::RectangleSolid:
+            return Box{center - size, center + size}.contains(block);
+        case ObjectType::SpheroidSurface:
+        case ObjectType::SpheroidSolid: {
+            // Ellipsoids are convex: the box is inside iff all corners are.
+            for (const Vec3d& p : corners(block)) {
+                if (!point_in_ellipsoid(center, size, p)) return false;
+            }
+            return true;
+        }
+        default:
+            break;
+    }
+    if (hemi_params(type, axis, sign)) {
+        const bool in_half = (sign > 0) ? (block.lo[axis] >= center[axis])
+                                        : (block.hi[axis] <= center[axis]);
+        if (!in_half) return false;
+        for (const Vec3d& p : corners(block)) {
+            if (!point_in_ellipsoid(center, size, p)) return false;
+        }
+        return true;
+    }
+    if (cylinder_axis(type, axis)) {
+        if (block.lo[axis] < center[axis] - size[axis] ||
+            block.hi[axis] > center[axis] + size[axis]) {
+            return false;
+        }
+        for (const Vec3d& p : corners(block)) {
+            if (!point_in_ellipse(center, size, p, axis)) return false;
+        }
+        return true;
+    }
+    throw Error("unhandled object type");
+}
+
+bool ObjectSpec::touches(const Box& block) const {
+    if (is_solid()) return volume_intersects(block);
+    return volume_intersects(block) && !volume_contains(block);
+}
+
+}  // namespace dfamr::amr

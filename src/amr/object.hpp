@@ -1,0 +1,71 @@
+// miniAMR input objects: the moving shapes whose boundaries drive mesh
+// refinement. The mesh is the unit cube [0,1]^3; objects have a center,
+// per-axis semi-sizes, a movement rate per timestep, a growth rate per
+// timestep, and may bounce off the domain boundary.
+//
+// Types follow the mini-app's scheme: even codes are surfaces (a block is
+// "touched" when the object's *boundary* crosses it), odd codes are solids
+// (touched when the block intersects the object's volume).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/geometry.hpp"
+
+namespace dfamr::amr {
+
+enum class ObjectType : int {
+    RectangleSurface = 0,
+    RectangleSolid = 1,
+    SpheroidSurface = 2,
+    SpheroidSolid = 3,
+    HemispheroidPlusXSurface = 4,
+    HemispheroidPlusXSolid = 5,
+    HemispheroidMinusXSurface = 6,
+    HemispheroidMinusXSolid = 7,
+    HemispheroidPlusYSurface = 8,
+    HemispheroidPlusYSolid = 9,
+    HemispheroidMinusYSurface = 10,
+    HemispheroidMinusYSolid = 11,
+    HemispheroidPlusZSurface = 12,
+    HemispheroidPlusZSolid = 13,
+    HemispheroidMinusZSurface = 14,
+    HemispheroidMinusZSolid = 15,
+    // Extensions beyond the 16 core types (the paper mentions cylinders):
+    CylinderXSurface = 16,
+    CylinderXSolid = 17,
+    CylinderYSurface = 18,
+    CylinderYSolid = 19,
+    CylinderZSurface = 20,
+    CylinderZSolid = 21,
+};
+
+std::string to_string(ObjectType t);
+
+struct ObjectSpec {
+    ObjectType type = ObjectType::SpheroidSurface;
+    bool bounce = false;   // reflect the movement rate at domain boundaries
+    Vec3d center{0.5, 0.5, 0.5};
+    Vec3d move{0, 0, 0};   // center displacement per timestep
+    Vec3d size{0.1, 0.1, 0.1};  // semi-sizes per axis
+    Vec3d inc{0, 0, 0};    // size growth per timestep
+
+    bool is_solid() const { return (static_cast<int>(type) & 1) != 0; }
+
+    /// Advances the object by one timestep (movement, growth, bounce).
+    void step();
+
+    /// True when a refinement check on `block` must mark it: the block
+    /// intersects the volume (solid types) or the boundary (surface types).
+    bool touches(const Box& block) const;
+
+    /// Volume predicates used by touches() and by tests.
+    bool volume_intersects(const Box& block) const;
+    bool volume_contains(const Box& block) const;
+
+    /// Object's own bounding box (for tests and pruning).
+    Box bounding_box() const;
+};
+
+}  // namespace dfamr::amr

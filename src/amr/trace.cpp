@@ -1,0 +1,140 @@
+#include "amr/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dfamr::amr {
+
+std::string to_string(PhaseKind k) {
+    switch (k) {
+        case PhaseKind::Stencil: return "stencil";
+        case PhaseKind::Pack: return "pack";
+        case PhaseKind::Send: return "send";
+        case PhaseKind::Recv: return "recv";
+        case PhaseKind::Unpack: return "unpack";
+        case PhaseKind::IntraCopy: return "intra_copy";
+        case PhaseKind::ChecksumLocal: return "checksum_local";
+        case PhaseKind::ChecksumReduce: return "checksum_reduce";
+        case PhaseKind::RefineSplit: return "refine_split";
+        case PhaseKind::RefineMerge: return "refine_merge";
+        case PhaseKind::RefineExchange: return "refine_exchange";
+        case PhaseKind::LoadBalance: return "load_balance";
+        case PhaseKind::CommWait: return "comm_wait";
+        case PhaseKind::Control: return "control";
+    }
+    return "unknown";
+}
+
+bool is_refine_phase(PhaseKind k) {
+    return k == PhaseKind::RefineSplit || k == PhaseKind::RefineMerge ||
+           k == PhaseKind::RefineExchange || k == PhaseKind::LoadBalance;
+}
+
+void Tracer::record(int rank, int worker, std::int64_t t0_ns, std::int64_t t1_ns, PhaseKind kind) {
+    if (!enabled_) return;
+    std::lock_guard lock(mutex_);
+    events_.push_back(TraceEvent{rank, worker, t0_ns, t1_ns, kind});
+}
+
+std::vector<TraceEvent> Tracer::sorted_events() const {
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard lock(mutex_);
+        events = events_;
+    }
+    std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+        if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+        if (a.rank != b.rank) return a.rank < b.rank;
+        return a.worker < b.worker;
+    });
+    return events;
+}
+
+TraceAnalysis Tracer::analyze() const {
+    TraceAnalysis result;
+    const std::vector<TraceEvent> events = sorted_events();
+    if (events.empty()) return result;
+
+    std::int64_t t_min = events.front().t0_ns, t_max = 0;
+    std::set<std::pair<int, int>> cores;
+    std::int64_t refine_min = INT64_MAX, refine_max = INT64_MIN;
+    for (const TraceEvent& e : events) {
+        t_min = std::min(t_min, e.t0_ns);
+        t_max = std::max(t_max, e.t1_ns);
+        result.busy_ns_by_kind[e.kind] += e.t1_ns - e.t0_ns;
+        result.busy_ns += e.t1_ns - e.t0_ns;
+        cores.emplace(e.rank, e.worker);
+        if (is_refine_phase(e.kind)) {
+            refine_min = std::min(refine_min, e.t0_ns);
+            refine_max = std::max(refine_max, e.t1_ns);
+        }
+    }
+    result.span_ns = t_max - t_min;
+    result.cores = static_cast<int>(cores.size());
+    if (result.span_ns > 0 && result.cores > 0) {
+        result.utilization = static_cast<double>(result.busy_ns) /
+                             (static_cast<double>(result.span_ns) * result.cores);
+    }
+    result.refine_span_ns = refine_max >= refine_min ? refine_max - refine_min : 0;
+
+    // Sweep line: count active events per kind to find (a) intervals where at
+    // least two *distinct* kinds execute concurrently and (b) all-idle gaps.
+    struct Edge {
+        std::int64_t t;
+        int delta;  // +1 open, -1 close
+        PhaseKind kind;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(events.size() * 2);
+    for (const TraceEvent& e : events) {
+        edges.push_back(Edge{e.t0_ns, +1, e.kind});
+        edges.push_back(Edge{e.t1_ns, -1, e.kind});
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        if (a.t != b.t) return a.t < b.t;
+        return a.delta < b.delta;  // close before open at equal times
+    });
+    std::map<PhaseKind, int> active;
+    int distinct = 0;
+    int total_active = 0;
+    std::int64_t prev_t = edges.front().t;
+    for (const Edge& edge : edges) {
+        const std::int64_t dt = edge.t - prev_t;
+        if (dt > 0) {
+            if (distinct >= 2) result.overlap_ns += dt;
+            if (total_active == 0) {
+                result.largest_idle_gap_ns = std::max(result.largest_idle_gap_ns, dt);
+            }
+            prev_t = edge.t;
+        }
+        int& count = active[edge.kind];
+        if (edge.delta > 0) {
+            if (count == 0) ++distinct;
+            ++count;
+            ++total_active;
+        } else {
+            --count;
+            --total_active;
+            if (count == 0) --distinct;
+        }
+    }
+    return result;
+}
+
+std::string Tracer::to_csv() const {
+    std::ostringstream os;
+    os << "rank,worker,start_ns,end_ns,kind\n";
+    for (const TraceEvent& e : sorted_events()) {
+        os << e.rank << ',' << e.worker << ',' << e.t0_ns << ',' << e.t1_ns << ','
+           << to_string(e.kind) << '\n';
+    }
+    return os.str();
+}
+
+void Tracer::clear() {
+    std::lock_guard lock(mutex_);
+    events_.clear();
+}
+
+}  // namespace dfamr::amr

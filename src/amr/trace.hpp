@@ -1,0 +1,78 @@
+// Execution tracing — the Extrae/Paraver substitute used to regenerate the
+// paper's Figures 1-3 quantitatively: per-core timelines of typed intervals,
+// dumped as CSV, plus an analysis pass computing per-phase totals, phase
+// overlap, and idle gaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfamr::amr {
+
+/// What a traced interval was doing (the "task colors" of Fig. 1/3).
+enum class PhaseKind : std::uint8_t {
+    Stencil,
+    Pack,
+    Send,
+    Recv,
+    Unpack,
+    IntraCopy,
+    ChecksumLocal,
+    ChecksumReduce,
+    RefineSplit,
+    RefineMerge,
+    RefineExchange,
+    LoadBalance,
+    CommWait,  // MPI_Waitany / Waitall time in the MPI-only variant
+    Control,
+};
+
+std::string to_string(PhaseKind k);
+/// True for intervals belonging to the refinement/load-balancing phase.
+bool is_refine_phase(PhaseKind k);
+
+struct TraceEvent {
+    int rank = 0;
+    int worker = 0;  // core within the rank (0 for MPI-only)
+    std::int64_t t0_ns = 0;
+    std::int64_t t1_ns = 0;
+    PhaseKind kind = PhaseKind::Control;
+};
+
+/// Aggregated view of a trace (the numbers the paper reads off Paraver).
+struct TraceAnalysis {
+    std::int64_t span_ns = 0;  // last end - first start
+    std::map<PhaseKind, std::int64_t> busy_ns_by_kind;
+    std::int64_t busy_ns = 0;               // total across cores
+    double utilization = 0;                 // busy / (span * cores)
+    std::int64_t overlap_ns = 0;            // time where >= 2 distinct kinds run
+    std::int64_t largest_idle_gap_ns = 0;   // longest all-cores-idle interval
+    std::int64_t refine_span_ns = 0;        // time covered by refinement-kind events
+    int cores = 0;
+};
+
+/// Thread-safe event sink. Disabled by default (record() is a no-op) so the
+/// scaling benches pay nothing; enable for the trace experiments.
+class Tracer {
+public:
+    void enable(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    void record(int rank, int worker, std::int64_t t0_ns, std::int64_t t1_ns, PhaseKind kind);
+
+    std::vector<TraceEvent> sorted_events() const;
+    TraceAnalysis analyze() const;
+    /// CSV: rank,worker,start_ns,end_ns,kind
+    std::string to_csv() const;
+    void clear();
+
+private:
+    bool enabled_ = false;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace dfamr::amr

@@ -1,0 +1,133 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dfamr {
+
+const std::vector<std::vector<std::string>> CliParser::kEmpty;
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+    add_flag("--help", "print this help text and exit");
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+    specs_[name] = Spec{help, 1, false, default_value};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+    specs_[name] = Spec{help, 0, false, ""};
+}
+
+void CliParser::add_multi_option(const std::string& name, int arity, const std::string& help) {
+    DFAMR_REQUIRE(arity >= 1, "multi-option arity must be positive");
+    specs_[name] = Spec{help, arity, true, ""};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+    program_name_ = argc > 0 ? argv[0] : "program";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto it = specs_.find(arg);
+        if (it == specs_.end()) {
+            throw ConfigError("unknown option '" + arg + "' (try --help)");
+        }
+        const Spec& spec = it->second;
+        std::vector<std::string> occurrence;
+        for (int v = 0; v < spec.arity; ++v) {
+            if (i + 1 >= argc) {
+                throw ConfigError("option '" + arg + "' expects " + std::to_string(spec.arity) +
+                                  " value(s)");
+            }
+            occurrence.emplace_back(argv[++i]);
+        }
+        if (!spec.multi && values_.count(arg)) {
+            values_[arg] = {occurrence};  // last occurrence wins, like miniAMR
+        } else {
+            values_[arg].push_back(occurrence);
+        }
+    }
+    if (get_flag("--help")) {
+        std::cout << help_text();
+        return false;
+    }
+    return true;
+}
+
+const CliParser::Spec& CliParser::spec_for(const std::string& name) const {
+    auto it = specs_.find(name);
+    DFAMR_REQUIRE(it != specs_.end(), "option '" + name + "' was never registered");
+    return it->second;
+}
+
+bool CliParser::has(const std::string& name) const {
+    spec_for(name);
+    return values_.count(name) > 0;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+    const Spec& spec = spec_for(name);
+    DFAMR_REQUIRE(spec.arity == 1 && !spec.multi, "'" + name + "' is not a single-value option");
+    auto it = values_.find(name);
+    if (it == values_.end()) return spec.default_value;
+    return it->second.back().front();
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+    const std::string s = get_string(name);
+    try {
+        std::size_t pos = 0;
+        const std::int64_t v = std::stoll(s, &pos);
+        DFAMR_REQUIRE(pos == s.size(), "trailing characters");
+        return v;
+    } catch (const std::exception&) {
+        throw ConfigError("option '" + name + "': '" + s + "' is not an integer");
+    }
+}
+
+double CliParser::get_double(const std::string& name) const {
+    const std::string s = get_string(name);
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        DFAMR_REQUIRE(pos == s.size(), "trailing characters");
+        return v;
+    } catch (const std::exception&) {
+        throw ConfigError("option '" + name + "': '" + s + "' is not a number");
+    }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+    const Spec& spec = spec_for(name);
+    DFAMR_REQUIRE(spec.arity == 0, "'" + name + "' is not a flag");
+    return values_.count(name) > 0;
+}
+
+const std::vector<std::vector<std::string>>& CliParser::get_multi(const std::string& name) const {
+    const Spec& spec = spec_for(name);
+    DFAMR_REQUIRE(spec.multi, "'" + name + "' is not a multi-option");
+    auto it = values_.find(name);
+    return it == values_.end() ? kEmpty : it->second;
+}
+
+std::string CliParser::help_text() const {
+    std::ostringstream os;
+    os << description_ << "\n\nUsage: " << program_name_ << " [options]\n\nOptions:\n";
+    for (const auto& [name, spec] : specs_) {
+        os << "  " << name;
+        if (spec.arity == 1) os << " <value>";
+        if (spec.arity > 1) os << " <" << spec.arity << " values>";
+        if (spec.multi) os << " (repeatable)";
+        os << "\n      " << spec.help;
+        if (!spec.default_value.empty()) os << " [default: " << spec.default_value << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace dfamr

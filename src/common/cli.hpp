@@ -1,0 +1,61 @@
+// Minimal miniAMR-style command-line parser.
+//
+// miniAMR options look like `--nx 10 --num_objects 1 ...`; flags may take
+// zero, one, or a fixed number of values. Examples and benches share this
+// parser so every binary documents itself with --help.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfamr {
+
+class CliParser {
+public:
+    explicit CliParser(std::string program_description);
+
+    /// Registers an option taking one value, parsed on demand.
+    void add_option(const std::string& name, const std::string& help,
+                    const std::string& default_value = "");
+    /// Registers a boolean flag (no value; present = true).
+    void add_flag(const std::string& name, const std::string& help);
+    /// Registers an option that may appear multiple times, each with `arity` values
+    /// (miniAMR's repeated --object spec).
+    void add_multi_option(const std::string& name, int arity, const std::string& help);
+
+    /// Parses argv. Throws ConfigError on unknown options or missing values.
+    /// Returns false if --help was requested (help text already printed).
+    bool parse(int argc, const char* const* argv);
+
+    bool has(const std::string& name) const;
+    std::string get_string(const std::string& name) const;
+    std::int64_t get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    bool get_flag(const std::string& name) const;
+    /// All occurrences of a multi-option; each inner vector has `arity` entries.
+    const std::vector<std::vector<std::string>>& get_multi(const std::string& name) const;
+
+    std::string help_text() const;
+
+private:
+    struct Spec {
+        std::string help;
+        int arity = 1;       // values per occurrence; 0 = flag
+        bool multi = false;  // may repeat
+        std::string default_value;
+    };
+
+    const Spec& spec_for(const std::string& name) const;
+
+    std::string description_;
+    std::string program_name_;
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::vector<std::vector<std::string>>> values_;
+    static const std::vector<std::vector<std::string>> kEmpty;
+};
+
+}  // namespace dfamr

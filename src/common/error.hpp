@@ -1,0 +1,50 @@
+// Error handling primitives shared across all dfamr modules.
+//
+// Two families:
+//  - DFAMR_REQUIRE(cond, msg): precondition / invariant check that stays on in
+//    release builds; throws dfamr::Error so tests can assert on failures.
+//  - DFAMR_ASSERT(cond): cheap internal sanity check, compiled out in NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfamr {
+
+/// Base exception for all dfamr failures.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on invalid user-facing configuration (CLI options, config structs).
+class ConfigError : public Error {
+public:
+    explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& msg) {
+    std::ostringstream os;
+    os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dfamr
+
+#define DFAMR_REQUIRE(cond, msg)                                                       \
+    do {                                                                               \
+        if (!(cond)) {                                                                 \
+            ::dfamr::detail::throw_require_failure(#cond, __FILE__, __LINE__, (msg));  \
+        }                                                                              \
+    } while (0)
+
+#ifdef NDEBUG
+#define DFAMR_ASSERT(cond) ((void)0)
+#else
+#define DFAMR_ASSERT(cond) DFAMR_REQUIRE(cond, "internal assertion")
+#endif

@@ -1,0 +1,72 @@
+// 3D geometry primitives used by the AMR mesh and the input objects.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace dfamr {
+
+/// Small fixed 3-vector. T is double (positions/sizes) or int (grid indices).
+template <typename T>
+struct Vec3 {
+    T x{}, y{}, z{};
+
+    constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+    constexpr const T& operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+    friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+    friend constexpr Vec3 operator*(Vec3 a, T s) { return {a.x * s, a.y * s, a.z * s}; }
+    friend constexpr Vec3 operator*(T s, Vec3 a) { return a * s; }
+    friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+    constexpr T product() const { return x * y * z; }
+
+    friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+        return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+    }
+};
+
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<int>;
+using Vec3l = Vec3<std::int64_t>;
+
+/// Axis-aligned box, [lo, hi] in each dimension.
+struct Box {
+    Vec3d lo{}, hi{};
+
+    constexpr Vec3d center() const { return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5, (lo.z + hi.z) * 0.5}; }
+    constexpr Vec3d extent() const { return hi - lo; }
+
+    constexpr bool intersects(const Box& o) const {
+        return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y &&
+               lo.z <= o.hi.z && o.lo.z <= hi.z;
+    }
+    /// True when `o` lies entirely inside this box.
+    constexpr bool contains(const Box& o) const {
+        return lo.x <= o.lo.x && o.hi.x <= hi.x && lo.y <= o.lo.y && o.hi.y <= hi.y &&
+               lo.z <= o.lo.z && o.hi.z <= hi.z;
+    }
+    constexpr bool contains(const Vec3d& p) const {
+        return lo.x <= p.x && p.x <= hi.x && lo.y <= p.y && p.y <= hi.y && lo.z <= p.z && p.z <= hi.z;
+    }
+
+    friend constexpr bool operator==(const Box&, const Box&) = default;
+
+    friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+        return os << '[' << b.lo << ".." << b.hi << ']';
+    }
+};
+
+/// The eight corners of a box (used by object containment tests).
+inline std::array<Vec3d, 8> corners(const Box& b) {
+    return {Vec3d{b.lo.x, b.lo.y, b.lo.z}, Vec3d{b.hi.x, b.lo.y, b.lo.z},
+            Vec3d{b.lo.x, b.hi.y, b.lo.z}, Vec3d{b.hi.x, b.hi.y, b.lo.z},
+            Vec3d{b.lo.x, b.lo.y, b.hi.z}, Vec3d{b.hi.x, b.lo.y, b.hi.z},
+            Vec3d{b.lo.x, b.hi.y, b.hi.z}, Vec3d{b.hi.x, b.hi.y, b.hi.z}};
+}
+
+}  // namespace dfamr

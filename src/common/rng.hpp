@@ -1,0 +1,52 @@
+// Deterministic, seedable PRNG (splitmix64-seeded xoshiro256**).
+// We do not use std::mt19937 in hot paths: xoshiro is faster and the
+// implementation is pinned so results are reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace dfamr {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+        return (v << k) | (v >> (64 - k));
+    }
+    std::uint64_t state_[4];
+};
+
+}  // namespace dfamr

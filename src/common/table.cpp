@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dfamr {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    DFAMR_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    DFAMR_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string TextTable::to_csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+}  // namespace dfamr

@@ -1,0 +1,29 @@
+// Plain-text table printer used by the table/figure benches to print
+// paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfamr {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    /// Convenience: formats doubles with the given precision.
+    static std::string num(double v, int precision = 2);
+
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+    /// Comma-separated dump (for EXPERIMENTS.md extraction and plotting).
+    std::string to_csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfamr

@@ -1,0 +1,76 @@
+// Threading primitives shared by the mpisim thread transport and the
+// tasking runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dfamr {
+
+/// Reusable barrier for a fixed set of participants (C++20 std::barrier is
+/// available but we need a count reachable from tests and a simple wait()).
+class ThreadBarrier {
+public:
+    explicit ThreadBarrier(int participants) : participants_(participants) {}
+
+    void wait() {
+        std::unique_lock lock(mutex_);
+        const std::uint64_t gen = generation_;
+        if (++arrived_ == participants_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lock, [&] { return generation_ != gen; });
+        }
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int participants_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/// Single-use countdown latch.
+class CountdownLatch {
+public:
+    explicit CountdownLatch(std::int64_t count) : count_(count) {}
+
+    void count_down(std::int64_t n = 1) {
+        std::lock_guard lock(mutex_);
+        count_ -= n;
+        if (count_ <= 0) cv_.notify_all();
+    }
+
+    void wait() {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return count_ <= 0; });
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::int64_t count_;
+};
+
+/// Test-and-test-and-set spinlock for very short critical sections.
+class SpinLock {
+public:
+    void lock() {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            while (flag_.test(std::memory_order_relaxed)) {
+            }
+        }
+    }
+    void unlock() { flag_.clear(std::memory_order_release); }
+    bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace dfamr

@@ -1,0 +1,43 @@
+// Wall-clock timing helpers (real-execution mode and calibration).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dfamr {
+
+inline std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Stopwatch accumulating elapsed nanoseconds across start/stop pairs.
+class Stopwatch {
+public:
+    void start() { start_ns_ = now_ns(); }
+    void stop() { total_ns_ += now_ns() - start_ns_; }
+    void reset() { total_ns_ = 0; }
+
+    std::int64_t elapsed_ns() const { return total_ns_; }
+    double elapsed_s() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+private:
+    std::int64_t start_ns_ = 0;
+    std::int64_t total_ns_ = 0;
+};
+
+/// RAII scope timer adding elapsed time to an external accumulator.
+class ScopeTimer {
+public:
+    explicit ScopeTimer(std::int64_t& sink) : sink_(sink), begin_(now_ns()) {}
+    ~ScopeTimer() { sink_ += now_ns() - begin_; }
+    ScopeTimer(const ScopeTimer&) = delete;
+    ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+private:
+    std::int64_t& sink_;
+    std::int64_t begin_;
+};
+
+}  // namespace dfamr

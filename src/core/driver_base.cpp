@@ -1,0 +1,220 @@
+#include "core/driver_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timing.hpp"
+
+namespace dfamr::core {
+
+DriverBase::DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
+    : cfg_(cfg), comm_(comm), rank_(comm.rank()), tracer_(tracer), mesh_(cfg, comm.rank()) {
+    cfg_.validate();
+    DFAMR_REQUIRE(cfg_.num_ranks() == comm.size(),
+                  "communicator size must match npx*npy*npz");
+    mesh_.init_blocks();
+    rebuild_comm_plan();
+}
+
+int DriverBase::worker_index() {
+    thread_local const DriverBase* cached_driver = nullptr;
+    thread_local int cached_index = 0;
+    if (cached_driver == this) return cached_index;
+    const std::uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    std::lock_guard lock(worker_ids_mutex_);
+    int idx = -1;
+    for (const auto& [id, known] : worker_ids_) {
+        if (id == tid) {
+            idx = known;
+            break;
+        }
+    }
+    if (idx < 0) {
+        idx = static_cast<int>(worker_ids_.size());
+        worker_ids_.emplace_back(tid, idx);
+    }
+    cached_driver = this;
+    cached_index = idx;
+    return idx;
+}
+
+void DriverBase::rebuild_comm_plan() {
+    amr::CommPlanOptions options;
+    options.send_faces = cfg_.send_faces;
+    options.max_comm_tasks = cfg_.max_comm_tasks;
+    plan_ = CommPlan(mesh_.structure(), mesh_.shape(), rank_, options);
+    buffers_ = std::make_unique<CommBuffers>(plan_, cfg_.vars_per_group(), cfg_.separate_buffers);
+}
+
+RankResult DriverBase::run() {
+    comm_.barrier();
+    Stopwatch total;
+    total.start();
+    // Initial refinement phase: adapt the initial mesh to the objects before
+    // the first timestep (the dense region at the start of Fig. 1 traces).
+    if (cfg_.refine_freq > 0 && cfg_.num_refine > 0) {
+        refinement_phase(0);
+    }
+    main_loop();
+    final_sync();
+    total.stop();
+    result_.times.total = total.elapsed_s();
+    result_.final_blocks = static_cast<std::int64_t>(mesh_.num_owned());
+    return result_;
+}
+
+void DriverBase::main_loop() {
+    int stage_counter = 0;
+    for (int ts = 1; ts <= cfg_.num_tsteps; ++ts) {
+        for (int stage = 0; stage < cfg_.stages_per_ts; ++stage) {
+            for (int group = 0; group < cfg_.num_groups(); ++group) {
+                communicate_stage(group);
+                stencil_stage(group);
+            }
+            ++stage_counter;
+            if (cfg_.checksum_freq > 0 && stage_counter % cfg_.checksum_freq == 0) {
+                Stopwatch sw;
+                sw.start();
+                checksum_stage();
+                sw.stop();
+                result_.times.checksum += sw.elapsed_s();
+            }
+        }
+        if (cfg_.refine_freq > 0 && cfg_.num_refine > 0 && ts % cfg_.refine_freq == 0) {
+            refinement_phase(cfg_.refine_freq);
+        }
+    }
+}
+
+void DriverBase::refinement_phase(int timesteps_elapsed) {
+    sync_before_refine();
+    ++result_.counters.refinement_phases;
+    Stopwatch sw;
+    sw.start();
+
+    for (int i = 0; i < timesteps_elapsed; ++i) {
+        for (amr::ObjectSpec& obj : cfg_.objects) obj.step();
+    }
+
+    amr::GlobalStructure& structure = mesh_.structure();
+    const int rounds = cfg_.max_block_change();
+    for (int round_idx = 0; round_idx < rounds; ++round_idx) {
+        const RefineRound round = structure.plan_refine_round(cfg_.objects, cfg_.uniform_refine);
+        if (round.empty()) break;
+
+        // Splits of owned blocks (taskified copies in the data-flow variant).
+        std::vector<BlockKey> my_splits;
+        for (const BlockKey& key : round.refine) {
+            if (structure.owner(key) == rank_) my_splits.push_back(key);
+        }
+        do_splits(my_splits);
+        result_.counters.blocks_split += static_cast<std::int64_t>(my_splits.size());
+
+        // Coarsening: ship children to the future parent owner, then merge.
+        std::vector<BlockMove> moves;
+        std::vector<BlockKey> my_merges;
+        int next_id = 0;
+        for (const BlockKey& parent : round.coarsen_parents) {
+            const int new_owner = structure.owner(parent.child(0, structure.max_level()));
+            if (new_owner == rank_) my_merges.push_back(parent);
+            for (int octant = 1; octant < 8; ++octant) {
+                const BlockKey child = parent.child(octant, structure.max_level());
+                const int child_owner = structure.owner(child);
+                if (child_owner != new_owner) {
+                    moves.push_back(BlockMove{child, child_owner, new_owner, next_id});
+                }
+                ++next_id;  // id advances for every candidate: identical on all ranks
+            }
+        }
+        exchange_blocks(moves, /*with_ack_protocol=*/false);
+        do_merges(my_merges);
+        result_.counters.blocks_merged += static_cast<std::int64_t>(my_merges.size());
+        sync_refine_step();
+
+        structure.apply_refine_round(round);
+        DFAMR_ASSERT(mesh_.num_owned() == structure.blocks_of(rank_).size());
+    }
+
+    // Load balancing (inside the refinement phase, like miniAMR).
+    if (cfg_.lb_opt && structure.imbalance() > cfg_.inbalance) {
+        const auto new_owners = structure.rcb_partition();
+        std::vector<BlockMove> moves;
+        int next_id = 0;
+        for (const auto& [key, owner] : structure.leaves()) {
+            const int target = new_owners.at(key);
+            if (target != owner) moves.push_back(BlockMove{key, owner, target, next_id});
+            ++next_id;
+        }
+        exchange_blocks(moves, /*with_ack_protocol=*/true);
+        sync_refine_step();
+        ++result_.counters.load_balances;
+        structure.set_owners(new_owners);
+        DFAMR_ASSERT(mesh_.num_owned() == structure.blocks_of(rank_).size());
+    }
+
+    rebuild_comm_plan();
+    reset_checksum_reference();
+    sw.stop();
+    result_.times.refine += sw.elapsed_s();
+}
+
+void DriverBase::exchange_blocks(const std::vector<BlockMove>& moves, bool with_ack_protocol) {
+    std::vector<BlockMove> sends, recvs;
+    for (const BlockMove& mv : moves) {
+        if (mv.from == rank_) sends.push_back(mv);
+        if (mv.to == rank_) recvs.push_back(mv);
+    }
+    result_.counters.blocks_moved += static_cast<std::int64_t>(sends.size());
+    if (with_ack_protocol) {
+        // §IV-B: the receiver acknowledges it has space; the sender then
+        // transmits the block identifier as an extra control message so both
+        // sides can tag the data transfer. Control messages stay sequential
+        // on the main thread (blocking MPI), exactly like the paper.
+        const std::int64_t t0 = now_ns();
+        int ack = 1;
+        for (const BlockMove& mv : recvs) {
+            comm_.send(&ack, sizeof ack, mv.from, kAckTag);
+        }
+        for (const BlockMove& mv : sends) {
+            int got = 0;
+            comm_.recv(&got, sizeof got, mv.to, kAckTag);
+            DFAMR_REQUIRE(got == 1, "negative exchange ACK (receiver out of space)");
+            comm_.send(&mv.id, sizeof mv.id, mv.to, kBlockIdTag);
+        }
+        for (const BlockMove& mv : recvs) {
+            int id = -1;
+            comm_.recv(&id, sizeof id, mv.from, kBlockIdTag);
+            DFAMR_REQUIRE(id == mv.id, "exchange protocol id mismatch");
+        }
+        trace(0, t0, now_ns(), PhaseKind::Control);
+    }
+    transfer_block_data(sends, recvs);
+}
+
+void DriverBase::reduce_and_validate(const std::vector<double>& local_group_sums) {
+    DFAMR_REQUIRE(static_cast<int>(local_group_sums.size()) == cfg_.num_groups(),
+                  "one local sum per variable group expected");
+    std::vector<double> global(local_group_sums.size(), 0.0);
+    const std::int64_t t0 = now_ns();
+    comm_.allreduce(local_group_sums.data(), global.data(), global.size(), mpi::Op::Sum);
+    trace(0, t0, now_ns(), PhaseKind::ChecksumReduce);
+
+    bool ok = true;
+    if (!checksum_reference_.empty()) {
+        for (std::size_t g = 0; g < global.size(); ++g) {
+            const double ref = checksum_reference_[g];
+            const double drift = std::abs(global[g] - ref);
+            if (drift > cfg_.tol * std::max(1.0, std::abs(ref))) ok = false;
+        }
+    }
+    checksum_reference_ = global;
+    ++result_.counters.checksum_stages;
+    double total = 0;
+    for (double v : global) total += v;
+    result_.checksums.push_back(total);
+    result_.validation_ok = result_.validation_ok && ok;
+}
+
+}  // namespace dfamr::core

@@ -1,0 +1,121 @@
+// Shared per-rank orchestration of the miniAMR main loop (Algorithm 1) and
+// the refinement / load-balancing mechanics. The three variants subclass
+// this and provide their parallelization of each phase:
+//   * MpiOnlyDriver  — everything sequential (reference implementation)
+//   * ForkJoinDriver — worksharing loops + master-only MPI
+//   * TampiOssDriver — the paper's data-flow taskification
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "amr/comm_plan.hpp"
+#include "amr/config.hpp"
+#include "amr/mesh.hpp"
+#include "amr/trace.hpp"
+#include "core/result.hpp"
+#include "mpisim/mpi.hpp"
+
+namespace dfamr::core {
+
+using amr::Block;
+using amr::BlockKey;
+using amr::CommBuffers;
+using amr::CommPlan;
+using amr::Config;
+using amr::FaceGeom;
+using amr::Mesh;
+using amr::PhaseKind;
+using amr::RefineRound;
+using amr::Tracer;
+
+/// One whole-block transfer between ranks during refinement/load balancing.
+struct BlockMove {
+    BlockKey key;
+    int from = -1;
+    int to = -1;
+    int id = 0;  // global index; tags the data message (paper §IV-B)
+};
+
+/// Control-message tags used by the exchange protocol (distinct sub-space).
+inline constexpr int kAckTag = amr::kExchangeTagBase;
+inline constexpr int kBlockIdTag = amr::kExchangeTagBase + 1;
+inline constexpr int kBlockDataTagBase = amr::kExchangeTagBase + 16;
+
+class DriverBase {
+public:
+    DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* tracer);
+    virtual ~DriverBase() = default;
+
+    /// Executes the full mini-app on this rank and returns its result.
+    RankResult run();
+
+protected:
+    // ---- variant hooks ----------------------------------------------------
+    /// Ghost exchange + stencil for one variable group in one stage. The
+    /// data-flow variant only *submits* tasks here; the others execute.
+    virtual void communicate_stage(int group) = 0;
+    virtual void stencil_stage(int group) = 0;
+    /// Checksum across all groups; calls reduce_and_validate() (possibly for
+    /// the previous stage when the delayed optimization is active).
+    virtual void checksum_stage() = 0;
+    /// Drains outstanding work at the end of the run (final validation of a
+    /// deferred checksum included).
+    virtual void final_sync() {}
+    /// Synchronization point before the refinement phase (taskwait/no-op).
+    virtual void sync_before_refine() {}
+    /// Data operations of one refinement round.
+    virtual void do_splits(const std::vector<BlockKey>& parents) = 0;
+    virtual void do_merges(const std::vector<BlockKey>& parents) = 0;
+    /// Whole-block data transfers. `sends`/`recvs` are this rank's sides of
+    /// the global move list, in deterministic order. Data messages use tag
+    /// kBlockDataTagBase + move.id. Must leave transferred blocks adopted.
+    virtual void transfer_block_data(const std::vector<BlockMove>& sends,
+                                     const std::vector<BlockMove>& recvs) = 0;
+    /// Barrier-equivalent inside refinement after transfers (taskwait).
+    virtual void sync_refine_step() {}
+
+    // ---- shared mechanics (implemented here) -------------------------------
+    /// Runs refinement rounds + load balancing, updates structure and plans.
+    void refinement_phase(int timesteps_elapsed);
+    /// Performs the §IV-B ACK/id/data exchange protocol for the given global
+    /// move list: control messages sequential on this (main) thread, data
+    /// via transfer_block_data().
+    void exchange_blocks(const std::vector<BlockMove>& moves, bool with_ack_protocol);
+    void rebuild_comm_plan();
+    /// Allreduces per-group local sums, validates drift, records the result.
+    void reduce_and_validate(const std::vector<double>& local_group_sums);
+    /// Resets the drift reference (after refinement changes the cell count).
+    void reset_checksum_reference() { checksum_reference_.clear(); }
+
+    int group_begin(int group) const { return group * cfg_.vars_per_group(); }
+    int group_end(int group) const {
+        return std::min(cfg_.num_vars, (group + 1) * cfg_.vars_per_group());
+    }
+
+    void trace(int worker, std::int64_t t0, std::int64_t t1, PhaseKind kind) {
+        if (tracer_ != nullptr) tracer_->record(rank_, worker, t0, t1, kind);
+    }
+    /// Small helper mapping the calling thread to a stable worker index.
+    int worker_index();
+
+    Config cfg_;
+    mpi::Communicator& comm_;
+    int rank_;
+    Tracer* tracer_ = nullptr;
+
+    Mesh mesh_;
+    CommPlan plan_;
+    std::unique_ptr<CommBuffers> buffers_;
+
+    RankResult result_;
+    std::vector<double> checksum_reference_;  // per group; empty = no reference
+
+private:
+    void main_loop();
+
+    std::mutex worker_ids_mutex_;
+    std::vector<std::pair<std::uint64_t, int>> worker_ids_;
+};
+
+}  // namespace dfamr::core

@@ -1,0 +1,234 @@
+#include "core/fork_join.hpp"
+
+#include <atomic>
+
+#include "common/timing.hpp"
+#include "tasking/parallel_for.hpp"
+
+namespace dfamr::core {
+
+ForkJoinDriver::ForkJoinDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
+    : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1) {}
+
+void ForkJoinDriver::pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+    tasking::parallel_for(rt_, 0, n, fn);
+}
+
+void ForkJoinDriver::communicate_stage(int group) {
+    Stopwatch sw;
+    sw.start();
+    const int gb = group_begin(group), ge = group_end(group);
+    for (int dir = 0; dir < 3; ++dir) {
+        exchange_direction(dir, gb, ge);
+    }
+    sw.stop();
+    result_.times.comm += sw.elapsed_s();
+}
+
+void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
+    const amr::DirectionPlan& dp = plan_.direction(dir);
+    const int gvars = ge - gb;
+
+    // Master posts all receives.
+    std::vector<mpi::Request> recv_reqs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        auto stream = buffers_->recv_stream(dir, static_cast<int>(ni));
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                       static_cast<std::size_t>(chunk.value_count * gvars));
+            recv_reqs.push_back(comm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+        }
+    }
+
+    // Worksharing loop over all faces to pack (implicit barrier at the end).
+    struct PackJob {
+        const amr::NeighborExchange* ex;
+        const amr::FaceTransfer* face;
+        int neighbor_index;
+    };
+    std::vector<PackJob> pack_jobs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        for (const amr::FaceTransfer& face : dp.neighbors[ni].sends) {
+            pack_jobs.push_back(PackJob{&dp.neighbors[ni], &face, static_cast<int>(ni)});
+        }
+    }
+    pfor(static_cast<std::int64_t>(pack_jobs.size()), [&](std::int64_t i) {
+        const PackJob& job = pack_jobs[static_cast<std::size_t>(i)];
+        auto stream = buffers_->send_stream(dir, job.neighbor_index);
+        auto section =
+            stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
+                           static_cast<std::size_t>(job.face->value_count * gvars));
+        const std::int64_t t0 = now_ns();
+        mesh_.block(job.face->mine).pack_face(job.face->geom, gb, ge, section);
+        trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
+    });
+
+    // Master sends every chunk (all MPI stays on the master thread).
+    std::vector<mpi::Request> send_reqs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        auto stream = buffers_->send_stream(dir, static_cast<int>(ni));
+        for (const amr::MessageChunk& chunk : ex.send_chunks) {
+            auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                       static_cast<std::size_t>(chunk.value_count * gvars));
+            const std::int64_t t0 = now_ns();
+            send_reqs.push_back(comm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            trace(0, t0, now_ns(), PhaseKind::Send);
+        }
+    }
+
+    // Intra-process copies + boundary reflection, workshared.
+    pfor(static_cast<std::int64_t>(dp.copies.size()), [&](std::int64_t i) {
+        const amr::IntraCopy& copy = dp.copies[static_cast<std::size_t>(i)];
+        const std::int64_t t0 = now_ns();
+        mesh_.block(copy.dst).copy_face_from(mesh_.block(copy.src), copy.geom, gb, ge);
+        trace(worker_index(), t0, now_ns(), PhaseKind::IntraCopy);
+    });
+    pfor(static_cast<std::int64_t>(dp.boundary.size()), [&](std::int64_t i) {
+        const auto& [key, sense] = dp.boundary[static_cast<std::size_t>(i)];
+        mesh_.block(key).reflect_face(dir, sense, gb, ge);
+    });
+
+    // Master waits for ALL receives (fork-join cannot overlap per-message),
+    // then a workshared loop unpacks everything.
+    const std::int64_t t0 = now_ns();
+    mpi::wait_all(std::span<mpi::Request>(recv_reqs));
+    trace(0, t0, now_ns(), PhaseKind::CommWait);
+
+    struct UnpackJob {
+        const amr::FaceTransfer* face;
+        int neighbor_index;
+    };
+    std::vector<UnpackJob> unpack_jobs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        for (const amr::FaceTransfer& face : dp.neighbors[ni].recvs) {
+            unpack_jobs.push_back(UnpackJob{&face, static_cast<int>(ni)});
+        }
+    }
+    pfor(static_cast<std::int64_t>(unpack_jobs.size()), [&](std::int64_t i) {
+        const UnpackJob& job = unpack_jobs[static_cast<std::size_t>(i)];
+        auto stream = buffers_->recv_stream(dir, job.neighbor_index);
+        auto section =
+            stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
+                           static_cast<std::size_t>(job.face->value_count * gvars));
+        const std::int64_t t1 = now_ns();
+        mesh_.block(job.face->mine).unpack_face(job.face->geom, gb, ge, section);
+        trace(worker_index(), t1, now_ns(), PhaseKind::Unpack);
+    });
+
+    const std::int64_t t2 = now_ns();
+    mpi::wait_all(std::span<mpi::Request>(send_reqs));
+    trace(0, t2, now_ns(), PhaseKind::CommWait);
+}
+
+void ForkJoinDriver::stencil_stage(int group) {
+    Stopwatch sw;
+    sw.start();
+    const int gb = group_begin(group), ge = group_end(group);
+    const std::vector<BlockKey> keys = mesh_.owned_keys();
+    std::atomic<std::int64_t> flops{0};
+    pfor(static_cast<std::int64_t>(keys.size()), [&](std::int64_t i) {
+        const std::int64_t t0 = now_ns();
+        flops += mesh_.block(keys[static_cast<std::size_t>(i)]).apply_stencil(cfg_.stencil, gb, ge);
+        trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
+    });
+    result_.stencil_flops += flops.load();
+    sw.stop();
+    result_.times.stencil += sw.elapsed_s();
+}
+
+void ForkJoinDriver::checksum_stage() {
+    const std::vector<BlockKey> keys = mesh_.owned_keys();
+    std::vector<double> sums(static_cast<std::size_t>(cfg_.num_groups()), 0.0);
+    for (int g = 0; g < cfg_.num_groups(); ++g) {
+        const int gb = group_begin(g), ge = group_end(g);
+        std::vector<double> partials(keys.size(), 0.0);
+        pfor(static_cast<std::int64_t>(keys.size()), [&](std::int64_t i) {
+            const std::int64_t t0 = now_ns();
+            partials[static_cast<std::size_t>(i)] =
+                mesh_.block(keys[static_cast<std::size_t>(i)]).checksum(gb, ge);
+            trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
+        });
+        double sum = 0;
+        for (double p : partials) sum += p;
+        sums[static_cast<std::size_t>(g)] = sum;
+    }
+    reduce_and_validate(sums);
+}
+
+void ForkJoinDriver::do_splits(const std::vector<BlockKey>& parents) {
+    // The map surgery stays on the master; the 8 data copies per split are
+    // workshared (this is the refinement parallelization the paper added to
+    // the fork-join variant for fairness).
+    struct Job {
+        std::shared_ptr<Block> parent;
+        Block* child;
+        int octant;
+    };
+    std::vector<Job> jobs;
+    for (const BlockKey& key : parents) {
+        std::shared_ptr<Block> parent(mesh_.release(key).release());
+        for (int octant = 0; octant < 8; ++octant) {
+            auto child = mesh_.make_block(key.child(octant, mesh_.structure().max_level()));
+            Block* raw = child.get();
+            mesh_.adopt(std::move(child));
+            jobs.push_back(Job{parent, raw, octant});
+        }
+    }
+    pfor(static_cast<std::int64_t>(jobs.size()), [&](std::int64_t i) {
+        const Job& job = jobs[static_cast<std::size_t>(i)];
+        const std::int64_t t0 = now_ns();
+        job.child->fill_from_parent(*job.parent, job.octant);
+        trace(worker_index(), t0, now_ns(), PhaseKind::RefineSplit);
+    });
+}
+
+void ForkJoinDriver::do_merges(const std::vector<BlockKey>& parents) {
+    struct Job {
+        std::array<std::unique_ptr<Block>, 8> children;
+        Block* parent;
+    };
+    std::vector<Job> jobs;
+    for (const BlockKey& key : parents) {
+        Job job;
+        for (int octant = 0; octant < 8; ++octant) {
+            job.children[static_cast<std::size_t>(octant)] =
+                mesh_.release(key.child(octant, mesh_.structure().max_level()));
+        }
+        auto parent = mesh_.make_block(key);
+        job.parent = parent.get();
+        mesh_.adopt(std::move(parent));
+        jobs.push_back(std::move(job));
+    }
+    pfor(static_cast<std::int64_t>(jobs.size()), [&](std::int64_t i) {
+        Job& job = jobs[static_cast<std::size_t>(i)];
+        const std::int64_t t0 = now_ns();
+        for (int octant = 0; octant < 8; ++octant) {
+            job.parent->absorb_child(*job.children[static_cast<std::size_t>(octant)], octant);
+        }
+        trace(worker_index(), t0, now_ns(), PhaseKind::RefineMerge);
+    });
+}
+
+void ForkJoinDriver::transfer_block_data(const std::vector<BlockMove>& sends,
+                                         const std::vector<BlockMove>& recvs) {
+    // Master-only MPI, like every other communication in this variant.
+    const std::int64_t t0 = now_ns();
+    for (const BlockMove& mv : sends) {
+        Block& b = mesh_.block(mv.key);
+        comm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
+        mesh_.release(mv.key);
+    }
+    for (const BlockMove& mv : recvs) {
+        auto b = mesh_.make_block(mv.key);
+        comm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
+                   kBlockDataTagBase + mv.id);
+        mesh_.adopt(std::move(b));
+    }
+    if (!sends.empty() || !recvs.empty()) {
+        trace(0, t0, now_ns(), PhaseKind::RefineExchange);
+    }
+}
+
+}  // namespace dfamr::core

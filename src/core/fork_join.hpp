@@ -1,0 +1,36 @@
+// MPI+OpenMP fork-join variant driver (§V "MPI+OMP fork-join"): the official
+// hybrid miniAMR approach. Worksharing loops with static scheduling
+// parallelize stencil, pack/unpack, intra-process copies and local
+// checksums; every MPI call stays on the master thread; each parallel
+// region ends with an implicit barrier. As in the paper, we additionally
+// parallelize the split/coarsen copies of the refinement phase to make the
+// comparison fair.
+#pragma once
+
+#include "core/driver_base.hpp"
+#include "tasking/runtime.hpp"
+
+namespace dfamr::core {
+
+class ForkJoinDriver final : public DriverBase {
+public:
+    ForkJoinDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer);
+
+protected:
+    void communicate_stage(int group) override;
+    void stencil_stage(int group) override;
+    void checksum_stage() override;
+    void do_splits(const std::vector<BlockKey>& parents) override;
+    void do_merges(const std::vector<BlockKey>& parents) override;
+    void transfer_block_data(const std::vector<BlockMove>& sends,
+                             const std::vector<BlockMove>& recvs) override;
+
+private:
+    void exchange_direction(int dir, int gb, int ge);
+    /// parallel-for with the implicit barrier of an OpenMP region.
+    void pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+    tasking::Runtime rt_;  // master (this thread) helps at the barrier
+};
+
+}  // namespace dfamr::core

@@ -1,0 +1,163 @@
+// The MPI-only reference variant: one rank per core, everything sequential
+// within a rank. Mirrors Algorithms 1 and 2 of the paper (the reference
+// miniAMR with Rico et al.'s data-layout changes).
+#include "core/mpi_only.hpp"
+
+#include "common/timing.hpp"
+
+namespace dfamr::core {
+
+void MpiOnlyDriver::communicate_stage(int group) {
+    Stopwatch sw;
+    sw.start();
+    const int gb = group_begin(group), ge = group_end(group);
+    // Directions are processed strictly one after another: they share the
+    // same communication buffers (Algorithm 2).
+    for (int dir = 0; dir < 3; ++dir) {
+        exchange_direction(dir, gb, ge);
+    }
+    sw.stop();
+    result_.times.comm += sw.elapsed_s();
+}
+
+void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
+    const amr::DirectionPlan& dp = plan_.direction(dir);
+    const int gvars = ge - gb;
+
+    // 1) Post all receives for this direction (Algorithm 2, line 2).
+    struct RecvSlot {
+        int neighbor_index;
+        const amr::MessageChunk* chunk;
+    };
+    std::vector<mpi::Request> recv_reqs;
+    std::vector<RecvSlot> recv_slots;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        auto stream = buffers_->recv_stream(dir, static_cast<int>(ni));
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                       static_cast<std::size_t>(chunk.value_count * gvars));
+            recv_reqs.push_back(
+                comm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            recv_slots.push_back(RecvSlot{static_cast<int>(ni), &chunk});
+        }
+    }
+
+    // 2) Pack faces and send (lines 7-10).
+    std::vector<mpi::Request> send_reqs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        auto stream = buffers_->send_stream(dir, static_cast<int>(ni));
+        for (const amr::MessageChunk& chunk : ex.send_chunks) {
+            const std::int64_t t0 = now_ns();
+            for (int f = chunk.first_face; f < chunk.first_face + chunk.face_count; ++f) {
+                const amr::FaceTransfer& face = ex.sends[static_cast<std::size_t>(f)];
+                auto section = stream.subspan(static_cast<std::size_t>(face.value_offset * gvars),
+                                              static_cast<std::size_t>(face.value_count * gvars));
+                mesh_.block(face.mine).pack_face(face.geom, gb, ge, section);
+            }
+            trace(0, t0, now_ns(), PhaseKind::Pack);
+            auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                       static_cast<std::size_t>(chunk.value_count * gvars));
+            const std::int64_t t1 = now_ns();
+            send_reqs.push_back(comm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            trace(0, t1, now_ns(), PhaseKind::Send);
+        }
+    }
+
+    // 3) Intra-process exchange while messages are in flight (line 13).
+    for (const amr::IntraCopy& copy : dp.copies) {
+        const std::int64_t t0 = now_ns();
+        mesh_.block(copy.dst).copy_face_from(mesh_.block(copy.src), copy.geom, gb, ge);
+        trace(0, t0, now_ns(), PhaseKind::IntraCopy);
+    }
+    for (const auto& [key, sense] : dp.boundary) {
+        mesh_.block(key).reflect_face(dir, sense, gb, ge);
+    }
+
+    // 4) Waitany/unpack loop (lines 14-18).
+    while (true) {
+        const std::int64_t t0 = now_ns();
+        const int idx = mpi::wait_any(std::span<mpi::Request>(recv_reqs));
+        trace(0, t0, now_ns(), PhaseKind::CommWait);
+        if (idx == mpi::kUndefined) break;
+        const RecvSlot& slot = recv_slots[static_cast<std::size_t>(idx)];
+        const amr::NeighborExchange& ex = dp.neighbors[static_cast<std::size_t>(slot.neighbor_index)];
+        auto stream = buffers_->recv_stream(dir, slot.neighbor_index);
+        const std::int64_t t1 = now_ns();
+        for (int f = slot.chunk->first_face; f < slot.chunk->first_face + slot.chunk->face_count;
+             ++f) {
+            const amr::FaceTransfer& face = ex.recvs[static_cast<std::size_t>(f)];
+            auto section = stream.subspan(static_cast<std::size_t>(face.value_offset * gvars),
+                                          static_cast<std::size_t>(face.value_count * gvars));
+            mesh_.block(face.mine).unpack_face(face.geom, gb, ge, section);
+        }
+        trace(0, t1, now_ns(), PhaseKind::Unpack);
+    }
+
+    // 5) Wait for sends before reusing the buffers (line 19).
+    const std::int64_t t0 = now_ns();
+    mpi::wait_all(std::span<mpi::Request>(send_reqs));
+    trace(0, t0, now_ns(), PhaseKind::CommWait);
+}
+
+void MpiOnlyDriver::stencil_stage(int group) {
+    Stopwatch sw;
+    sw.start();
+    const int gb = group_begin(group), ge = group_end(group);
+    for (const BlockKey& key : mesh_.owned_keys()) {
+        const std::int64_t t0 = now_ns();
+        result_.stencil_flops += mesh_.block(key).apply_stencil(cfg_.stencil, gb, ge);
+        trace(0, t0, now_ns(), PhaseKind::Stencil);
+    }
+    sw.stop();
+    result_.times.stencil += sw.elapsed_s();
+}
+
+void MpiOnlyDriver::checksum_stage() {
+    std::vector<double> sums(static_cast<std::size_t>(cfg_.num_groups()), 0.0);
+    for (int g = 0; g < cfg_.num_groups(); ++g) {
+        const std::int64_t t0 = now_ns();
+        sums[static_cast<std::size_t>(g)] = mesh_.local_checksum(group_begin(g), group_end(g));
+        trace(0, t0, now_ns(), PhaseKind::ChecksumLocal);
+    }
+    reduce_and_validate(sums);
+}
+
+void MpiOnlyDriver::do_splits(const std::vector<BlockKey>& parents) {
+    for (const BlockKey& key : parents) {
+        const std::int64_t t0 = now_ns();
+        mesh_.split_block(key);
+        trace(0, t0, now_ns(), PhaseKind::RefineSplit);
+    }
+}
+
+void MpiOnlyDriver::do_merges(const std::vector<BlockKey>& parents) {
+    for (const BlockKey& key : parents) {
+        const std::int64_t t0 = now_ns();
+        mesh_.merge_children(key);
+        trace(0, t0, now_ns(), PhaseKind::RefineMerge);
+    }
+}
+
+void MpiOnlyDriver::transfer_block_data(const std::vector<BlockMove>& sends,
+                                        const std::vector<BlockMove>& recvs) {
+    const std::int64_t t0 = now_ns();
+    // Sends complete eagerly; then receive in deterministic order.
+    for (const BlockMove& mv : sends) {
+        Block& b = mesh_.block(mv.key);
+        comm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
+        mesh_.release(mv.key);
+    }
+    for (const BlockMove& mv : recvs) {
+        auto b = mesh_.make_block(mv.key);
+        comm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
+                   kBlockDataTagBase + mv.id);
+        mesh_.adopt(std::move(b));
+    }
+    if (!sends.empty() || !recvs.empty()) {
+        trace(0, t0, now_ns(), PhaseKind::RefineExchange);
+    }
+}
+
+}  // namespace dfamr::core

@@ -1,0 +1,25 @@
+// MPI-only reference variant driver (§II-A, §V "MPI-only").
+#pragma once
+
+#include "core/driver_base.hpp"
+
+namespace dfamr::core {
+
+class MpiOnlyDriver final : public DriverBase {
+public:
+    using DriverBase::DriverBase;
+
+protected:
+    void communicate_stage(int group) override;
+    void stencil_stage(int group) override;
+    void checksum_stage() override;
+    void do_splits(const std::vector<BlockKey>& parents) override;
+    void do_merges(const std::vector<BlockKey>& parents) override;
+    void transfer_block_data(const std::vector<BlockMove>& sends,
+                             const std::vector<BlockMove>& recvs) override;
+
+private:
+    void exchange_direction(int dir, int gb, int ge);
+};
+
+}  // namespace dfamr::core

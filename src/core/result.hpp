@@ -1,0 +1,71 @@
+// Run results reported by the variant drivers — the quantities the paper's
+// tables and figures are built from.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dfamr::core {
+
+/// Wall-clock phase breakdown (seconds). For the data-flow variant the
+/// comm/stencil split is not meaningful (phases overlap); total and refine
+/// are the paper's reporting units (Table I's Total / Refine / No Refine).
+struct PhaseTimes {
+    double total = 0;
+    double refine = 0;   // refinement + load balancing phases
+    double comm = 0;     // communicate() (MPI-only / fork-join only)
+    double stencil = 0;  // stencil sweeps (MPI-only / fork-join only)
+    double checksum = 0;
+
+    double non_refine() const { return total - refine; }
+};
+
+/// Event counters accumulated during a run (the mini-app's end-of-run
+/// report).
+struct RunCounters {
+    std::int64_t blocks_split = 0;     // refinements applied (per block)
+    std::int64_t blocks_merged = 0;    // coarsenings applied (per parent)
+    std::int64_t blocks_moved = 0;     // whole-block transfers (coarsen + LB)
+    std::int64_t refinement_phases = 0;
+    std::int64_t load_balances = 0;
+    std::int64_t checksum_stages = 0;
+
+    RunCounters& operator+=(const RunCounters& o) {
+        blocks_split += o.blocks_split;
+        blocks_merged += o.blocks_merged;
+        blocks_moved += o.blocks_moved;
+        refinement_phases = std::max(refinement_phases, o.refinement_phases);
+        load_balances = std::max(load_balances, o.load_balances);
+        checksum_stages = std::max(checksum_stages, o.checksum_stages);
+        return *this;
+    }
+};
+
+/// Per-rank result, before the cross-rank reduction.
+struct RankResult {
+    PhaseTimes times;
+    std::vector<double> checksums;  // global checksum after each validation stage
+    bool validation_ok = true;
+    std::int64_t stencil_flops = 0;  // this rank's stencil FLOPs
+    std::int64_t final_blocks = 0;   // blocks owned at the end
+    RunCounters counters;
+};
+
+/// Global result (reduced across ranks; the numbers a bench prints).
+struct RunResult {
+    PhaseTimes times;  // max over ranks
+    std::vector<double> checksums;
+    bool validation_ok = true;
+    std::int64_t total_flops = 0;  // sum over ranks
+    std::int64_t final_blocks = 0;
+    std::uint64_t messages = 0;  // delivered by the MPI layer
+    std::uint64_t bytes = 0;
+    RunCounters counters;
+
+    double gflops() const {
+        return times.total > 0 ? static_cast<double>(total_flops) / times.total * 1e-9 : 0.0;
+    }
+};
+
+}  // namespace dfamr::core

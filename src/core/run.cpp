@@ -1,0 +1,62 @@
+// Top-level variant runner: spins up the in-process MPI world, runs one
+// driver per rank, and reduces the per-rank results.
+#include "core/variants.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/fork_join.hpp"
+#include "core/mpi_only.hpp"
+#include "core/tampi_oss.hpp"
+
+namespace dfamr::core {
+
+RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer* tracer) {
+    cfg.validate();
+    mpi::World world(cfg.num_ranks());
+
+    std::mutex results_mutex;
+    std::vector<RankResult> results(static_cast<std::size_t>(cfg.num_ranks()));
+
+    world.run([&](mpi::Communicator& comm) {
+        std::unique_ptr<DriverBase> driver;
+        switch (variant) {
+            case amr::Variant::MpiOnly: {
+                amr::Config rank_cfg = cfg;
+                rank_cfg.workers = 1;  // one rank per core, sequential inside
+                driver = std::make_unique<MpiOnlyDriver>(rank_cfg, comm, tracer);
+                break;
+            }
+            case amr::Variant::ForkJoin:
+                driver = std::make_unique<ForkJoinDriver>(cfg, comm, tracer);
+                break;
+            case amr::Variant::TampiOss:
+                driver = std::make_unique<TampiOssDriver>(cfg, comm, tracer);
+                break;
+        }
+        RankResult r = driver->run();
+        std::lock_guard lock(results_mutex);
+        results[static_cast<std::size_t>(comm.rank())] = std::move(r);
+    });
+
+    RunResult total;
+    total.checksums = results[0].checksums;
+    for (const RankResult& r : results) {
+        total.times.total = std::max(total.times.total, r.times.total);
+        total.times.refine = std::max(total.times.refine, r.times.refine);
+        total.times.comm = std::max(total.times.comm, r.times.comm);
+        total.times.stencil = std::max(total.times.stencil, r.times.stencil);
+        total.times.checksum = std::max(total.times.checksum, r.times.checksum);
+        total.total_flops += r.stencil_flops;
+        total.final_blocks += r.final_blocks;
+        total.validation_ok = total.validation_ok && r.validation_ok;
+        total.counters += r.counters;
+        DFAMR_REQUIRE(r.checksums.size() == total.checksums.size(),
+                      "ranks disagree on the number of checksum stages");
+    }
+    total.messages = world.messages_delivered();
+    total.bytes = world.bytes_delivered();
+    return total;
+}
+
+}  // namespace dfamr::core

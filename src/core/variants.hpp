@@ -1,0 +1,20 @@
+// Entry points for running the three miniAMR variants (§V).
+#pragma once
+
+#include "amr/config.hpp"
+#include "amr/trace.hpp"
+#include "core/result.hpp"
+
+namespace dfamr::core {
+
+/// Runs the mini-app with `cfg.num_ranks()` in-process ranks using the given
+/// variant, and returns the reduced result (times: max over ranks, flops:
+/// summed, checksums: the global values every rank agrees on).
+///
+/// For Variant::MpiOnly, cfg.workers is ignored (one core per rank, like the
+/// reference's 48 ranks/node). For the hybrid variants, each rank drives
+/// cfg.workers cores.
+RunResult run_variant(const amr::Config& cfg, amr::Variant variant,
+                      amr::Tracer* tracer = nullptr);
+
+}  // namespace dfamr::core

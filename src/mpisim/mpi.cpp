@@ -1,0 +1,380 @@
+#include "mpisim/mpi.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace dfamr::mpi {
+
+namespace detail {
+
+constexpr auto kAbortPollInterval = std::chrono::milliseconds(5);
+
+struct RequestState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    WorldState* world = nullptr;
+};
+
+struct PendingMsg {
+    int source = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+};
+
+struct PostedRecv {
+    int source = kAnySource;
+    int tag = kAnyTag;
+    void* buf = nullptr;
+    std::size_t capacity = 0;
+    std::shared_ptr<RequestState> req;
+};
+
+struct Mailbox {
+    std::mutex m;
+    std::deque<PendingMsg> unexpected;
+    std::deque<PostedRecv> posted;
+};
+
+struct CollectiveCtx {
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<const void*> ins;
+    std::vector<void*> outs;
+};
+
+struct WorldState {
+    int nranks = 0;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes;
+    CollectiveCtx coll;
+
+    // Completion "activity" broadcast used by wait_any and blocking waits.
+    std::mutex activity_m;
+    std::condition_variable activity_cv;
+    std::uint64_t activity_seq = 0;
+
+    std::atomic<bool> aborted{false};
+    std::atomic<std::uint64_t> messages_delivered{0};
+    std::atomic<std::uint64_t> bytes_delivered{0};
+
+    void bump_activity() {
+        {
+            std::lock_guard lock(activity_m);
+            ++activity_seq;
+        }
+        activity_cv.notify_all();
+    }
+
+    void check_aborted() const {
+        if (aborted.load(std::memory_order_relaxed)) {
+            throw Error("mpisim: world aborted (another rank failed)");
+        }
+    }
+};
+
+std::span<const void* const> ctx_inputs(const CollectiveCtx& ctx) {
+    return {ctx.ins.data(), ctx.ins.size()};
+}
+std::span<void* const> ctx_outputs(const CollectiveCtx& ctx) {
+    return {ctx.outs.data(), ctx.outs.size()};
+}
+
+namespace {
+
+void complete_request(const std::shared_ptr<RequestState>& req, const Status& st) {
+    {
+        std::lock_guard lock(req->m);
+        req->done = true;
+        req->status = st;
+    }
+    req->cv.notify_all();
+    req->world->bump_activity();
+}
+
+bool matches(int want_source, int want_tag, int have_source, int have_tag) {
+    return (want_source == kAnySource || want_source == have_source) &&
+           (want_tag == kAnyTag || want_tag == have_tag);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---- Request -------------------------------------------------------------
+
+bool Request::test(Status* status) const {
+    DFAMR_REQUIRE(state_ != nullptr, "test on null request");
+    std::lock_guard lock(state_->m);
+    if (state_->done && status != nullptr) *status = state_->status;
+    return state_->done;
+}
+
+void Request::wait(Status* status) const {
+    DFAMR_REQUIRE(state_ != nullptr, "wait on null request");
+    std::unique_lock lock(state_->m);
+    while (!state_->done) {
+        state_->cv.wait_for(lock, detail::kAbortPollInterval);
+        if (!state_->done) state_->world->check_aborted();
+    }
+    if (status != nullptr) *status = state_->status;
+}
+
+void wait_all(std::span<Request> reqs) {
+    for (Request& r : reqs) {
+        if (r.valid()) {
+            r.wait();
+            r.state_.reset();
+        }
+    }
+}
+
+int wait_any(std::span<Request> reqs, Status* status) {
+    detail::WorldState* world = nullptr;
+    bool any_valid = false;
+    for (const Request& r : reqs) {
+        if (r.valid()) {
+            any_valid = true;
+            world = r.state_->world;
+            break;
+        }
+    }
+    if (!any_valid) return kUndefined;
+
+    for (;;) {
+        std::uint64_t seq;
+        {
+            std::lock_guard lock(world->activity_m);
+            seq = world->activity_seq;
+        }
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            if (reqs[i].valid() && reqs[i].test(status)) {
+                reqs[i].state_.reset();
+                return static_cast<int>(i);
+            }
+        }
+        std::unique_lock lock(world->activity_m);
+        world->activity_cv.wait_for(lock, detail::kAbortPollInterval,
+                                    [&] { return world->activity_seq != seq; });
+        lock.unlock();
+        world->check_aborted();
+    }
+}
+
+// ---- Communicator: point-to-point -----------------------------------------
+
+Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int tag) {
+    DFAMR_REQUIRE(0 <= dest && dest < size_, "isend: destination rank out of range");
+    DFAMR_REQUIRE(tag >= 0, "isend: tag must be non-negative");
+    auto req = std::make_shared<detail::RequestState>();
+    req->world = world_;
+
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(dest)];
+    std::shared_ptr<detail::RequestState> matched_recv;
+    Status matched_status;
+    {
+        std::lock_guard lock(mbox.m);
+        auto it = mbox.posted.begin();
+        for (; it != mbox.posted.end(); ++it) {
+            if (detail::matches(it->source, it->tag, rank_, tag)) break;
+        }
+        if (it != mbox.posted.end()) {
+            DFAMR_REQUIRE(bytes <= it->capacity, "message truncation: recv buffer too small");
+            if (bytes > 0) std::memcpy(it->buf, buf, bytes);
+            matched_recv = it->req;
+            matched_status = Status{rank_, tag, bytes};
+            mbox.posted.erase(it);
+        } else {
+            detail::PendingMsg msg;
+            msg.source = rank_;
+            msg.tag = tag;
+            msg.data.assign(static_cast<const std::byte*>(buf),
+                            static_cast<const std::byte*>(buf) + bytes);
+            mbox.unexpected.push_back(std::move(msg));
+        }
+    }
+    if (matched_recv) {
+        world_->messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        world_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
+        detail::complete_request(matched_recv, matched_status);
+    }
+    // Eager transfer: the payload is buffered/delivered, the send is complete.
+    detail::complete_request(req, Status{rank_, tag, bytes});
+    return Request(std::move(req));
+}
+
+Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag) {
+    DFAMR_REQUIRE(source == kAnySource || (0 <= source && source < size_),
+                  "irecv: source rank out of range");
+    auto req = std::make_shared<detail::RequestState>();
+    req->world = world_;
+
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+    bool delivered = false;
+    Status st;
+    {
+        std::lock_guard lock(mbox.m);
+        auto it = mbox.unexpected.begin();
+        for (; it != mbox.unexpected.end(); ++it) {
+            if (detail::matches(source, tag, it->source, it->tag)) break;
+        }
+        if (it != mbox.unexpected.end()) {
+            DFAMR_REQUIRE(it->data.size() <= bytes, "message truncation: recv buffer too small");
+            if (!it->data.empty()) std::memcpy(buf, it->data.data(), it->data.size());
+            st = Status{it->source, it->tag, it->data.size()};
+            mbox.unexpected.erase(it);
+            delivered = true;
+        } else {
+            mbox.posted.push_back(detail::PostedRecv{source, tag, buf, bytes, req});
+        }
+    }
+    if (delivered) {
+        world_->messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        world_->bytes_delivered.fetch_add(st.bytes, std::memory_order_relaxed);
+        detail::complete_request(req, st);
+    }
+    return Request(std::move(req));
+}
+
+void Communicator::send(const void* buf, std::size_t bytes, int dest, int tag) {
+    isend(buf, bytes, dest, tag).wait();
+}
+
+void Communicator::recv(void* buf, std::size_t bytes, int source, int tag, Status* status) {
+    irecv(buf, bytes, source, tag).wait(status);
+}
+
+bool Communicator::iprobe(int source, int tag, Status* status) {
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard lock(mbox.m);
+    for (const detail::PendingMsg& msg : mbox.unexpected) {
+        if (detail::matches(source, tag, msg.source, msg.tag)) {
+            if (status != nullptr) *status = Status{msg.source, msg.tag, msg.data.size()};
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---- Communicator: collectives ---------------------------------------------
+
+void Communicator::collective(const void* in, void* out,
+                              const std::function<void(detail::CollectiveCtx&)>& combine) {
+    detail::CollectiveCtx& ctx = world_->coll;
+    std::unique_lock lock(ctx.m);
+    ctx.ins[static_cast<std::size_t>(rank_)] = in;
+    ctx.outs[static_cast<std::size_t>(rank_)] = out;
+    const std::uint64_t gen = ctx.generation;
+    if (++ctx.arrived == size_) {
+        if (combine) combine(ctx);
+        ctx.arrived = 0;
+        ++ctx.generation;
+        ctx.cv.notify_all();
+    } else {
+        while (ctx.generation == gen) {
+            ctx.cv.wait_for(lock, detail::kAbortPollInterval);
+            if (ctx.generation == gen) world_->check_aborted();
+        }
+    }
+}
+
+void Communicator::barrier() { collective(nullptr, nullptr, {}); }
+
+void Communicator::bcast(void* buf, std::size_t bytes, int root) {
+    DFAMR_REQUIRE(0 <= root && root < size_, "bcast: root out of range");
+    collective(buf, buf, [bytes, root, this](detail::CollectiveCtx& ctx) {
+        const void* src = ctx.ins[static_cast<std::size_t>(root)];
+        for (int r = 0; r < size_; ++r) {
+            if (r != root) std::memcpy(ctx.outs[static_cast<std::size_t>(r)], src, bytes);
+        }
+    });
+}
+
+void Communicator::allgather(const void* in, std::size_t bytes, void* out) {
+    collective(in, out, [bytes, this](detail::CollectiveCtx& ctx) {
+        for (int r = 0; r < size_; ++r) {
+            auto* dst = static_cast<std::byte*>(ctx.outs[static_cast<std::size_t>(r)]);
+            for (int s = 0; s < size_; ++s) {
+                std::memcpy(dst + static_cast<std::size_t>(s) * bytes,
+                            ctx.ins[static_cast<std::size_t>(s)], bytes);
+            }
+        }
+    });
+}
+
+void Communicator::alltoall(const void* in, std::size_t bytes, void* out) {
+    collective(in, out, [bytes, this](detail::CollectiveCtx& ctx) {
+        for (int r = 0; r < size_; ++r) {
+            auto* dst = static_cast<std::byte*>(ctx.outs[static_cast<std::size_t>(r)]);
+            for (int s = 0; s < size_; ++s) {
+                const auto* src = static_cast<const std::byte*>(ctx.ins[static_cast<std::size_t>(s)]);
+                std::memcpy(dst + static_cast<std::size_t>(s) * bytes,
+                            src + static_cast<std::size_t>(r) * bytes, bytes);
+            }
+        }
+    });
+}
+
+// ---- World ----------------------------------------------------------------
+
+World::World(int nranks) : state_(std::make_unique<detail::WorldState>()) {
+    DFAMR_REQUIRE(nranks >= 1, "world needs at least one rank");
+    state_->nranks = nranks;
+    state_->mailboxes.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        state_->mailboxes.push_back(std::make_unique<detail::Mailbox>());
+    }
+    state_->coll.ins.resize(static_cast<std::size_t>(nranks), nullptr);
+    state_->coll.outs.resize(static_cast<std::size_t>(nranks), nullptr);
+    comms_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        comms_.push_back(Communicator(state_.get(), r, nranks));
+    }
+}
+
+World::~World() = default;
+
+int World::size() const { return state_->nranks; }
+
+Communicator& World::comm(int rank) {
+    DFAMR_REQUIRE(0 <= rank && rank < state_->nranks, "rank out of range");
+    return comms_[static_cast<std::size_t>(rank)];
+}
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(state_->nranks));
+    for (int r = 0; r < state_->nranks; ++r) {
+        threads.emplace_back([this, r, &rank_main, &error_mutex, &first_error] {
+            try {
+                rank_main(comm(r));
+            } catch (...) {
+                {
+                    std::lock_guard lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                state_->aborted.store(true, std::memory_order_relaxed);
+                state_->bump_activity();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    state_->aborted.store(false, std::memory_order_relaxed);
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t World::messages_delivered() const {
+    return state_->messages_delivered.load(std::memory_order_relaxed);
+}
+
+std::uint64_t World::bytes_delivered() const {
+    return state_->bytes_delivered.load(std::memory_order_relaxed);
+}
+
+}  // namespace dfamr::mpi

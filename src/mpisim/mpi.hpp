@@ -1,0 +1,192 @@
+// In-process MPI subset ("mpisim") — the message-passing substrate.
+//
+// Ranks are threads of one process (World::run spawns one thread per rank).
+// The subset implemented is exactly what miniAMR and the paper's TAMPI port
+// need: tagged point-to-point with non-blocking requests and MPI matching
+// semantics (per-(source,tag,comm) non-overtaking order, wildcard source and
+// tag), plus the collectives the mini-app uses (barrier, bcast, allreduce,
+// reduce, allgather, alltoall).
+//
+// Transfer policy: eager — isend buffers the payload at post time, so a send
+// request is complete immediately and a receive completes as soon as it is
+// matched. MPI permits this buffering; ordering guarantees are preserved by
+// per-mailbox FIFO queues.
+//
+// Thread-safety: equivalent to MPI_THREAD_MULTIPLE. Any thread of a rank
+// (e.g. a tasking worker running a communication task) may post operations
+// concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dfamr::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+inline constexpr int kUndefined = -2;
+
+enum class Op { Sum, Max, Min };
+
+struct Status {
+    int source = kUndefined;
+    int tag = kUndefined;
+    std::size_t bytes = 0;
+};
+
+namespace detail {
+struct RequestState;
+struct Mailbox;
+struct CollectiveCtx;
+struct WorldState;
+}  // namespace detail
+
+/// Handle to an asynchronous operation. Copyable (shared state), like an
+/// MPI_Request value that several call sites may test.
+class Request {
+public:
+    Request() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    /// Non-blocking completion check (MPI_Test).
+    bool test(Status* status = nullptr) const;
+    /// Blocking wait (MPI_Wait).
+    void wait(Status* status = nullptr) const;
+
+private:
+    friend class Communicator;
+    friend void wait_all(std::span<Request> reqs);
+    friend int wait_any(std::span<Request> reqs, Status* status);
+
+    explicit Request(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+    std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Waits for all requests (MPI_Waitall). Invalid requests are ignored.
+void wait_all(std::span<Request> reqs);
+/// Waits until one request completes and returns its index (MPI_Waitany);
+/// the completed request is invalidated. Returns kUndefined if none valid.
+int wait_any(std::span<Request> reqs, Status* status = nullptr);
+
+/// A rank's endpoint into a communicator. One Communicator object per rank.
+class Communicator {
+public:
+    int rank() const { return rank_; }
+    int size() const { return size_; }
+
+    // --- point-to-point ------------------------------------------------
+    Request isend(const void* buf, std::size_t bytes, int dest, int tag);
+    Request irecv(void* buf, std::size_t bytes, int source, int tag);
+    void send(const void* buf, std::size_t bytes, int dest, int tag);
+    void recv(void* buf, std::size_t bytes, int source, int tag, Status* status = nullptr);
+    /// Non-blocking probe for a matching incoming message (MPI_Iprobe).
+    bool iprobe(int source, int tag, Status* status = nullptr);
+
+    // --- collectives (all ranks must call in the same order) ------------
+    void barrier();
+    void bcast(void* buf, std::size_t bytes, int root);
+    template <typename T>
+    void allreduce(const T* in, T* out, std::size_t count, Op op);
+    template <typename T>
+    void reduce(const T* in, T* out, std::size_t count, Op op, int root);
+    /// Gathers `bytes` from every rank into out[rank*bytes ...].
+    void allgather(const void* in, std::size_t bytes, void* out);
+    /// Uniform all-to-all: sends in[r*bytes..] to rank r, receives into out[r*bytes..].
+    void alltoall(const void* in, std::size_t bytes, void* out);
+
+private:
+    friend class World;
+    Communicator(detail::WorldState* world, int rank, int size)
+        : world_(world), rank_(rank), size_(size) {}
+
+    // Type-erased collective entry: the last arriving rank runs `combine`.
+    void collective(const void* in, void* out,
+                    const std::function<void(detail::CollectiveCtx&)>& combine);
+
+    detail::WorldState* world_ = nullptr;
+    int rank_ = 0;
+    int size_ = 0;
+};
+
+/// The in-process "cluster": owns the mailboxes of `nranks` ranks and runs
+/// rank main functions on dedicated threads.
+class World {
+public:
+    explicit World(int nranks);
+    ~World();
+
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    int size() const;
+    /// This rank's COMM_WORLD endpoint. Valid for the World's lifetime.
+    Communicator& comm(int rank);
+
+    /// Spawns one thread per rank running `rank_main`, and joins them.
+    /// The first exception thrown by any rank is rethrown here.
+    void run(const std::function<void(Communicator&)>& rank_main);
+
+    /// Total messages delivered so far (for tests and conservation checks).
+    std::uint64_t messages_delivered() const;
+    std::uint64_t bytes_delivered() const;
+
+private:
+    std::unique_ptr<detail::WorldState> state_;
+    std::vector<Communicator> comms_;
+};
+
+// ---- typed collective implementations (header: templates) ---------------
+
+namespace detail {
+template <typename T>
+void fold(Op op, const T* in, T* acc, std::size_t count) {
+    switch (op) {
+        case Op::Sum:
+            for (std::size_t i = 0; i < count; ++i) acc[i] += in[i];
+            break;
+        case Op::Max:
+            for (std::size_t i = 0; i < count; ++i) acc[i] = in[i] > acc[i] ? in[i] : acc[i];
+            break;
+        case Op::Min:
+            for (std::size_t i = 0; i < count; ++i) acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+            break;
+    }
+}
+
+// Accessors used by the templated collectives; defined in mpi.cpp.
+std::span<const void* const> ctx_inputs(const CollectiveCtx& ctx);
+std::span<void* const> ctx_outputs(const CollectiveCtx& ctx);
+}  // namespace detail
+
+template <typename T>
+void Communicator::allreduce(const T* in, T* out, std::size_t count, Op op) {
+    collective(in, out, [count, op, this](detail::CollectiveCtx& ctx) {
+        auto inputs = detail::ctx_inputs(ctx);
+        auto outputs = detail::ctx_outputs(ctx);
+        std::vector<T> acc(static_cast<const T*>(inputs[0]), static_cast<const T*>(inputs[0]) + count);
+        for (int r = 1; r < size_; ++r) detail::fold(op, static_cast<const T*>(inputs[r]), acc.data(), count);
+        for (int r = 0; r < size_; ++r) std::memcpy(outputs[r], acc.data(), count * sizeof(T));
+    });
+}
+
+template <typename T>
+void Communicator::reduce(const T* in, T* out, std::size_t count, Op op, int root) {
+    collective(in, out, [count, op, root, this](detail::CollectiveCtx& ctx) {
+        auto inputs = detail::ctx_inputs(ctx);
+        auto outputs = detail::ctx_outputs(ctx);
+        std::vector<T> acc(static_cast<const T*>(inputs[0]), static_cast<const T*>(inputs[0]) + count);
+        for (int r = 1; r < size_; ++r) detail::fold(op, static_cast<const T*>(inputs[r]), acc.data(), count);
+        if (outputs[root] != nullptr) std::memcpy(outputs[root], acc.data(), count * sizeof(T));
+    });
+}
+
+}  // namespace dfamr::mpi

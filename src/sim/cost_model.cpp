@@ -1,0 +1,61 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "amr/block.hpp"
+#include "common/timing.hpp"
+
+namespace dfamr::sim {
+
+CostModel calibrate(int block_cells, int vars) {
+    CostModel model;
+
+    amr::BlockShape shape{block_cells, block_cells, block_cells, vars};
+    amr::Block block(amr::BlockKey{}, shape);
+    block.init_cells(dfamr::Box{{0, 0, 0}, {1, 1, 1}}, 7);
+
+    const std::int64_t cells =
+        static_cast<std::int64_t>(block_cells) * block_cells * block_cells;
+
+    // Stencil: repeat until we have a stable per-cell-var figure.
+    {
+        const int reps = 20;
+        const std::int64_t t0 = now_ns();
+        for (int r = 0; r < reps; ++r) block.stencil7(0, vars);
+        const std::int64_t dt = now_ns() - t0;
+        model.stencil_ns_per_cell_var =
+            std::max(0.2, static_cast<double>(dt) / (static_cast<double>(reps) * cells * vars));
+    }
+
+    // Copy throughput via memcpy of a face-sized buffer.
+    {
+        const std::size_t bytes = 1 << 20;
+        std::vector<char> src(bytes, 1), dst(bytes);
+        const int reps = 50;
+        const std::int64_t t0 = now_ns();
+        for (int r = 0; r < reps; ++r) {
+            std::memcpy(dst.data(), src.data(), bytes);
+            src[0] = static_cast<char>(r);  // defeat dead-code elimination
+        }
+        const std::int64_t dt = now_ns() - t0;
+        model.copy_ns_per_byte =
+            std::max(0.005, static_cast<double>(dt) / (static_cast<double>(reps) * bytes));
+    }
+
+    // Checksum.
+    {
+        const int reps = 20;
+        double sink = 0;
+        const std::int64_t t0 = now_ns();
+        for (int r = 0; r < reps; ++r) sink += block.checksum(0, vars);
+        const std::int64_t dt = now_ns() - t0;
+        model.checksum_ns_per_cell_var =
+            std::max(0.1, static_cast<double>(dt) / (static_cast<double>(reps) * cells * vars));
+        (void)sink;
+    }
+    return model;
+}
+
+}  // namespace dfamr::sim

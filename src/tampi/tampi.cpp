@@ -1,0 +1,76 @@
+#include "tampi/tampi.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dfamr::tampi {
+
+Tampi::Tampi(tasking::Runtime& runtime) : runtime_(runtime) {
+    service_name_ = "tampi-progress@" + std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    runtime_.register_polling_service(service_name_, [this] { return poll(); });
+}
+
+Tampi::~Tampi() {
+    runtime_.unregister_polling_service(service_name_);
+    DFAMR_ASSERT(pending_.empty());
+}
+
+void Tampi::iwait(mpi::Request req) {
+    DFAMR_REQUIRE(req.valid(), "TAMPI iwait: invalid request");
+    // Fast path: already complete — no event, no tracking.
+    if (req.test()) return;
+    tasking::Task* task = runtime_.increase_current_task_events(1);
+    std::lock_guard lock(mutex_);
+    pending_.push_back(Bound{std::move(req), task});
+}
+
+void Tampi::iwaitall(std::span<mpi::Request> reqs) {
+    for (mpi::Request& r : reqs) {
+        if (r.valid()) iwait(r);
+    }
+}
+
+void Tampi::isend(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag) {
+    iwait(comm.isend(buf, bytes, dest, tag));
+}
+
+void Tampi::irecv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag) {
+    iwait(comm.irecv(buf, bytes, source, tag));
+}
+
+void Tampi::send(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag) {
+    mpi::Request req = comm.isend(buf, bytes, dest, tag);
+    runtime_.help_until([&req] { return req.test(); });
+}
+
+void Tampi::recv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag,
+                 mpi::Status* status) {
+    mpi::Request req = comm.irecv(buf, bytes, source, tag);
+    runtime_.help_until([&req] { return req.test(); });
+    if (status != nullptr) req.test(status);
+}
+
+std::size_t Tampi::pending() const {
+    std::lock_guard lock(mutex_);
+    return pending_.size();
+}
+
+bool Tampi::poll() {
+    std::vector<Bound> completed;
+    {
+        std::lock_guard lock(mutex_);
+        auto mid = std::partition(pending_.begin(), pending_.end(),
+                                  [](const Bound& b) { return !b.request.test(); });
+        completed.assign(std::make_move_iterator(mid), std::make_move_iterator(pending_.end()));
+        pending_.erase(mid, pending_.end());
+    }
+    // Fulfill events outside the tracking lock: decrease_task_events takes
+    // the runtime's graph mutex and may wake successors.
+    for (const Bound& b : completed) {
+        runtime_.decrease_task_events(b.task, 1);
+    }
+    return true;  // stay registered
+}
+
+}  // namespace dfamr::tampi

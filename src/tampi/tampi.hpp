@@ -1,0 +1,75 @@
+// Task-Aware MPI (TAMPI) — integration of mpisim with the tasking runtime.
+//
+// Mirrors the real library's contract (Sala et al., ParCo 2019):
+//  * TAMPI::iwait / iwaitall bind the completion of the calling task to the
+//    completion of the given MPI requests. They are non-blocking and
+//    asynchronous: the task body may return before the transfer finished,
+//    and the task releases its dependencies only once BOTH the body has
+//    finished AND every bound request completed.
+//  * TAMPI::isend / irecv are the convenience wrappers that perform the
+//    non-blocking operation and immediately bind the resulting request
+//    (the paper's TAMPI_Isend / TAMPI_Irecv).
+//  * TAMPI::send / recv are the blocking mode: the calling task pauses
+//    until completion while its worker cooperatively executes other tasks.
+//
+// Progress: a polling service registered with the tasking runtime tests all
+// pending requests; on completion it fulfills the owning task's external
+// events (the same mechanism real TAMPI uses through the nanos6 polling API).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "mpisim/mpi.hpp"
+#include "tasking/runtime.hpp"
+
+namespace dfamr::tampi {
+
+class Tampi {
+public:
+    /// Attaches the progress engine to a tasking runtime (one per rank in
+    /// hybrid executions). Unregisters itself on destruction.
+    explicit Tampi(tasking::Runtime& runtime);
+    ~Tampi();
+
+    Tampi(const Tampi&) = delete;
+    Tampi& operator=(const Tampi&) = delete;
+
+    /// Non-blocking: binds `req` to the calling task (TAMPI_Iwait).
+    void iwait(mpi::Request req);
+    /// Non-blocking: binds all requests to the calling task (TAMPI_Iwaitall).
+    void iwaitall(std::span<mpi::Request> reqs);
+
+    /// TAMPI_Isend: non-blocking send bound to the calling task.
+    void isend(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag);
+    /// TAMPI_Irecv: non-blocking receive bound to the calling task. The data
+    /// must NOT be consumed inside this task — successors gated by the
+    /// task's output dependency on `buf` consume it.
+    void irecv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag);
+
+    /// Blocking mode: pauses the calling task until completion while the
+    /// worker executes other ready tasks (task scheduling point).
+    void send(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag);
+    void recv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag,
+              mpi::Status* status = nullptr);
+
+    /// Requests currently tracked by the progress engine (tests/stats).
+    std::size_t pending() const;
+
+private:
+    bool poll();
+
+    struct Bound {
+        mpi::Request request;
+        tasking::Task* task = nullptr;
+    };
+
+    tasking::Runtime& runtime_;
+    mutable std::mutex mutex_;
+    std::vector<Bound> pending_;
+    std::string service_name_;
+};
+
+}  // namespace dfamr::tampi

@@ -1,0 +1,37 @@
+// Fork-join helpers built on top of the tasking runtime.
+//
+// The MPI+OpenMP fork-join miniAMR variant uses `#pragma omp parallel for
+// schedule(static)` regions. We reproduce that shape: the range is split
+// into one statically-sized chunk per worker, chunk tasks carry no data
+// dependencies, and the caller blocks at the end of the region (the
+// implicit barrier of an OpenMP parallel region).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tasking/runtime.hpp"
+
+namespace dfamr::tasking {
+
+/// Runs fn(i) for i in [begin, end) across the runtime's workers with static
+/// scheduling, then waits (implicit barrier). Safe to call with any range.
+inline void parallel_for(Runtime& rt, std::int64_t begin, std::int64_t end,
+                         const std::function<void(std::int64_t)>& fn) {
+    const std::int64_t n = end - begin;
+    if (n <= 0) return;
+    const std::int64_t chunks = std::max<std::int64_t>(1, rt.worker_count());
+    const std::int64_t chunk_size = (n + chunks - 1) / chunks;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::int64_t lo = begin + c * chunk_size;
+        if (lo >= end) break;
+        const std::int64_t hi = std::min(end, lo + chunk_size);
+        rt.submit([lo, hi, &fn] {
+            for (std::int64_t i = lo; i < hi; ++i) fn(i);
+        },
+                  {}, "parallel_for");
+    }
+    rt.taskwait();
+}
+
+}  // namespace dfamr::tasking

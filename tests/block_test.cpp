@@ -1,0 +1,279 @@
+// Tests for Block: keys, storage, face pack/unpack (incl. restriction and
+// prolongation), refinement data operations, stencils, checksums.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "amr/block.hpp"
+
+namespace dfamr::amr {
+namespace {
+
+constexpr int kMaxLevel = 4;
+
+BlockShape small_shape() { return BlockShape{4, 4, 4, 2}; }
+
+Block make_filled(const BlockShape& shape, double base = 0.0) {
+    Block b(BlockKey{}, shape);
+    for (int v = 0; v < shape.num_vars; ++v) {
+        for (int x = 0; x <= shape.nx + 1; ++x) {
+            for (int y = 0; y <= shape.ny + 1; ++y) {
+                for (int z = 0; z <= shape.nz + 1; ++z) {
+                    b.at(v, x, y, z) = base + v * 10000 + x * 100 + y * 10 + z;
+                }
+            }
+        }
+    }
+    return b;
+}
+
+TEST(BlockKey, ChildParentRoundTrip) {
+    BlockKey root{1, {8, 16, 24}};
+    for (int octant = 0; octant < 8; ++octant) {
+        const BlockKey c = root.child(octant, kMaxLevel);
+        EXPECT_EQ(c.level, 2);
+        EXPECT_EQ(c.parent(kMaxLevel), root) << "octant " << octant;
+        EXPECT_EQ(c.octant_in_parent(kMaxLevel), octant);
+    }
+}
+
+TEST(BlockKey, ChildAnchors) {
+    BlockKey root{0, {0, 0, 0}};
+    EXPECT_EQ(root.side(kMaxLevel), 16);
+    const BlockKey c7 = root.child(7, kMaxLevel);
+    EXPECT_EQ(c7.anchor, (Vec3l{8, 8, 8}));
+    const BlockKey c1 = root.child(1, kMaxLevel);
+    EXPECT_EQ(c1.anchor, (Vec3l{8, 0, 0}));
+    const BlockKey c2 = root.child(2, kMaxLevel);
+    EXPECT_EQ(c2.anchor, (Vec3l{0, 8, 0}));
+    const BlockKey c4 = root.child(4, kMaxLevel);
+    EXPECT_EQ(c4.anchor, (Vec3l{0, 0, 8}));
+}
+
+TEST(Block, GroupSpanCoversVariables) {
+    const BlockShape shape = small_shape();
+    Block b(BlockKey{}, shape);
+    auto s01 = b.group_span(0, 2);
+    EXPECT_EQ(static_cast<std::int64_t>(s01.size()), shape.total_cells());
+    auto s1 = b.group_span(1, 2);
+    EXPECT_EQ(s1.data(), b.data() + shape.stride_var());
+}
+
+TEST(Block, InitCellsDeterministicAndDecompositionInvariant) {
+    const BlockShape shape = small_shape();
+    const Box box{{0, 0, 0}, {0.5, 0.5, 0.5}};
+    Block a(BlockKey{}, shape), b(BlockKey{}, shape);
+    a.init_cells(box, 42);
+    b.init_cells(box, 42);
+    EXPECT_EQ(a.at(0, 1, 1, 1), b.at(0, 1, 1, 1));
+    EXPECT_EQ(a.at(1, 4, 4, 4), b.at(1, 4, 4, 4));
+    Block c(BlockKey{}, shape);
+    c.init_cells(box, 43);
+    EXPECT_NE(a.at(0, 1, 1, 1), c.at(0, 1, 1, 1));
+    // Values live in [1, 2).
+    for (int x = 1; x <= 4; ++x) {
+        EXPECT_GE(a.at(0, x, 1, 1), 1.0);
+        EXPECT_LT(a.at(0, x, 1, 1), 2.0);
+    }
+}
+
+TEST(Block, PackUnpackSameLevelRoundTrip) {
+    const BlockShape shape = small_shape();
+    Block src = make_filled(shape);
+    Block dst(BlockKey{}, shape);
+
+    // src's +x boundary becomes dst's -x ghost (dst sits at src's +x side).
+    FaceGeom pack_geom{0, +1, FaceRel::Same, 0};
+    std::vector<double> buf(static_cast<std::size_t>(shape.face_values_same(0, 2)));
+    src.pack_face(pack_geom, 0, 2, buf);
+
+    FaceGeom unpack_geom{0, -1, FaceRel::Same, 0};
+    dst.unpack_face(unpack_geom, 0, 2, buf);
+    for (int v = 0; v < 2; ++v) {
+        for (int y = 1; y <= 4; ++y) {
+            for (int z = 1; z <= 4; ++z) {
+                EXPECT_EQ(dst.at(v, 0, y, z), src.at(v, 4, y, z));
+            }
+        }
+    }
+}
+
+TEST(Block, CopyFaceMatchesPackUnpack) {
+    const BlockShape shape = small_shape();
+    Block src = make_filled(shape, 5.0);
+    Block a(BlockKey{}, shape), b(BlockKey{}, shape);
+
+    FaceGeom geom{1, +1, FaceRel::Same, 0};  // my +y neighbor is src
+    a.copy_face_from(src, geom, 0, 2);
+
+    std::vector<double> buf(static_cast<std::size_t>(shape.face_values_same(1, 2)));
+    src.pack_face(FaceGeom{1, -1, FaceRel::Same, 0}, 0, 2, buf);
+    b.unpack_face(geom, 0, 2, buf);
+    for (int v = 0; v < 2; ++v) {
+        for (int x = 1; x <= 4; ++x) {
+            for (int z = 1; z <= 4; ++z) {
+                EXPECT_EQ(a.at(v, x, 5, z), b.at(v, x, 5, z));
+                EXPECT_EQ(a.at(v, x, 5, z), src.at(v, x, 1, z));
+            }
+        }
+    }
+}
+
+TEST(Block, RestrictionAveragesFourCells) {
+    const BlockShape shape = small_shape();
+    Block fine = make_filled(shape);
+    // Fine sends its +x face to a coarser receiver: restricted to 2x2 values.
+    FaceGeom geom{0, +1, FaceRel::Coarser, 0};
+    std::vector<double> buf(static_cast<std::size_t>(shape.face_values_mixed(0, 1)));
+    fine.pack_face(geom, 0, 1, buf);
+    ASSERT_EQ(buf.size(), 4u);
+    const double expect00 = 0.25 * (fine.at(0, 4, 1, 1) + fine.at(0, 4, 1, 2) +
+                                    fine.at(0, 4, 2, 1) + fine.at(0, 4, 2, 2));
+    EXPECT_DOUBLE_EQ(buf[0], expect00);
+}
+
+TEST(Block, ProlongationReplicatesCoarseCells) {
+    const BlockShape shape = small_shape();
+    Block fine(BlockKey{}, shape);
+    // Fine receives its whole -x ghost plane from a coarser sender: the
+    // message holds 2x2 coarse values, each replicated to 2x2 fine ghosts.
+    std::vector<double> buf = {10, 20, 30, 40};  // (u,v) = (0,0),(0,1),(1,0),(1,1)
+    FaceGeom geom{0, -1, FaceRel::Coarser, 0};
+    fine.unpack_face(geom, 0, 1, buf);
+    // u indexes y, v indexes z; layout is u-major (v contiguous).
+    EXPECT_EQ(fine.at(0, 0, 1, 1), 10);
+    EXPECT_EQ(fine.at(0, 0, 1, 2), 10);
+    EXPECT_EQ(fine.at(0, 0, 2, 2), 10);
+    EXPECT_EQ(fine.at(0, 0, 1, 3), 20);
+    EXPECT_EQ(fine.at(0, 0, 3, 1), 30);
+    EXPECT_EQ(fine.at(0, 0, 4, 4), 40);
+}
+
+TEST(Block, QuarterFacePlacementForFinerNeighbors) {
+    const BlockShape shape = small_shape();
+    Block coarse(BlockKey{}, shape);
+    // A finer neighbor in quad 3 (u-half 1, v-half 1) sends its restricted
+    // face; it lands in the (y in 3..4, z in 3..4) quarter of the ghost.
+    std::vector<double> buf = {1, 2, 3, 4};
+    FaceGeom geom{0, +1, FaceRel::Finer, 3};
+    coarse.unpack_face(geom, 0, 1, buf);
+    EXPECT_EQ(coarse.at(0, 5, 3, 3), 1);
+    EXPECT_EQ(coarse.at(0, 5, 3, 4), 2);
+    EXPECT_EQ(coarse.at(0, 5, 4, 3), 3);
+    EXPECT_EQ(coarse.at(0, 5, 4, 4), 4);
+    EXPECT_EQ(coarse.at(0, 5, 1, 1), 0) << "other quarters untouched";
+}
+
+TEST(Block, MixedLevelCopyRoundTripConservesFaceMean) {
+    // fine -> coarse restriction followed by coarse -> fine prolongation
+    // preserves each 2x2 group's mean.
+    const BlockShape shape = small_shape();
+    Block fine = make_filled(shape);
+    Block coarse(BlockKey{}, shape);
+    // Coarse's -x neighbor region quad 0 is the fine block.
+    coarse.copy_face_from(fine, FaceGeom{0, -1, FaceRel::Finer, 0}, 0, 1);
+    const double mean = 0.25 * (fine.at(0, 4, 1, 1) + fine.at(0, 4, 1, 2) +
+                                fine.at(0, 4, 2, 1) + fine.at(0, 4, 2, 2));
+    EXPECT_DOUBLE_EQ(coarse.at(0, 0, 1, 1), mean);
+}
+
+TEST(Block, ReflectFaceCopiesBoundaryPlane) {
+    const BlockShape shape = small_shape();
+    Block b = make_filled(shape);
+    b.reflect_face(2, -1, 0, 2);
+    for (int v = 0; v < 2; ++v) {
+        for (int x = 1; x <= 4; ++x) {
+            for (int y = 1; y <= 4; ++y) {
+                EXPECT_EQ(b.at(v, x, y, 0), b.at(v, x, y, 1));
+            }
+        }
+    }
+}
+
+TEST(Block, SplitMergeRoundTripConservesSum) {
+    const BlockShape shape = small_shape();
+    Block parent = make_filled(shape, 3.0);
+    const double before = parent.checksum(0, shape.num_vars);
+
+    std::vector<Block> children;
+    for (int octant = 0; octant < 8; ++octant) {
+        Block child(BlockKey{}, shape);
+        child.fill_from_parent(parent, octant);
+        children.push_back(std::move(child));
+    }
+    // Each child cell equals its covering parent cell.
+    EXPECT_EQ(children[0].at(0, 1, 1, 1), parent.at(0, 1, 1, 1));
+    EXPECT_EQ(children[0].at(0, 2, 2, 2), parent.at(0, 1, 1, 1));
+    EXPECT_EQ(children[7].at(0, 4, 4, 4), parent.at(0, 4, 4, 4));
+
+    Block merged(BlockKey{}, shape);
+    for (int octant = 0; octant < 8; ++octant) {
+        merged.absorb_child(children[static_cast<std::size_t>(octant)], octant);
+    }
+    EXPECT_NEAR(merged.checksum(0, shape.num_vars), before, 1e-9);
+    EXPECT_DOUBLE_EQ(merged.at(0, 3, 3, 3), parent.at(0, 3, 3, 3));
+}
+
+TEST(Block, Stencil7UniformFieldIsFixpoint) {
+    const BlockShape shape = small_shape();
+    Block b(BlockKey{}, shape);
+    for (int v = 0; v < 2; ++v) {
+        for (int x = 0; x <= 5; ++x) {
+            for (int y = 0; y <= 5; ++y) {
+                for (int z = 0; z <= 5; ++z) {
+                    b.at(v, x, y, z) = 3.5;
+                }
+            }
+        }
+    }
+    const std::int64_t flops = b.stencil7(0, 2);
+    EXPECT_EQ(flops, 7 * 4 * 4 * 4 * 2);
+    EXPECT_DOUBLE_EQ(b.at(0, 2, 2, 2), 3.5);
+    EXPECT_DOUBLE_EQ(b.at(1, 4, 4, 4), 3.5);
+}
+
+TEST(Block, Stencil7AveragesNeighbors) {
+    const BlockShape shape{2, 2, 2, 1};
+    Block b(BlockKey{}, shape);
+    b.at(0, 1, 1, 1) = 7.0;  // all other cells zero
+    b.stencil7(0, 1);
+    EXPECT_DOUBLE_EQ(b.at(0, 1, 1, 1), 1.0);   // 7/7
+    EXPECT_DOUBLE_EQ(b.at(0, 2, 1, 1), 1.0);   // neighbor sees the 7
+    EXPECT_DOUBLE_EQ(b.at(0, 2, 2, 2), 0.0);   // diagonal: untouched by 7-pt
+}
+
+TEST(Block, Stencil27IncludesDiagonals) {
+    const BlockShape shape{2, 2, 2, 1};
+    Block b(BlockKey{}, shape);
+    b.at(0, 1, 1, 1) = 27.0;
+    const std::int64_t flops = b.stencil27(0, 1);
+    EXPECT_EQ(flops, 27 * 8);
+    EXPECT_DOUBLE_EQ(b.at(0, 2, 2, 2), 1.0);  // diagonal neighbor included
+}
+
+TEST(Block, ChecksumSumsInteriorOnly) {
+    const BlockShape shape = small_shape();
+    Block b(BlockKey{}, shape);
+    for (int x = 0; x <= 5; ++x) {
+        for (int y = 0; y <= 5; ++y) {
+            for (int z = 0; z <= 5; ++z) {
+                b.at(0, x, y, z) = 1.0;  // ghosts too
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(b.checksum(0, 1), 64.0);  // 4^3 interior cells
+    EXPECT_DOUBLE_EQ(b.checksum(1, 2), 0.0);
+}
+
+TEST(Block, FaceValueCounts) {
+    const BlockShape shape{6, 4, 8, 3};
+    Block b(BlockKey{}, shape);
+    EXPECT_EQ(b.face_value_count(FaceGeom{0, +1, FaceRel::Same, 0}, 3), 4 * 8 * 3);
+    EXPECT_EQ(b.face_value_count(FaceGeom{0, +1, FaceRel::Coarser, 0}, 3), 2 * 4 * 3);
+    EXPECT_EQ(b.face_value_count(FaceGeom{1, +1, FaceRel::Finer, 2}, 1), 3 * 4);
+    EXPECT_EQ(b.face_value_count(FaceGeom{2, -1, FaceRel::Same, 0}, 2), 6 * 4 * 2);
+}
+
+}  // namespace
+}  // namespace dfamr::amr

@@ -1,0 +1,178 @@
+// Unit tests for src/common: geometry, RNG, CLI parser, table printer, stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/threading.hpp"
+
+#include <thread>
+
+namespace dfamr {
+namespace {
+
+TEST(Geometry, BoxIntersection) {
+    Box a{{0, 0, 0}, {1, 1, 1}};
+    Box b{{0.5, 0.5, 0.5}, {2, 2, 2}};
+    Box c{{1.5, 1.5, 1.5}, {2, 2, 2}};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+    EXPECT_FALSE(a.intersects(c));
+    // Touching faces count as intersecting (closed boxes).
+    Box d{{1, 0, 0}, {2, 1, 1}};
+    EXPECT_TRUE(a.intersects(d));
+}
+
+TEST(Geometry, BoxContains) {
+    Box outer{{0, 0, 0}, {4, 4, 4}};
+    Box inner{{1, 1, 1}, {2, 2, 2}};
+    EXPECT_TRUE(outer.contains(inner));
+    EXPECT_FALSE(inner.contains(outer));
+    EXPECT_TRUE(outer.contains(outer));
+    EXPECT_TRUE(outer.contains(Vec3d{2, 2, 2}));
+    EXPECT_FALSE(outer.contains(Vec3d{5, 2, 2}));
+}
+
+TEST(Geometry, CenterExtentCorners) {
+    Box b{{0, 2, 4}, {2, 6, 10}};
+    EXPECT_EQ(b.center(), (Vec3d{1, 4, 7}));
+    EXPECT_EQ(b.extent(), (Vec3d{2, 4, 6}));
+    auto cs = corners(b);
+    EXPECT_EQ(cs[0], (Vec3d{0, 2, 4}));
+    EXPECT_EQ(cs[7], (Vec3d{2, 6, 10}));
+}
+
+TEST(Geometry, VecIndexing) {
+    Vec3i v{3, 5, 7};
+    EXPECT_EQ(v[0], 3);
+    EXPECT_EQ(v[1], 5);
+    EXPECT_EQ(v[2], 7);
+    v[1] = 9;
+    EXPECT_EQ(v.y, 9);
+    EXPECT_EQ(v.product(), 3 * 9 * 7);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+    RunningStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+    EXPECT_EQ(s.count(), 4);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Cli, ParsesOptionsFlagsAndMulti) {
+    CliParser cli("test");
+    cli.add_option("--nx", "block size x", "10");
+    cli.add_flag("--send_faces", "one message per face");
+    cli.add_multi_option("--object", 3, "an object spec");
+    const char* argv[] = {"prog", "--nx", "12", "--send_faces", "--object", "2", "0.5", "0.5",
+                          "--object", "3", "0.1", "0.2"};
+    ASSERT_TRUE(cli.parse(12, argv));
+    EXPECT_EQ(cli.get_int("--nx"), 12);
+    EXPECT_TRUE(cli.get_flag("--send_faces"));
+    ASSERT_EQ(cli.get_multi("--object").size(), 2u);
+    EXPECT_EQ(cli.get_multi("--object")[1][0], "3");
+}
+
+TEST(Cli, DefaultsAndErrors) {
+    CliParser cli("test");
+    cli.add_option("--nx", "block size x", "10");
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_int("--nx"), 10);
+
+    const char* bad[] = {"prog", "--unknown"};
+    EXPECT_THROW(cli.parse(2, bad), ConfigError);
+
+    const char* missing[] = {"prog", "--nx"};
+    EXPECT_THROW(cli.parse(2, missing), ConfigError);
+}
+
+TEST(Cli, NonNumericValueThrows) {
+    CliParser cli("test");
+    cli.add_option("--nx", "block size x");
+    const char* argv[] = {"prog", "--nx", "abc"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW(cli.get_int("--nx"), ConfigError);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", TextTable::num(1.5)});
+    t.add_row({"b", "2"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_EQ(t.to_csv(), "name,value\nalpha,1.50\nb,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+    try {
+        DFAMR_REQUIRE(1 == 2, "math is broken");
+        FAIL() << "should have thrown";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    }
+}
+
+TEST(Threading, BarrierSynchronizesGenerations) {
+    ThreadBarrier barrier(4);
+    std::atomic<int> phase0{0}, phase1{0};
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i) {
+        ts.emplace_back([&] {
+            ++phase0;
+            barrier.wait();
+            EXPECT_EQ(phase0.load(), 4);
+            ++phase1;
+            barrier.wait();
+            EXPECT_EQ(phase1.load(), 4);
+        });
+    }
+    for (auto& t : ts) t.join();
+}
+
+TEST(Threading, CountdownLatch) {
+    CountdownLatch latch(3);
+    std::atomic<int> done{0};
+    std::thread waiter([&] {
+        latch.wait();
+        done = 1;
+    });
+    latch.count_down(2);
+    EXPECT_EQ(done.load(), 0);
+    latch.count_down();
+    waiter.join();
+    EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace dfamr

@@ -1,0 +1,197 @@
+// Tests for miniAMR input objects: intersection predicates per type,
+// movement/growth/bounce, and the touch semantics that drive refinement.
+#include <gtest/gtest.h>
+
+#include "amr/object.hpp"
+#include "common/rng.hpp"
+
+namespace dfamr::amr {
+namespace {
+
+ObjectSpec sphere_at(Vec3d center, double r) {
+    ObjectSpec o;
+    o.type = ObjectType::SpheroidSolid;
+    o.center = center;
+    o.size = {r, r, r};
+    return o;
+}
+
+TEST(Objects, SolidSphereIntersection) {
+    const ObjectSpec s = sphere_at({0.5, 0.5, 0.5}, 0.2);
+    EXPECT_TRUE(s.volume_intersects(Box{{0.4, 0.4, 0.4}, {0.6, 0.6, 0.6}}));
+    EXPECT_FALSE(s.volume_intersects(Box{{0.8, 0.8, 0.8}, {0.9, 0.9, 0.9}}));
+    // Box diagonally near the sphere but outside it (corner farther than r).
+    EXPECT_FALSE(s.volume_intersects(Box{{0.65, 0.65, 0.65}, {0.9, 0.9, 0.9}}));
+    // Same distances along a single axis do intersect.
+    EXPECT_TRUE(s.volume_intersects(Box{{0.65, 0.45, 0.45}, {0.9, 0.55, 0.55}}));
+}
+
+TEST(Objects, SolidSphereContainment) {
+    const ObjectSpec s = sphere_at({0.5, 0.5, 0.5}, 0.3);
+    EXPECT_TRUE(s.volume_contains(Box{{0.45, 0.45, 0.45}, {0.55, 0.55, 0.55}}));
+    // Box touching the boundary region is not fully contained.
+    EXPECT_FALSE(s.volume_contains(Box{{0.45, 0.45, 0.45}, {0.85, 0.55, 0.55}}));
+}
+
+TEST(Objects, SurfaceVsSolidTouch) {
+    ObjectSpec surface = sphere_at({0.5, 0.5, 0.5}, 0.3);
+    surface.type = ObjectType::SpheroidSurface;
+    ObjectSpec solid = sphere_at({0.5, 0.5, 0.5}, 0.3);
+
+    const Box deep_inside{{0.47, 0.47, 0.47}, {0.53, 0.53, 0.53}};
+    const Box crossing{{0.7, 0.45, 0.45}, {0.9, 0.55, 0.55}};  // spans the boundary
+    EXPECT_FALSE(surface.touches(deep_inside)) << "surface objects ignore interior blocks";
+    EXPECT_TRUE(solid.touches(deep_inside));
+    EXPECT_TRUE(surface.touches(crossing));
+    EXPECT_TRUE(solid.touches(crossing));
+}
+
+TEST(Objects, EllipsoidAnisotropy) {
+    ObjectSpec e = sphere_at({0.5, 0.5, 0.5}, 0.1);
+    e.size = {0.4, 0.1, 0.1};
+    EXPECT_TRUE(e.volume_intersects(Box{{0.82, 0.48, 0.48}, {0.88, 0.52, 0.52}}));
+    EXPECT_FALSE(e.volume_intersects(Box{{0.48, 0.82, 0.48}, {0.52, 0.88, 0.52}}));
+}
+
+TEST(Objects, RectangleTypes) {
+    ObjectSpec r;
+    r.type = ObjectType::RectangleSolid;
+    r.center = {0.5, 0.5, 0.5};
+    r.size = {0.2, 0.1, 0.1};
+    EXPECT_TRUE(r.volume_intersects(Box{{0.65, 0.55, 0.55}, {0.75, 0.65, 0.65}}));
+    EXPECT_FALSE(r.volume_intersects(Box{{0.75, 0.45, 0.45}, {0.85, 0.55, 0.55}}));
+    EXPECT_TRUE(r.volume_contains(Box{{0.45, 0.45, 0.45}, {0.55, 0.55, 0.55}}));
+
+    ObjectSpec rs = r;
+    rs.type = ObjectType::RectangleSurface;
+    EXPECT_FALSE(rs.touches(Box{{0.45, 0.45, 0.45}, {0.55, 0.55, 0.55}}));
+    EXPECT_TRUE(rs.touches(Box{{0.25, 0.45, 0.45}, {0.35, 0.55, 0.55}}));  // crosses x face
+}
+
+TEST(Objects, HemispheroidHalfspace) {
+    ObjectSpec h;
+    h.type = ObjectType::HemispheroidPlusXSolid;
+    h.center = {0.5, 0.5, 0.5};
+    h.size = {0.3, 0.3, 0.3};
+    // Entirely on the -x side of the cut plane: outside the hemispheroid.
+    EXPECT_FALSE(h.volume_intersects(Box{{0.3, 0.45, 0.45}, {0.45, 0.55, 0.55}}));
+    // Same box mirrored to +x: inside.
+    EXPECT_TRUE(h.volume_intersects(Box{{0.55, 0.45, 0.45}, {0.7, 0.55, 0.55}}));
+
+    ObjectSpec hm = h;
+    hm.type = ObjectType::HemispheroidMinusXSolid;
+    EXPECT_TRUE(hm.volume_intersects(Box{{0.3, 0.45, 0.45}, {0.45, 0.55, 0.55}}));
+    EXPECT_FALSE(hm.volume_intersects(Box{{0.55, 0.45, 0.45}, {0.7, 0.55, 0.55}}));
+}
+
+TEST(Objects, HemispheroidAxes) {
+    for (int code = 4; code <= 15; ++code) {
+        ObjectSpec h;
+        h.type = static_cast<ObjectType>(code);
+        h.center = {0.5, 0.5, 0.5};
+        h.size = {0.2, 0.2, 0.2};
+        const int axis = (code - 4) / 4;       // 0,0,1,1,2,2 per pair... see below
+        (void)axis;
+        // The center point cube always straddles the cut plane.
+        EXPECT_TRUE(h.volume_intersects(Box{{0.45, 0.45, 0.45}, {0.55, 0.55, 0.55}}))
+            << "type " << code;
+        // A far-away box never intersects.
+        EXPECT_FALSE(h.volume_intersects(Box{{0.9, 0.9, 0.9}, {0.95, 0.95, 0.95}}))
+            << "type " << code;
+    }
+}
+
+TEST(Objects, CylinderTypes) {
+    ObjectSpec c;
+    c.type = ObjectType::CylinderZSolid;
+    c.center = {0.5, 0.5, 0.5};
+    c.size = {0.1, 0.1, 0.4};  // thin tall cylinder along z
+    EXPECT_TRUE(c.volume_intersects(Box{{0.45, 0.45, 0.15}, {0.55, 0.55, 0.25}}));
+    EXPECT_FALSE(c.volume_intersects(Box{{0.45, 0.45, 0.02}, {0.55, 0.55, 0.08}}));  // below
+    EXPECT_FALSE(c.volume_intersects(Box{{0.7, 0.7, 0.45}, {0.8, 0.8, 0.55}}));      // outside radius
+    EXPECT_TRUE(c.volume_contains(Box{{0.47, 0.47, 0.3}, {0.53, 0.53, 0.6}}));
+}
+
+TEST(Objects, StepMovesAndGrows) {
+    ObjectSpec o = sphere_at({0.2, 0.5, 0.5}, 0.1);
+    o.move = {0.1, 0, 0};
+    o.inc = {0.01, 0.01, 0.01};
+    o.step();
+    EXPECT_DOUBLE_EQ(o.center.x, 0.3);
+    EXPECT_DOUBLE_EQ(o.size.x, 0.11);
+    EXPECT_DOUBLE_EQ(o.size.y, 0.11);
+}
+
+TEST(Objects, BounceReversesAtBoundary) {
+    ObjectSpec o = sphere_at({0.85, 0.5, 0.5}, 0.1);
+    o.bounce = true;
+    o.move = {0.1, 0, 0};
+    o.step();  // now at 0.95, overlapping the boundary -> reverse
+    EXPECT_DOUBLE_EQ(o.center.x, 0.95);
+    EXPECT_LT(o.move.x, 0);
+    o.step();
+    EXPECT_DOUBLE_EQ(o.center.x, 0.85);
+}
+
+TEST(Objects, NoBounceKeepsDirection) {
+    ObjectSpec o = sphere_at({0.85, 0.5, 0.5}, 0.1);
+    o.move = {0.1, 0, 0};
+    o.step();
+    o.step();
+    EXPECT_GT(o.center.x, 1.0);  // left the domain, as the single-sphere input does in reverse
+    EXPECT_GT(o.move.x, 0);
+}
+
+TEST(Objects, BoundingBoxCoversShape) {
+    ObjectSpec h;
+    h.type = ObjectType::HemispheroidPlusXSolid;
+    h.center = {0.5, 0.5, 0.5};
+    h.size = {0.2, 0.3, 0.1};
+    const Box bb = h.bounding_box();
+    EXPECT_DOUBLE_EQ(bb.lo.x, 0.5);  // cut plane
+    EXPECT_DOUBLE_EQ(bb.hi.x, 0.7);
+    EXPECT_DOUBLE_EQ(bb.lo.y, 0.2);
+    EXPECT_DOUBLE_EQ(bb.hi.z, 0.6);
+}
+
+// Property: a surface object's touch set is exactly the intersecting but
+// not contained blocks, across random boxes and all shape types.
+TEST(ObjectsProperty, SurfaceTouchConsistency) {
+    Rng rng(77);
+    const int types[] = {0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+    for (int type : types) {
+        ObjectSpec o;
+        o.type = static_cast<ObjectType>(type);
+        o.center = {0.5, 0.5, 0.5};
+        o.size = {0.25, 0.3, 0.2};
+        for (int i = 0; i < 200; ++i) {
+            Vec3d lo{rng.uniform(0, 0.9), rng.uniform(0, 0.9), rng.uniform(0, 0.9)};
+            Vec3d ext{rng.uniform(0.02, 0.3), rng.uniform(0.02, 0.3), rng.uniform(0.02, 0.3)};
+            const Box b{lo, lo + ext};
+            const bool expect = o.volume_intersects(b) && !o.volume_contains(b);
+            EXPECT_EQ(o.touches(b), expect) << "type " << type << " trial " << i;
+        }
+    }
+}
+
+// Property: containment implies intersection for every type.
+TEST(ObjectsProperty, ContainmentImpliesIntersection) {
+    Rng rng(99);
+    for (int type = 0; type <= 21; ++type) {
+        ObjectSpec o;
+        o.type = static_cast<ObjectType>(type);
+        o.center = {0.5, 0.5, 0.5};
+        o.size = {0.3, 0.25, 0.35};
+        for (int i = 0; i < 100; ++i) {
+            Vec3d lo{rng.uniform(0.3, 0.6), rng.uniform(0.3, 0.6), rng.uniform(0.3, 0.6)};
+            Vec3d ext{rng.uniform(0.01, 0.15), rng.uniform(0.01, 0.15), rng.uniform(0.01, 0.15)};
+            const Box b{lo, lo + ext};
+            if (o.volume_contains(b)) {
+                EXPECT_TRUE(o.volume_intersects(b)) << "type " << type;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dfamr::amr

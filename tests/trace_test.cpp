@@ -1,0 +1,108 @@
+// Tests for the tracer and its analysis pass (the Paraver substitute used
+// by the Figure 1-3 bench).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "amr/trace.hpp"
+
+namespace dfamr::amr {
+namespace {
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+    Tracer t;
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    EXPECT_TRUE(t.sorted_events().empty());
+    EXPECT_EQ(t.analyze().busy_ns, 0);
+}
+
+TEST(Trace, EventsSortedByStart) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 500, 600, PhaseKind::Pack);
+    t.record(1, 0, 100, 400, PhaseKind::Stencil);
+    const auto events = t.sorted_events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].t0_ns, 100);
+    EXPECT_EQ(events[1].t0_ns, 500);
+}
+
+TEST(Trace, AnalysisBusyAndSpan) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, 1, 50, 150, PhaseKind::Unpack);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.span_ns, 150);
+    EXPECT_EQ(a.busy_ns, 200);
+    EXPECT_EQ(a.cores, 2);
+    EXPECT_DOUBLE_EQ(a.utilization, 200.0 / 300.0);
+    EXPECT_EQ(a.busy_ns_by_kind.at(PhaseKind::Stencil), 100);
+}
+
+TEST(Trace, OverlapCountsDistinctKindsOnly) {
+    Tracer t;
+    t.enable(true);
+    // Two stencils overlapping: same kind — no "phase overlap".
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, 1, 0, 100, PhaseKind::Stencil);
+    EXPECT_EQ(t.analyze().overlap_ns, 0);
+    // Add a communication task overlapping [40, 60): 20ns of phase overlap.
+    t.record(0, 2, 40, 60, PhaseKind::Unpack);
+    EXPECT_EQ(t.analyze().overlap_ns, 20);
+}
+
+TEST(Trace, LargestIdleGap) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, 0, 400, 500, PhaseKind::Stencil);
+    t.record(0, 0, 550, 600, PhaseKind::Stencil);
+    EXPECT_EQ(t.analyze().largest_idle_gap_ns, 300);
+}
+
+TEST(Trace, RefineSpanCoversRefineKinds) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, 0, 200, 300, PhaseKind::RefineSplit);
+    t.record(0, 0, 350, 420, PhaseKind::LoadBalance);
+    EXPECT_EQ(t.analyze().refine_span_ns, 220);
+}
+
+TEST(Trace, CsvFormat) {
+    Tracer t;
+    t.enable(true);
+    t.record(3, 1, 10, 20, PhaseKind::Send);
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("rank,worker,start_ns,end_ns,kind"), std::string::npos);
+    EXPECT_NE(csv.find("3,1,10,20,send"), std::string::npos);
+}
+
+TEST(Trace, ThreadSafeRecording) {
+    Tracer t;
+    t.enable(true);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&t, i] {
+            for (int j = 0; j < 1000; ++j) {
+                t.record(i, 0, j, j + 1, PhaseKind::Stencil);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(t.sorted_events().size(), 4000u);
+    t.clear();
+    EXPECT_TRUE(t.sorted_events().empty());
+}
+
+TEST(Trace, PhaseKindNamesAreUnique) {
+    std::set<std::string> names;
+    for (int k = 0; k <= static_cast<int>(PhaseKind::Control); ++k) {
+        names.insert(to_string(static_cast<PhaseKind>(k)));
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(PhaseKind::Control) + 1);
+}
+
+}  // namespace
+}  // namespace dfamr::amr

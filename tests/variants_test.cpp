@@ -1,0 +1,234 @@
+// Integration tests: the three variants run the full mini-app and must
+// agree on the physics (identical refinement decisions, matching checksums)
+// while exercising their distinct parallelization strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/variants.hpp"
+
+namespace dfamr::core {
+namespace {
+
+using amr::Config;
+using amr::ObjectSpec;
+using amr::ObjectType;
+using amr::Variant;
+
+Config tiny_config(int npx = 2, int npy = 1, int npz = 1) {
+    Config cfg;
+    cfg.npx = npx;
+    cfg.npy = npy;
+    cfg.npz = npz;
+    cfg.init_x = cfg.init_y = cfg.init_z = 1;
+    cfg.nx = cfg.ny = cfg.nz = 4;
+    cfg.num_vars = 4;
+    cfg.num_tsteps = 2;
+    cfg.stages_per_ts = 4;
+    cfg.checksum_freq = 2;
+    cfg.num_refine = 2;
+    cfg.refine_freq = 1;
+    cfg.workers = 2;
+
+    ObjectSpec sphere;
+    sphere.type = ObjectType::SpheroidSurface;
+    sphere.center = {0.1, 0.1, 0.1};
+    sphere.size = {0.25, 0.25, 0.25};
+    sphere.move = {0.15, 0.1, 0.05};
+    sphere.bounce = true;
+    cfg.objects.push_back(sphere);
+    return cfg;
+}
+
+void expect_checksums_match(const RunResult& a, const RunResult& b, double rel_tol) {
+    ASSERT_EQ(a.checksums.size(), b.checksums.size());
+    for (std::size_t i = 0; i < a.checksums.size(); ++i) {
+        const double scale = std::max(1.0, std::abs(a.checksums[i]));
+        EXPECT_NEAR(a.checksums[i], b.checksums[i], rel_tol * scale) << "checksum stage " << i;
+    }
+}
+
+TEST(Variants, MpiOnlyRunsAndValidates) {
+    const RunResult r = run_variant(tiny_config(), Variant::MpiOnly);
+    EXPECT_TRUE(r.validation_ok);
+    EXPECT_GT(r.total_flops, 0);
+    EXPECT_FALSE(r.checksums.empty());
+    EXPECT_GT(r.final_blocks, 0);
+    EXPECT_GT(r.messages, 0u);
+}
+
+TEST(Variants, ForkJoinMatchesMpiOnly) {
+    const Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::ForkJoin);
+    EXPECT_TRUE(b.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+    EXPECT_EQ(a.final_blocks, b.final_blocks) << "identical refinement decisions expected";
+    EXPECT_EQ(a.total_flops, b.total_flops);
+}
+
+TEST(Variants, TampiOssMatchesMpiOnly) {
+    const Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(b.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+    EXPECT_EQ(a.final_blocks, b.final_blocks);
+    EXPECT_EQ(a.total_flops, b.total_flops);
+}
+
+TEST(Variants, TampiOssSendFacesSeparateBuffersMatches) {
+    Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    cfg.send_faces = true;
+    cfg.separate_buffers = true;
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(b.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+}
+
+TEST(Variants, TampiOssMaxCommTasksMatches) {
+    Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    cfg.send_faces = true;
+    cfg.separate_buffers = true;
+    cfg.max_comm_tasks = 2;
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(b.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+}
+
+TEST(Variants, TampiOssDelayedChecksumMatches) {
+    Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    cfg.delayed_checksum = true;
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(b.validation_ok);
+    // Delayed validation changes *when* sums are validated, not their values.
+    expect_checksums_match(a, b, 1e-12);
+}
+
+TEST(Variants, RankCountInvariance) {
+    // The same physical problem decomposed over 1 vs 4 ranks must produce
+    // the same checksums (up to FP reduction order).
+    Config one = tiny_config(1, 1, 1);
+    one.init_x = 2;
+    one.init_y = 2;
+    one.init_z = 1;
+    Config four = tiny_config(2, 2, 1);
+    four.init_x = 1;
+    four.init_y = 1;
+    four.init_z = 1;
+    const RunResult a = run_variant(one, Variant::MpiOnly);
+    const RunResult b = run_variant(four, Variant::MpiOnly);
+    expect_checksums_match(a, b, 1e-9);
+    EXPECT_EQ(a.final_blocks, b.final_blocks);
+}
+
+TEST(Variants, UniformRefineGrowsBlocksEverywhere) {
+    Config cfg = tiny_config(1, 1, 1);
+    cfg.objects.clear();
+    cfg.uniform_refine = true;
+    cfg.num_refine = 1;
+    cfg.num_tsteps = 1;
+    cfg.stages_per_ts = 2;
+    const RunResult r = run_variant(cfg, Variant::MpiOnly);
+    EXPECT_EQ(r.final_blocks, 8);
+}
+
+TEST(Variants, NoRefinementPathWorks) {
+    Config cfg = tiny_config();
+    cfg.refine_freq = 0;  // refinement disabled
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_EQ(a.final_blocks, 2);
+    expect_checksums_match(a, b, 1e-12);
+    EXPECT_EQ(a.times.refine, 0.0);
+}
+
+TEST(Variants, CommVarsGroupsMatch) {
+    Config cfg = tiny_config();
+    cfg.comm_vars = 2;  // two groups of two variables
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    expect_checksums_match(a, b, 1e-12);
+    Config ungrouped = tiny_config();
+    const RunResult c = run_variant(ungrouped, Variant::MpiOnly);
+    expect_checksums_match(a, c, 1e-12);  // grouping must not change the physics
+}
+
+TEST(Variants, LoadBalancingKeepsResults) {
+    Config cfg = tiny_config();
+    cfg.inbalance = 0.01;  // aggressive rebalancing
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    Config no_lb = tiny_config();
+    no_lb.lb_opt = false;
+    const RunResult b = run_variant(no_lb, Variant::MpiOnly);
+    expect_checksums_match(a, b, 1e-9);
+    EXPECT_EQ(a.final_blocks, b.final_blocks);
+
+    const RunResult c = run_variant(cfg, Variant::TampiOss);
+    expect_checksums_match(a, c, 1e-12);
+}
+
+TEST(Variants, SingleRankWorks) {
+    Config cfg = tiny_config(1, 1, 1);
+    for (Variant v : {Variant::MpiOnly, Variant::ForkJoin, Variant::TampiOss}) {
+        const RunResult r = run_variant(cfg, v);
+        EXPECT_TRUE(r.validation_ok) << to_string(v);
+        EXPECT_GT(r.total_flops, 0) << to_string(v);
+    }
+}
+
+TEST(Variants, Stencil27Matches) {
+    Config cfg = tiny_config();
+    cfg.stencil = 27;
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(a.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+    // 27-point stencils do ~27/7 the FLOPs of 7-point ones.
+    Config seven = tiny_config();
+    const RunResult c = run_variant(seven, Variant::MpiOnly);
+    EXPECT_EQ(a.total_flops % 27, 0);
+    EXPECT_EQ(a.total_flops / 27, c.total_flops / 7);
+}
+
+TEST(Variants, SerialRefinementAblationMatches) {
+    Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::TampiOss);
+    cfg.taskify_refinement = false;
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    EXPECT_TRUE(b.validation_ok);
+    expect_checksums_match(a, b, 1e-12);
+    EXPECT_EQ(a.final_blocks, b.final_blocks);
+}
+
+TEST(Variants, CountersAreConsistentAcrossVariants) {
+    const Config cfg = tiny_config();
+    const RunResult a = run_variant(cfg, Variant::MpiOnly);
+    const RunResult b = run_variant(cfg, Variant::TampiOss);
+    // Identical mesh evolution implies identical refinement activity.
+    EXPECT_EQ(a.counters.blocks_split, b.counters.blocks_split);
+    EXPECT_EQ(a.counters.blocks_merged, b.counters.blocks_merged);
+    EXPECT_EQ(a.counters.refinement_phases, b.counters.refinement_phases);
+    EXPECT_EQ(a.counters.checksum_stages, b.counters.checksum_stages);
+    EXPECT_GT(a.counters.blocks_split, 0);
+    EXPECT_EQ(static_cast<std::size_t>(a.counters.checksum_stages), a.checksums.size());
+}
+
+TEST(Variants, TracerCapturesPhases) {
+    Config cfg = tiny_config();
+    amr::Tracer tracer;
+    tracer.enable(true);
+    const RunResult r = run_variant(cfg, Variant::TampiOss, &tracer);
+    EXPECT_TRUE(r.validation_ok);
+    const amr::TraceAnalysis a = tracer.analyze();
+    EXPECT_GT(a.busy_ns, 0);
+    EXPECT_GT(a.busy_ns_by_kind.count(amr::PhaseKind::Stencil), 0u);
+    EXPECT_GT(a.busy_ns_by_kind.count(amr::PhaseKind::IntraCopy), 0u);
+    EXPECT_GT(a.cores, 0);
+}
+
+}  // namespace
+}  // namespace dfamr::core
