@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/checksum_ablation.cpp" "bench/CMakeFiles/checksum_ablation.dir/checksum_ablation.cpp.o" "gcc" "bench/CMakeFiles/checksum_ablation.dir/checksum_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dfamr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/dfamr_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/dfamr_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_ablation.dir/checksum_ablation.cpp.o"
+  "CMakeFiles/checksum_ablation.dir/checksum_ablation.cpp.o.d"
+  "checksum_ablation"
+  "checksum_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

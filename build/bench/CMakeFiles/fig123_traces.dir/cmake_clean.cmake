@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig123_traces.dir/fig123_traces.cpp.o"
+  "CMakeFiles/fig123_traces.dir/fig123_traces.cpp.o.d"
+  "fig123_traces"
+  "fig123_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig123_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_ablation.dir/locality_ablation.cpp.o"
+  "CMakeFiles/locality_ablation.dir/locality_ablation.cpp.o.d"
+  "locality_ablation"
+  "locality_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

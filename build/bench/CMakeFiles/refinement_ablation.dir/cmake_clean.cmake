@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_ablation.dir/refinement_ablation.cpp.o"
+  "CMakeFiles/refinement_ablation.dir/refinement_ablation.cpp.o.d"
+  "refinement_ablation"
+  "refinement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

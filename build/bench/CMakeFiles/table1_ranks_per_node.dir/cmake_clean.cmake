@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ranks_per_node.dir/table1_ranks_per_node.cpp.o"
+  "CMakeFiles/table1_ranks_per_node.dir/table1_ranks_per_node.cpp.o.d"
+  "table1_ranks_per_node"
+  "table1_ranks_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ranks_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_comm_tasks.dir/table2_comm_tasks.cpp.o"
+  "CMakeFiles/table2_comm_tasks.dir/table2_comm_tasks.cpp.o.d"
+  "table2_comm_tasks"
+  "table2_comm_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_comm_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_spheres.dir/four_spheres.cpp.o"
+  "CMakeFiles/four_spheres.dir/four_spheres.cpp.o.d"
+  "four_spheres"
+  "four_spheres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_spheres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for four_spheres.
+# This may be replaced when dependencies are built.

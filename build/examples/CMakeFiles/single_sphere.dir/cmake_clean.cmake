@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_sphere.dir/single_sphere.cpp.o"
+  "CMakeFiles/single_sphere.dir/single_sphere.cpp.o.d"
+  "single_sphere"
+  "single_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_cluster.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/virtual_cluster.dir/virtual_cluster.cpp.o.d"
+  "virtual_cluster"
+  "virtual_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

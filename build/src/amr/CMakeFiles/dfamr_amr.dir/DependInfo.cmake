@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/block.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/block.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/block.cpp.o.d"
+  "/root/repo/src/amr/comm_plan.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/comm_plan.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/comm_plan.cpp.o.d"
+  "/root/repo/src/amr/config.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/config.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/config.cpp.o.d"
+  "/root/repo/src/amr/mesh.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/mesh.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/mesh.cpp.o.d"
+  "/root/repo/src/amr/object.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/object.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/object.cpp.o.d"
+  "/root/repo/src/amr/structure.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/structure.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/structure.cpp.o.d"
+  "/root/repo/src/amr/trace.cpp" "src/amr/CMakeFiles/dfamr_amr.dir/trace.cpp.o" "gcc" "src/amr/CMakeFiles/dfamr_amr.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_amr.dir/block.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/block.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/comm_plan.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/comm_plan.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/config.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/config.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/mesh.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/mesh.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/object.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/object.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/structure.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/structure.cpp.o.d"
+  "CMakeFiles/dfamr_amr.dir/trace.cpp.o"
+  "CMakeFiles/dfamr_amr.dir/trace.cpp.o.d"
+  "libdfamr_amr.a"
+  "libdfamr_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_common.dir/cli.cpp.o"
+  "CMakeFiles/dfamr_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dfamr_common.dir/table.cpp.o"
+  "CMakeFiles/dfamr_common.dir/table.cpp.o.d"
+  "libdfamr_common.a"
+  "libdfamr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/driver_base.cpp" "src/core/CMakeFiles/dfamr_core.dir/driver_base.cpp.o" "gcc" "src/core/CMakeFiles/dfamr_core.dir/driver_base.cpp.o.d"
+  "/root/repo/src/core/fork_join.cpp" "src/core/CMakeFiles/dfamr_core.dir/fork_join.cpp.o" "gcc" "src/core/CMakeFiles/dfamr_core.dir/fork_join.cpp.o.d"
+  "/root/repo/src/core/mpi_only.cpp" "src/core/CMakeFiles/dfamr_core.dir/mpi_only.cpp.o" "gcc" "src/core/CMakeFiles/dfamr_core.dir/mpi_only.cpp.o.d"
+  "/root/repo/src/core/run.cpp" "src/core/CMakeFiles/dfamr_core.dir/run.cpp.o" "gcc" "src/core/CMakeFiles/dfamr_core.dir/run.cpp.o.d"
+  "/root/repo/src/core/tampi_oss.cpp" "src/core/CMakeFiles/dfamr_core.dir/tampi_oss.cpp.o" "gcc" "src/core/CMakeFiles/dfamr_core.dir/tampi_oss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/dfamr_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tampi/CMakeFiles/dfamr_tampi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dfamr_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/dfamr_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

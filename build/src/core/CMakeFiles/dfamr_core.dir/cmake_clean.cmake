@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_core.dir/driver_base.cpp.o"
+  "CMakeFiles/dfamr_core.dir/driver_base.cpp.o.d"
+  "CMakeFiles/dfamr_core.dir/fork_join.cpp.o"
+  "CMakeFiles/dfamr_core.dir/fork_join.cpp.o.d"
+  "CMakeFiles/dfamr_core.dir/mpi_only.cpp.o"
+  "CMakeFiles/dfamr_core.dir/mpi_only.cpp.o.d"
+  "CMakeFiles/dfamr_core.dir/run.cpp.o"
+  "CMakeFiles/dfamr_core.dir/run.cpp.o.d"
+  "CMakeFiles/dfamr_core.dir/tampi_oss.cpp.o"
+  "CMakeFiles/dfamr_core.dir/tampi_oss.cpp.o.d"
+  "libdfamr_core.a"
+  "libdfamr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_mpisim.dir/mpi.cpp.o"
+  "CMakeFiles/dfamr_mpisim.dir/mpi.cpp.o.d"
+  "libdfamr_mpisim.a"
+  "libdfamr_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/dfamr_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dfamr_sim.dir/run_sim.cpp.o"
+  "CMakeFiles/dfamr_sim.dir/run_sim.cpp.o.d"
+  "CMakeFiles/dfamr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dfamr_sim.dir/simulator.cpp.o.d"
+  "libdfamr_sim.a"
+  "libdfamr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_tampi.dir/tampi.cpp.o"
+  "CMakeFiles/dfamr_tampi.dir/tampi.cpp.o.d"
+  "libdfamr_tampi.a"
+  "libdfamr_tampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_tampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasking/dependency.cpp" "src/tasking/CMakeFiles/dfamr_tasking.dir/dependency.cpp.o" "gcc" "src/tasking/CMakeFiles/dfamr_tasking.dir/dependency.cpp.o.d"
+  "/root/repo/src/tasking/runtime.cpp" "src/tasking/CMakeFiles/dfamr_tasking.dir/runtime.cpp.o" "gcc" "src/tasking/CMakeFiles/dfamr_tasking.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

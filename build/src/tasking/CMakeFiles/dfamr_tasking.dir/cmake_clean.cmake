@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfamr_tasking.dir/dependency.cpp.o"
+  "CMakeFiles/dfamr_tasking.dir/dependency.cpp.o.d"
+  "CMakeFiles/dfamr_tasking.dir/runtime.cpp.o"
+  "CMakeFiles/dfamr_tasking.dir/runtime.cpp.o.d"
+  "libdfamr_tasking.a"
+  "libdfamr_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfamr_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

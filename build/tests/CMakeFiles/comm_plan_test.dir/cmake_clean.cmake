@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_plan_test.dir/comm_plan_test.cpp.o"
+  "CMakeFiles/comm_plan_test.dir/comm_plan_test.cpp.o.d"
+  "comm_plan_test"
+  "comm_plan_test.pdb"
+  "comm_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_sim_test.dir/run_sim_test.cpp.o"
+  "CMakeFiles/run_sim_test.dir/run_sim_test.cpp.o.d"
+  "run_sim_test"
+  "run_sim_test.pdb"
+  "run_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
