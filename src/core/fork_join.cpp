@@ -4,11 +4,19 @@
 
 #include "common/timing.hpp"
 #include "tasking/parallel_for.hpp"
+#include "verify/verifier.hpp"
 
 namespace dfamr::core {
 
 ForkJoinDriver::ForkJoinDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
-    : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1) {}
+    : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1) {
+#if defined(DFAMR_VERIFY)
+    verifier_ = std::make_unique<verify::Verifier>();
+    verifier_->attach(rt_);
+#endif
+}
+
+ForkJoinDriver::~ForkJoinDriver() = default;
 
 void ForkJoinDriver::pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
     tasking::parallel_for(rt_, 0, n, fn);
@@ -60,6 +68,9 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
             stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
                            static_cast<std::size_t>(job.face->value_count * gvars));
         const std::int64_t t0 = now_ns();
+        DFAMR_CHECK_READ(mesh_.block(job.face->mine).group_span(gb, ge).data(),
+                         mesh_.block(job.face->mine).group_span(gb, ge).size_bytes());
+        DFAMR_CHECK_WRITE(section.data(), section.size_bytes());
         mesh_.block(job.face->mine).pack_face(job.face->geom, gb, ge, section);
         trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
     });
@@ -113,6 +124,9 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
             stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
                            static_cast<std::size_t>(job.face->value_count * gvars));
         const std::int64_t t1 = now_ns();
+        DFAMR_CHECK_READ(section.data(), section.size_bytes());
+        DFAMR_CHECK_WRITE(mesh_.block(job.face->mine).group_span(gb, ge).data(),
+                          mesh_.block(job.face->mine).group_span(gb, ge).size_bytes());
         mesh_.block(job.face->mine).unpack_face(job.face->geom, gb, ge, section);
         trace(worker_index(), t1, now_ns(), PhaseKind::Unpack);
     });
@@ -130,7 +144,10 @@ void ForkJoinDriver::stencil_stage(int group) {
     std::atomic<std::int64_t> flops{0};
     pfor(static_cast<std::int64_t>(keys.size()), [&](std::int64_t i) {
         const std::int64_t t0 = now_ns();
-        flops += mesh_.block(keys[static_cast<std::size_t>(i)]).apply_stencil(cfg_.stencil, gb, ge);
+        Block& blk = mesh_.block(keys[static_cast<std::size_t>(i)]);
+        DFAMR_CHECK_READ(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
+        DFAMR_CHECK_WRITE(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
+        flops += blk.apply_stencil(cfg_.stencil, gb, ge);
         trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
     });
     result_.stencil_flops += flops.load();
@@ -146,8 +163,9 @@ void ForkJoinDriver::checksum_stage() {
         std::vector<double> partials(keys.size(), 0.0);
         pfor(static_cast<std::int64_t>(keys.size()), [&](std::int64_t i) {
             const std::int64_t t0 = now_ns();
-            partials[static_cast<std::size_t>(i)] =
-                mesh_.block(keys[static_cast<std::size_t>(i)]).checksum(gb, ge);
+            const Block& blk = mesh_.block(keys[static_cast<std::size_t>(i)]);
+            DFAMR_CHECK_READ(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
+            partials[static_cast<std::size_t>(i)] = blk.checksum(gb, ge);
             trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
         });
         double sum = 0;

@@ -10,11 +10,16 @@
 #include "core/driver_base.hpp"
 #include "tasking/runtime.hpp"
 
+namespace dfamr::verify {
+class Verifier;
+}
+
 namespace dfamr::core {
 
 class ForkJoinDriver final : public DriverBase {
 public:
     ForkJoinDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer);
+    ~ForkJoinDriver() override;  // out-of-line: verifier_ is incomplete here
 
 protected:
     void communicate_stage(int group) override;
@@ -30,6 +35,8 @@ private:
     /// parallel-for with the implicit barrier of an OpenMP region.
     void pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+    /// Populated in DFAMR_VERIFY builds; declared before rt_ (shutdown hook).
+    std::unique_ptr<verify::Verifier> verifier_;
     tasking::Runtime rt_;  // master (this thread) helps at the barrier
 };
 

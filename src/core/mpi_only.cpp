@@ -4,6 +4,7 @@
 #include "core/mpi_only.hpp"
 
 #include "common/timing.hpp"
+#include "verify/access_check.hpp"
 
 namespace dfamr::core {
 
@@ -54,6 +55,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
                 const amr::FaceTransfer& face = ex.sends[static_cast<std::size_t>(f)];
                 auto section = stream.subspan(static_cast<std::size_t>(face.value_offset * gvars),
                                               static_cast<std::size_t>(face.value_count * gvars));
+                DFAMR_CHECK_WRITE(section.data(), section.size_bytes());
                 mesh_.block(face.mine).pack_face(face.geom, gb, ge, section);
             }
             trace(0, t0, now_ns(), PhaseKind::Pack);
@@ -90,6 +92,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
             const amr::FaceTransfer& face = ex.recvs[static_cast<std::size_t>(f)];
             auto section = stream.subspan(static_cast<std::size_t>(face.value_offset * gvars),
                                           static_cast<std::size_t>(face.value_count * gvars));
+            DFAMR_CHECK_READ(section.data(), section.size_bytes());
             mesh_.block(face.mine).unpack_face(face.geom, gb, ge, section);
         }
         trace(0, t1, now_ns(), PhaseKind::Unpack);
@@ -107,7 +110,9 @@ void MpiOnlyDriver::stencil_stage(int group) {
     const int gb = group_begin(group), ge = group_end(group);
     for (const BlockKey& key : mesh_.owned_keys()) {
         const std::int64_t t0 = now_ns();
-        result_.stencil_flops += mesh_.block(key).apply_stencil(cfg_.stencil, gb, ge);
+        Block& blk = mesh_.block(key);
+        DFAMR_CHECK_WRITE(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
+        result_.stencil_flops += blk.apply_stencil(cfg_.stencil, gb, ge);
         trace(0, t0, now_ns(), PhaseKind::Stencil);
     }
     sw.stop();

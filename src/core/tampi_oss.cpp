@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
+#include "verify/verifier.hpp"
 
 namespace dfamr::core {
 
@@ -11,7 +12,12 @@ using tasking::inout;
 using tasking::out;
 
 TampiOssDriver::TampiOssDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
-    : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1), tampi_(rt_) {}
+    : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1), tampi_(rt_) {
+#if defined(DFAMR_VERIFY)
+    verifier_ = std::make_unique<verify::Verifier>();
+    verifier_->attach(rt_);
+#endif
+}
 
 TampiOssDriver::~TampiOssDriver() {
     // Drain everything before members (tampi_, rt_) unwind.
@@ -79,6 +85,9 @@ void TampiOssDriver::submit_direction(int dir, int group) {
                 rt_.submit(
                     [this, face, section, gb, ge] {
                         const std::int64_t t0 = now_ns();
+                        auto blk = mesh_.block(face->mine).group_span(gb, ge);
+                        DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
+                        DFAMR_CHECK_WRITE(section.data(), section.size_bytes());
                         mesh_.block(face->mine).pack_face(face->geom, gb, ge, section);
                         trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
                     },
@@ -109,6 +118,9 @@ void TampiOssDriver::submit_direction(int dir, int group) {
                 rt_.submit(
                     [this, face, section, gb, ge] {
                         const std::int64_t t0 = now_ns();
+                        auto blk = mesh_.block(face->mine).group_span(gb, ge);
+                        DFAMR_CHECK_READ(section.data(), section.size_bytes());
+                        DFAMR_CHECK_WRITE(blk.data(), blk.size_bytes());
                         mesh_.block(face->mine).unpack_face(face->geom, gb, ge, section);
                         trace(worker_index(), t0, now_ns(), PhaseKind::Unpack);
                     },
@@ -146,6 +158,9 @@ void TampiOssDriver::stencil_stage(int group) {
         rt_.submit(
             [this, key, gb, ge] {
                 const std::int64_t t0 = now_ns();
+                auto blk = mesh_.block(key).group_span(gb, ge);
+                DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
+                DFAMR_CHECK_WRITE(blk.data(), blk.size_bytes());
                 flops_ += mesh_.block(key).apply_stencil(cfg_.stencil, gb, ge);
                 trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
             },
@@ -170,6 +185,9 @@ void TampiOssDriver::checksum_stage() {
             rt_.submit(
                 [this, key, gb, ge, cell] {
                     const std::int64_t t0 = now_ns();
+                    auto blk = mesh_.block(key).group_span(gb, ge);
+                    DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
+                    DFAMR_CHECK_WRITE(cell, sizeof(double));
                     *cell = mesh_.block(key).checksum(gb, ge);
                     trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
                 },
@@ -179,8 +197,12 @@ void TampiOssDriver::checksum_stage() {
         const std::size_t nkeys = keys.size();
         rt_.submit(
             [row, nkeys, sum_cell] {
+                // Element-wise checked access on the partials row: every
+                // load is validated against the declared in-region.
+                auto crow = DFAMR_CHECKED_SPAN((std::span<const double>{row, nkeys}));
                 double s = 0;
-                for (std::size_t i = 0; i < nkeys; ++i) s += row[i];
+                for (std::size_t i = 0; i < nkeys; ++i) s += crow[i];
+                DFAMR_CHECK_WRITE(sum_cell, sizeof(double));
                 *sum_cell = s;
             },
             {in(row, nkeys * sizeof(double)), out(sum_cell, sizeof(double))}, "checksum_reduce");

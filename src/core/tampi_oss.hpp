@@ -24,6 +24,10 @@
 #include "tampi/tampi.hpp"
 #include "tasking/runtime.hpp"
 
+namespace dfamr::verify {
+class Verifier;
+}
+
 namespace dfamr::core {
 
 class TampiOssDriver final : public DriverBase {
@@ -48,6 +52,9 @@ private:
     tasking::Dep block_dep_in(const BlockKey& key, int gb, int ge);
     tasking::Dep block_dep_inout(const BlockKey& key, int gb, int ge);
 
+    /// DepLint + access checker, populated in DFAMR_VERIFY builds only.
+    /// Declared before rt_: the runtime's shutdown fires into the hook.
+    std::unique_ptr<verify::Verifier> verifier_;
     tasking::Runtime rt_;
     tampi::Tampi tampi_;
     std::atomic<std::int64_t> flops_{0};

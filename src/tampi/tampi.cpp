@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "verify/access_check.hpp"
 
 namespace dfamr::tampi {
 
@@ -32,20 +33,27 @@ void Tampi::iwaitall(std::span<mpi::Request> reqs) {
 }
 
 void Tampi::isend(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag) {
+    // The send buffer is an input of the calling task: it must be declared.
+    DFAMR_CHECK_READ(buf, bytes);
     iwait(comm.isend(buf, bytes, dest, tag));
 }
 
 void Tampi::irecv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag) {
+    // The receive buffer is written asynchronously on the task's behalf —
+    // an undeclared buffer races with whoever else touches it.
+    DFAMR_CHECK_WRITE(buf, bytes);
     iwait(comm.irecv(buf, bytes, source, tag));
 }
 
 void Tampi::send(mpi::Communicator& comm, const void* buf, std::size_t bytes, int dest, int tag) {
+    DFAMR_CHECK_READ(buf, bytes);
     mpi::Request req = comm.isend(buf, bytes, dest, tag);
     runtime_.help_until([&req] { return req.test(); });
 }
 
 void Tampi::recv(mpi::Communicator& comm, void* buf, std::size_t bytes, int source, int tag,
                  mpi::Status* status) {
+    DFAMR_CHECK_WRITE(buf, bytes);
     mpi::Request req = comm.irecv(buf, bytes, source, tag);
     runtime_.help_until([&req] { return req.test(); });
     if (status != nullptr) req.test(status);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "tasking/verify_hook.hpp"
 
 namespace dfamr::tasking {
 
@@ -24,7 +25,17 @@ DependencyRegistry::IntervalMap::iterator DependencyRegistry::split_at(std::uint
 }
 
 void DependencyRegistry::add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added) {
-    if (!pred || pred.get() == succ.get() || pred->dep_released) return;
+    if (!pred || pred.get() == succ.get()) return;
+    if (pred->dep_released) {
+        // The conflicting predecessor already completed: ordering holds by
+        // completion time, no edge needed. Count it so (added + elided)
+        // stays deterministic for a given access sequence.
+        if (pred->last_edge_marker != succ->node_id) {
+            pred->last_edge_marker = succ->node_id;
+            ++edges_elided_;
+        }
+        return;
+    }
     // Dedup consecutive identical edges: a multi-interval region would
     // otherwise add one edge per covered interval.
     if (pred->last_edge_marker == succ->node_id) return;
@@ -32,6 +43,7 @@ void DependencyRegistry::add_edge(const DepNodePtr& pred, const DepNodePtr& succ
     pred->successors.push_back(succ.get());
     ++succ->pred_count;
     ++added;
+    if (verify_ != nullptr) verify_->on_edge_added(*pred, *succ);
 }
 
 int DependencyRegistry::register_accesses(const DepNodePtr& node, std::span<const Dep> deps) {

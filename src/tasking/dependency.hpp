@@ -23,6 +23,13 @@
 namespace dfamr::tasking {
 
 /// A byte range [base, base+size) used as a dependency region.
+///
+/// Empty regions (size == 0) are well-defined and inert: they overlap
+/// nothing — not even an empty region at the same base — and registering
+/// one imposes no ordering and creates no interval bookkeeping. A task
+/// whose deps list is empty (or contains only empty regions) is therefore
+/// immediately ready and unordered with respect to every other task.
+/// DepLint checks against the same model: empty regions never conflict.
 struct Region {
     std::uintptr_t base = 0;
     std::size_t size = 0;
@@ -38,6 +45,7 @@ struct Region {
     }
 
     std::uintptr_t end() const { return base + size; }
+    bool empty() const { return size == 0; }
     bool overlaps(const Region& o) const { return base < o.end() && o.base < end(); }
 };
 
@@ -89,6 +97,8 @@ struct DepNode {
 
 using DepNodePtr = std::shared_ptr<DepNode>;
 
+class VerifyHook;
+
 /// Tracks last-writer / readers-since-write per byte interval and wires
 /// reader-after-write, write-after-read and write-after-write edges.
 ///
@@ -97,11 +107,25 @@ class DependencyRegistry {
 public:
     /// Registers the accesses of `node`, adding predecessor edges from every
     /// conflicting earlier node that has not yet released its dependencies.
-    /// Returns the number of predecessor edges added.
+    /// Empty regions are skipped (see Region). Returns the number of
+    /// predecessor edges added.
     int register_accesses(const DepNodePtr& node, std::span<const Dep> deps);
 
     /// Number of distinct byte intervals currently tracked (for tests/stats).
     std::size_t interval_count() const { return intervals_.size(); }
+
+    /// Cumulative count of edges elided because the conflicting predecessor
+    /// had already released its dependencies (the ordering then holds by
+    /// completion time instead of by an explicit edge). Together with the
+    /// added-edge count this makes conflict accounting deterministic:
+    /// added + elided is a property of the access sequence, not of worker
+    /// timing. Best-effort: conflicts whose predecessor interval was already
+    /// garbage-collected leave no trace and are not counted.
+    std::uint64_t edges_elided() const { return edges_elided_; }
+
+    /// Attaches a verification observer notified of every edge the registry
+    /// wires (nullptr detaches; zero-cost when detached).
+    void set_verify_hook(VerifyHook* hook) { verify_ = hook; }
 
     /// Drops bookkeeping for regions nobody references anymore. The registry
     /// prunes intervals whose writer and readers have all released.
@@ -124,6 +148,8 @@ private:
     void add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added);
 
     IntervalMap intervals_;
+    std::uint64_t edges_elided_ = 0;
+    VerifyHook* verify_ = nullptr;
 };
 
 }  // namespace dfamr::tasking

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "tasking/verify_hook.hpp"
 
 namespace dfamr::tasking {
 
@@ -34,10 +35,17 @@ Runtime::~Runtime() {
     }
     {
         std::unique_lock lock(graph_mutex_);
+        if (verify_ != nullptr) verify_->on_shutdown();
         shutting_down_ = true;
     }
     ready_cv_.notify_all();
     for (auto& w : workers_) w.join();
+}
+
+void Runtime::set_verify_hook(VerifyHook* hook) {
+    std::unique_lock lock(graph_mutex_);
+    verify_ = hook;
+    registry_.set_verify_hook(hook);
 }
 
 void Runtime::submit(std::function<void()> body, std::vector<Dep> deps, const char* label) {
@@ -56,6 +64,9 @@ void Runtime::submit(std::function<void()> body, std::vector<Dep> deps, const ch
     ++live_tasks_;
     ++stats_.tasks_submitted;
     for (Task* p = task->parent; p != nullptr; p = p->parent) ++p->descendants_live;
+    if (verify_ != nullptr) {
+        verify_->on_node_registered(*task, task->label, std::span<const Dep>(task->deps));
+    }
     stats_.edges_added += static_cast<std::uint64_t>(
         registry_.register_accesses(task, std::span<const Dep>(task->deps)));
     if (task->pred_count == 0) enqueue_ready(task, lock);
@@ -67,35 +78,35 @@ void Runtime::enqueue_ready(TaskPtr task, std::unique_lock<std::mutex>& lock) {
     ready_cv_.notify_one();
 }
 
-void Runtime::execute(const TaskPtr& task) {
+void Runtime::run_body(const TaskPtr& task) {
     Runtime* prev_rt = tls_runtime;
     Task* prev_task = tls_task;
     tls_runtime = this;
     tls_task = task.get();
+    // verify_ is only mutated while no tasks are in flight (attach-before-
+    // submit contract), so the unlocked reads here are safe.
+    if (verify_ != nullptr) {
+        verify_->on_body_start(*task, task->label, std::span<const Dep>(task->deps));
+    }
     try {
         if (task->body) task->body();
     } catch (...) {
         std::unique_lock lock(graph_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
     }
+    if (verify_ != nullptr) verify_->on_body_end(*task);
     tls_runtime = prev_rt;
     tls_task = prev_task;
+}
 
+void Runtime::execute(const TaskPtr& task) {
+    run_body(task);
     TaskPtr next = finish_body(task);
     // Immediate-successor chain: run just-readied successors on this thread
     // so they reuse the producer's warm cache (OmpSs-2 locality heuristic).
     while (next) {
         TaskPtr chained = next;
-        tls_runtime = this;
-        tls_task = chained.get();
-        try {
-            if (chained->body) chained->body();
-        } catch (...) {
-            std::unique_lock lock(graph_mutex_);
-            if (!first_error_) first_error_ = std::current_exception();
-        }
-        tls_runtime = prev_rt;
-        tls_task = prev_task;
+        run_body(chained);
         next = finish_body(chained);
     }
 }
@@ -112,6 +123,7 @@ Runtime::TaskPtr Runtime::complete_if_ready(const TaskPtr& task, std::unique_loc
     if (task->completed || !task->body_done || task->external_events > 0) return nullptr;
     task->completed = true;
     task->dep_released = true;
+    if (verify_ != nullptr) verify_->on_node_released(*task);
 
     for (Task* p = task->parent; p != nullptr; p = p->parent) --p->descendants_live;
 
@@ -236,6 +248,10 @@ void Runtime::taskwait_on(std::vector<Dep> deps) {
         ++live_tasks_;
         ++stats_.tasks_submitted;
         for (Task* p = sentinel->parent; p != nullptr; p = p->parent) ++p->descendants_live;
+        if (verify_ != nullptr) {
+            verify_->on_node_registered(*sentinel, sentinel->label,
+                                        std::span<const Dep>(sentinel->deps));
+        }
         stats_.edges_added += static_cast<std::uint64_t>(
             registry_.register_accesses(sentinel, std::span<const Dep>(sentinel->deps)));
         if (sentinel->pred_count == 0) enqueue_ready(sentinel, lock);
@@ -281,7 +297,9 @@ void Runtime::unregister_polling_service(const std::string& name) {
 
 RuntimeStats Runtime::stats() const {
     std::unique_lock lock(graph_mutex_);
-    return stats_;
+    RuntimeStats snapshot = stats_;
+    snapshot.edges_elided = registry_.edges_elided();
+    return snapshot;
 }
 
 }  // namespace dfamr::tasking

@@ -55,11 +55,19 @@ struct Task final : DepNode, std::enable_shared_from_this<Task> {
 };
 
 /// Aggregate runtime counters (observable by tests and benches).
+///
+/// Consistency: every field is mutated and snapshotted under the graph
+/// mutex, so stats() returns one coherent point-in-time view. Note that
+/// `edges_added` alone is timing-dependent with workers > 0: a conflicting
+/// predecessor that completes before the successor is submitted needs no
+/// edge. `edges_added + edges_elided` is the timing-independent conflict
+/// count (up to garbage collection, see DependencyRegistry::edges_elided).
 struct RuntimeStats {
     std::uint64_t tasks_submitted = 0;
     std::uint64_t tasks_executed = 0;
     std::uint64_t immediate_successor_hits = 0;
     std::uint64_t edges_added = 0;
+    std::uint64_t edges_elided = 0;
 };
 
 class Runtime {
@@ -111,10 +119,18 @@ public:
     int worker_count() const { return static_cast<int>(workers_.size()); }
     RuntimeStats stats() const;
 
+    /// Attaches a verification observer (see tasking/verify_hook.hpp) that
+    /// sees every node registration, edge, release, body execution window,
+    /// and the shutdown. Attach before submitting tasks; detach with
+    /// nullptr. Zero-cost when detached (a null-pointer check per event).
+    void set_verify_hook(VerifyHook* hook);
+
 private:
     using TaskPtr = std::shared_ptr<Task>;
 
     void worker_loop(int worker_index);
+    /// Runs the task body with the thread-local context + verify hooks set.
+    void run_body(const TaskPtr& task);
     /// Executes one ready task if available; returns true if one ran.
     bool try_execute_one();
     void execute(const TaskPtr& task);
@@ -160,6 +176,7 @@ private:
     std::atomic<bool> has_polling_{false};
 
     RuntimeStats stats_;
+    VerifyHook* verify_ = nullptr;
 };
 
 }  // namespace dfamr::tasking

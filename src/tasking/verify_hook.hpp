@@ -1,0 +1,67 @@
+// Verification hook: the observation interface DepLint (src/verify) uses to
+// watch the tasking layer without the tasking layer depending on it.
+//
+// The runtime and the dependency registry each hold a single raw VerifyHook
+// pointer that is null in normal operation — every call site is guarded by a
+// branch on that pointer, so the hook is zero-cost when no verifier is
+// attached. When attached, the hook sees the complete dependency history:
+// every registered node with its declared accesses, every happens-before
+// edge the registry wires (including the ones it later drops on completion
+// or garbage collection), every dependency release, and the body execution
+// window of every task.
+//
+// Locking contract:
+//  * on_node_registered / on_edge_added / on_node_released / on_shutdown are
+//    invoked with the owning component's lock held (the Runtime's graph
+//    mutex, or nothing for a standalone DependencyRegistry). Calls are
+//    serialized in a single total order consistent with the runtime's own
+//    ordering of submissions and releases. Implementations must not call
+//    back into the runtime.
+//  * on_body_start / on_body_end are invoked on the executing thread,
+//    outside any runtime lock, bracketing the task body (including bodies
+//    run through the immediate-successor chain and inline execution).
+#pragma once
+
+#include <span>
+
+#include "tasking/dependency.hpp"
+
+namespace dfamr::tasking {
+
+class VerifyHook {
+public:
+    virtual ~VerifyHook() = default;
+
+    /// A node entered the dependency graph. `deps` is the declared access
+    /// list (empty for pure computation tasks, which impose no ordering).
+    virtual void on_node_registered(const DepNode& node, const char* label,
+                                    std::span<const Dep> deps) {
+        (void)node;
+        (void)label;
+        (void)deps;
+    }
+
+    /// The registry wired a happens-before edge pred -> succ.
+    virtual void on_edge_added(const DepNode& pred, const DepNode& succ) {
+        (void)pred;
+        (void)succ;
+    }
+
+    /// The node released its dependencies (body finished and external events
+    /// drained). After this, the registry may elide edges from this node.
+    virtual void on_node_released(const DepNode& node) { (void)node; }
+
+    /// The executing thread is about to run / has finished the task body.
+    virtual void on_body_start(const DepNode& node, const char* label,
+                               std::span<const Dep> deps) {
+        (void)node;
+        (void)label;
+        (void)deps;
+    }
+    virtual void on_body_end(const DepNode& node) { (void)node; }
+
+    /// The runtime drained its final taskwait and is about to shut down.
+    virtual void on_shutdown() {}
+};
+
+}  // namespace dfamr::tasking

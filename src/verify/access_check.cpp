@@ -1,0 +1,103 @@
+#include "verify/access_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace dfamr::verify {
+
+namespace {
+
+struct Frame {
+    const char* label = "";
+    std::uint64_t task_id = 0;
+    bool constrained = false;  // false: body declared nothing, checks pass
+    std::vector<tasking::Dep> deps;
+};
+
+// Stack, not a single slot: inline execution and taskwait-from-a-body run
+// nested task bodies on the same thread.
+thread_local std::vector<Frame> tls_frames;
+
+void push_frame(const char* label, std::uint64_t task_id, std::span<const tasking::Dep> deps) {
+    Frame f;
+    f.label = (label != nullptr) ? label : "";
+    f.task_id = task_id;
+    for (const tasking::Dep& d : deps) {
+        if (d.region.empty()) continue;
+        f.constrained = true;
+        f.deps.push_back(d);
+    }
+    tls_frames.push_back(std::move(f));
+}
+
+/// Merged coverage test: is [lo, hi) covered by the union of the regions in
+/// `deps` whose kind satisfies the access?
+bool covered(const std::vector<tasking::Dep>& deps, std::uintptr_t lo, std::uintptr_t hi,
+             bool is_write) {
+    std::vector<std::pair<std::uintptr_t, std::uintptr_t>> granted;
+    for (const tasking::Dep& d : deps) {
+        const bool ok = is_write ? (d.kind != tasking::DepKind::In)
+                                 : (d.kind != tasking::DepKind::Out);
+        if (ok) granted.emplace_back(d.region.base, d.region.end());
+    }
+    std::sort(granted.begin(), granted.end());
+    std::uintptr_t cursor = lo;
+    for (const auto& [b, e] : granted) {
+        if (b > cursor) break;
+        cursor = std::max(cursor, e);
+        if (cursor >= hi) return true;
+    }
+    return cursor >= hi;
+}
+
+[[noreturn]] void report_violation(const Frame& f, const void* p, std::size_t n, bool is_write) {
+    std::ostringstream os;
+    os << "verify: undeclared " << (is_write ? "write" : "read") << " of " << n << " byte(s) at 0x"
+       << std::hex << reinterpret_cast<std::uintptr_t>(p) << std::dec << " in task '"
+       << (f.label[0] != '\0' ? f.label : "<unlabeled>") << "' (#" << f.task_id
+       << "); declared regions:";
+    for (const tasking::Dep& d : f.deps) {
+        const char* kind = d.kind == tasking::DepKind::In
+                               ? "in"
+                               : (d.kind == tasking::DepKind::Out ? "out" : "inout");
+        os << ' ' << kind << " [0x" << std::hex << d.region.base << std::dec << ", +"
+           << d.region.size << ')';
+    }
+    throw AccessViolation(os.str());
+}
+
+}  // namespace
+
+void check_access(const void* p, std::size_t n, bool is_write) {
+    if (n == 0) return;
+    if (tls_frames.empty()) return;  // not inside a task body
+    const Frame& f = tls_frames.back();
+    if (!f.constrained) return;  // body declared nothing: unconstrained
+    const auto lo = reinterpret_cast<std::uintptr_t>(p);
+    if (!covered(f.deps, lo, lo + n, is_write)) report_violation(f, p, n, is_write);
+}
+
+bool access_checking_active() {
+    return !tls_frames.empty() && tls_frames.back().constrained;
+}
+
+ScopedDeclaredRegions::ScopedDeclaredRegions(const char* label, std::uint64_t task_id,
+                                             std::span<const tasking::Dep> deps) {
+    push_frame(label, task_id, deps);
+}
+
+ScopedDeclaredRegions::~ScopedDeclaredRegions() { tls_frames.pop_back(); }
+
+void AccessChecker::on_body_start(const tasking::DepNode& node, const char* label,
+                                  std::span<const tasking::Dep> deps) {
+    push_frame(label, node.node_id, deps);
+}
+
+void AccessChecker::on_body_end(const tasking::DepNode& node) {
+    (void)node;
+    DFAMR_ASSERT(!tls_frames.empty() && tls_frames.back().task_id == node.node_id);
+    tls_frames.pop_back();
+}
+
+}  // namespace dfamr::verify

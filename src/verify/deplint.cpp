@@ -1,0 +1,274 @@
+#include "verify/deplint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <sstream>
+
+namespace dfamr::verify {
+
+namespace {
+
+const char* kind_name(tasking::DepKind k) {
+    switch (k) {
+        case tasking::DepKind::In:
+            return "in";
+        case tasking::DepKind::Out:
+            return "out";
+        case tasking::DepKind::InOut:
+            return "inout";
+    }
+    return "?";
+}
+
+void describe_task(std::ostringstream& os, const TaskRecord& t, const RecordedAccess& a) {
+    os << '\'' << (t.label.empty() ? "<unlabeled>" : t.label) << "' (#" << t.id << ", "
+       << kind_name(a.kind) << " [0x" << std::hex << a.region.base << std::dec << ", +"
+       << a.region.size << ") dep " << a.dep_index << ')';
+}
+
+/// Forward/backward E-closure from one node (indices into tasks_).
+std::vector<std::size_t> closure(std::size_t start,
+                                 const std::vector<std::vector<std::size_t>>& adj) {
+    std::vector<std::size_t> out;
+    std::vector<char> seen(adj.size(), 0);
+    std::deque<std::size_t> work{start};
+    seen[start] = 1;
+    while (!work.empty()) {
+        const std::size_t cur = work.front();
+        work.pop_front();
+        out.push_back(cur);
+        for (std::size_t next : adj[cur]) {
+            if (!seen[next]) {
+                seen[next] = 1;
+                work.push_back(next);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string Report::to_string() const {
+    std::ostringstream os;
+    os << "DepLint: " << tasks_checked << " tasks, " << conflicts_checked
+       << " conflicting pairs checked, " << violations.size() << " violation(s)\n";
+    for (const Violation& v : violations) {
+        os << "  [" << (v.kind == Violation::Kind::Cycle ? "cycle" : "race") << "] " << v.message
+           << '\n';
+    }
+    return os.str();
+}
+
+void DepLint::on_node_registered(const tasking::DepNode& node, const char* label,
+                                 std::span<const tasking::Dep> deps) {
+    std::lock_guard lock(mutex_);
+    TaskRecord rec;
+    rec.id = node.node_id;
+    rec.label = (label != nullptr) ? label : "";
+    rec.submit_stamp = clock_++;
+    rec.accesses.reserve(deps.size());
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+        // Empty regions impose no ordering (see tasking::Region) — skip so
+        // the checked model matches the registry's.
+        if (deps[i].region.empty()) continue;
+        rec.accesses.push_back(
+            RecordedAccess{deps[i].kind, deps[i].region, static_cast<int>(i)});
+    }
+    index_[rec.id] = tasks_.size();
+    tasks_.push_back(std::move(rec));
+}
+
+void DepLint::on_edge_added(const tasking::DepNode& pred, const tasking::DepNode& succ) {
+    std::lock_guard lock(mutex_);
+    edges_.emplace_back(pred.node_id, succ.node_id);
+}
+
+void DepLint::on_node_released(const tasking::DepNode& node) {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(node.node_id);
+    if (it == index_.end()) return;  // released node predates attachment
+    tasks_[it->second].release_stamp = clock_++;
+}
+
+void DepLint::on_shutdown() {
+    if (!check_on_shutdown_) return;
+    const Report report = check();
+    if (!report.clean()) {
+        std::fputs(report.to_string().c_str(), stderr);
+        std::fputs("DepLint: dependency invariant violated at runtime shutdown\n", stderr);
+        std::abort();
+    }
+}
+
+void DepLint::reset() {
+    std::lock_guard lock(mutex_);
+    clock_ = 1;
+    tasks_.clear();
+    index_.clear();
+    edges_.clear();
+}
+
+std::size_t DepLint::recorded_tasks() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+}
+
+std::size_t DepLint::recorded_edges() const {
+    std::lock_guard lock(mutex_);
+    return edges_.size();
+}
+
+Report DepLint::check() const {
+    std::lock_guard lock(mutex_);
+    Report report;
+    report.tasks_checked = tasks_.size();
+    const std::size_t n = tasks_.size();
+
+    // Adjacency over task indices; edges to/from unrecorded nodes (released
+    // before attachment) carry no information and are dropped.
+    std::vector<std::vector<std::size_t>> fwd(n), bwd(n);
+    for (const auto& [pred_id, succ_id] : edges_) {
+        auto p = index_.find(pred_id);
+        auto s = index_.find(succ_id);
+        if (p == index_.end() || s == index_.end()) continue;
+        fwd[p->second].push_back(s->second);
+        bwd[s->second].push_back(p->second);
+    }
+
+    // --- cycle detection (Kahn's algorithm; leftovers lie on cycles) ------
+    {
+        std::vector<std::size_t> indegree(n, 0);
+        for (std::size_t u = 0; u < n; ++u) {
+            for (std::size_t v : fwd[u]) ++indegree[v];
+        }
+        std::deque<std::size_t> ready;
+        for (std::size_t u = 0; u < n; ++u) {
+            if (indegree[u] == 0) ready.push_back(u);
+        }
+        std::size_t ordered = 0;
+        while (!ready.empty()) {
+            const std::size_t u = ready.front();
+            ready.pop_front();
+            ++ordered;
+            for (std::size_t v : fwd[u]) {
+                if (--indegree[v] == 0) ready.push_back(v);
+            }
+        }
+        if (ordered < n) {
+            // Name two cyclic nodes for the diagnostic.
+            std::vector<std::size_t> cyclic;
+            for (std::size_t u = 0; u < n && cyclic.size() < 2; ++u) {
+                if (indegree[u] > 0) cyclic.push_back(u);
+            }
+            std::ostringstream os;
+            os << "dependency graph contains a cycle through "
+               << (n - ordered) << " task(s), e.g. '" << tasks_[cyclic.front()].label << "' (#"
+               << tasks_[cyclic.front()].id << ')';
+            Violation v;
+            v.kind = Violation::Kind::Cycle;
+            v.task_a = tasks_[cyclic.front()].id;
+            v.task_b = tasks_[cyclic.back()].id;
+            v.message = os.str();
+            report.violations.push_back(std::move(v));
+        }
+    }
+
+    // --- conflicting pairs: overlap + at least one writer -----------------
+    struct Access {
+        std::uintptr_t base, end;
+        std::size_t task;
+        std::size_t acc;  // index into tasks_[task].accesses
+        bool write;
+    };
+    std::vector<Access> accs;
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t a = 0; a < tasks_[t].accesses.size(); ++a) {
+            const RecordedAccess& ra = tasks_[t].accesses[a];
+            accs.push_back(Access{ra.region.base, ra.region.end(), t, a,
+                                  ra.kind != tasking::DepKind::In});
+        }
+    }
+    std::sort(accs.begin(), accs.end(),
+              [](const Access& a, const Access& b) { return a.base < b.base; });
+
+    // For each unique conflicting task pair, remember one witnessing access
+    // pair for the diagnostic.
+    std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+        for (std::size_t j = i + 1; j < accs.size() && accs[j].base < accs[i].end; ++j) {
+            if (accs[i].task == accs[j].task) continue;
+            if (!accs[i].write && !accs[j].write) continue;
+            std::size_t lo = std::min(accs[i].task, accs[j].task);
+            std::size_t hi = std::max(accs[i].task, accs[j].task);
+            pairs.try_emplace((static_cast<std::uint64_t>(lo) << 32) | hi,
+                              lo == accs[i].task ? i : j, lo == accs[i].task ? j : i);
+        }
+    }
+    report.conflicts_checked = pairs.size();
+
+    // --- happens-before proof per pair ------------------------------------
+    // Memoized E-closures plus their min-release / max-submit summaries.
+    std::unordered_map<std::size_t, std::pair<std::vector<std::size_t>, std::uint64_t>> fwd_memo;
+    std::unordered_map<std::size_t, std::uint64_t> bwd_memo;  // max submit over co-closure
+    auto fwd_info = [&](std::size_t t) -> const std::pair<std::vector<std::size_t>, std::uint64_t>& {
+        auto it = fwd_memo.find(t);
+        if (it == fwd_memo.end()) {
+            auto cl = closure(t, fwd);
+            std::uint64_t min_rel = TaskRecord::kNotReleased;
+            for (std::size_t x : cl) min_rel = std::min(min_rel, tasks_[x].release_stamp);
+            std::sort(cl.begin(), cl.end());
+            it = fwd_memo.emplace(t, std::make_pair(std::move(cl), min_rel)).first;
+        }
+        return it->second;
+    };
+    auto bwd_max_submit = [&](std::size_t t) {
+        auto it = bwd_memo.find(t);
+        if (it == bwd_memo.end()) {
+            std::uint64_t max_sub = 0;
+            for (std::size_t y : closure(t, bwd)) {
+                max_sub = std::max(max_sub, tasks_[y].submit_stamp);
+            }
+            it = bwd_memo.emplace(t, max_sub).first;
+        }
+        return it->second;
+    };
+
+    for (const auto& [key, witness] : pairs) {
+        (void)key;
+        // Order the pair by registration: `first` must happen-before `second`.
+        std::size_t wa = witness.first, wb = witness.second;
+        std::size_t a = accs[wa].task, b = accs[wb].task;
+        if (tasks_[a].submit_stamp > tasks_[b].submit_stamp) {
+            std::swap(a, b);
+            std::swap(wa, wb);
+        }
+        const auto& [fa, min_rel] = fwd_info(a);
+        const bool reaches = std::binary_search(fa.begin(), fa.end(), b);
+        const bool released_before = min_rel < bwd_max_submit(b);
+        if (reaches || released_before) continue;
+
+        std::ostringstream os;
+        os << "tasks ";
+        describe_task(os, tasks_[a], tasks_[a].accesses[accs[wa].acc]);
+        os << " and ";
+        describe_task(os, tasks_[b], tasks_[b].accesses[accs[wb].acc]);
+        os << " access overlapping regions with a writer but no happens-before path orders them";
+        Violation v;
+        v.task_a = tasks_[a].id;
+        v.task_b = tasks_[b].id;
+        v.message = os.str();
+        report.violations.push_back(std::move(v));
+    }
+
+    // Deterministic report order (pairs map iteration order is not).
+    std::sort(report.violations.begin(), report.violations.end(),
+              [](const Violation& x, const Violation& y) {
+                  return std::tie(x.task_a, x.task_b) < std::tie(y.task_a, y.task_b);
+              });
+    return report;
+}
+
+}  // namespace dfamr::verify

@@ -1,0 +1,126 @@
+// DepLint — graph-level dependency-correctness checker for the tasking layer.
+//
+// The paper's entire correctness argument rests on tasks declaring accurate
+// in/out/inout region dependencies: one missed edge in the registry (a bad
+// interval split, a premature garbage collection, a WAR/WAW case lost in a
+// refactor) silently turns into a data race no functional test can catch.
+// DepLint records the full dependency history through tasking::VerifyHook
+// and, on demand, PROVES the fundamental invariant:
+//
+//     for any two recorded tasks whose declared regions overlap with at
+//     least one writer, a happens-before path must order them.
+//
+// Happens-before is the transitive closure of two relations:
+//   E: the explicit edges the registry wired (pred -> succ), and
+//   T: "released before submitted" — task a released its dependencies
+//      before task b was registered (the registry legitimately elides the
+//      edge then; completion order provides the ordering).
+// A single logical clock stamps registrations and releases (both happen
+// under the runtime's graph mutex, so the stamps form a total order
+// consistent with execution). Since sub(x) <= rel(x) for every task, T is
+// transitively closed and any mixed E/T path collapses to E* or E*·T·E* —
+// so the reachability query "a happens-before b" reduces to: b is E-reachable
+// from a, OR some x in E-closure(a) released before some y in
+// E-co-closure(b) was submitted. check() implements exactly that.
+//
+// DepLint also detects cycles in the recorded edge set (a cyclic "DAG"
+// means the runtime deadlocks) and reports every violation with task
+// labels, node ids, and region provenance (which declared dep conflicts).
+//
+// Zero cost when off: nothing records unless a DepLint is attached via
+// Runtime::set_verify_hook (a null-pointer check per runtime event).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tasking/dependency.hpp"
+#include "tasking/verify_hook.hpp"
+
+namespace dfamr::verify {
+
+/// One declared access of a recorded task (provenance for diagnostics).
+struct RecordedAccess {
+    tasking::DepKind kind = tasking::DepKind::In;
+    tasking::Region region;
+    int dep_index = 0;  // position in the task's declared deps list
+};
+
+struct TaskRecord {
+    static constexpr std::uint64_t kNotReleased = UINT64_MAX;
+
+    std::uint64_t id = 0;  // DepNode::node_id
+    std::string label;
+    std::vector<RecordedAccess> accesses;
+    std::uint64_t submit_stamp = 0;
+    std::uint64_t release_stamp = kNotReleased;
+};
+
+struct Violation {
+    enum class Kind { UnorderedConflict, Cycle };
+
+    Kind kind = Kind::UnorderedConflict;
+    std::uint64_t task_a = 0;  // node ids; for Cycle: two nodes on the cycle
+    std::uint64_t task_b = 0;
+    std::string message;  // human-readable diagnostic (labels + regions)
+};
+
+struct Report {
+    std::size_t tasks_checked = 0;
+    std::size_t conflicts_checked = 0;
+    std::vector<Violation> violations;
+
+    bool clean() const { return violations.empty(); }
+    std::string to_string() const;
+};
+
+class DepLint final : public tasking::VerifyHook {
+public:
+    DepLint() = default;
+
+    /// When enabled, Runtime destruction (after its final taskwait) runs
+    /// check() and a dirty report is printed to stderr followed by abort().
+    /// Defaults to on in debug (!NDEBUG) and DFAMR_VERIFY builds — seeded-
+    /// race tests must disable it explicitly.
+    void set_check_on_shutdown(bool on) { check_on_shutdown_ = on; }
+
+    /// Verifies the recorded history; safe to call at any quiescent point
+    /// (e.g. after a taskwait). Records are kept, so repeated checks see
+    /// the cumulative history of the runtime.
+    Report check() const;
+
+    /// Drops all recorded history (e.g. between independent test phases).
+    void reset();
+
+    std::size_t recorded_tasks() const;
+    std::size_t recorded_edges() const;
+
+    // --- tasking::VerifyHook (also callable directly by tests simulating
+    // a registry front-end) ------------------------------------------------
+    void on_node_registered(const tasking::DepNode& node, const char* label,
+                            std::span<const tasking::Dep> deps) override;
+    void on_edge_added(const tasking::DepNode& pred, const tasking::DepNode& succ) override;
+    void on_node_released(const tasking::DepNode& node) override;
+    void on_shutdown() override;
+
+private:
+    static constexpr bool kDefaultShutdownCheck =
+#if defined(DFAMR_VERIFY) || !defined(NDEBUG)
+        true;
+#else
+        false;
+#endif
+
+    mutable std::mutex mutex_;
+    bool check_on_shutdown_ = kDefaultShutdownCheck;
+    std::uint64_t clock_ = 1;
+    std::vector<TaskRecord> tasks_;  // in registration order
+    std::unordered_map<std::uint64_t, std::size_t> index_;  // node id -> tasks_ index
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> edges_;  // (pred id, succ id)
+};
+
+}  // namespace dfamr::verify

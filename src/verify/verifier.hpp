@@ -1,0 +1,44 @@
+// Verifier — the one-stop hook drivers attach in DFAMR_VERIFY builds:
+// fans every runtime event out to a DepLint (graph-level happens-before
+// proof) and an AccessChecker (access-level declared-region enforcement).
+#pragma once
+
+#include "tasking/runtime.hpp"
+#include "verify/access_check.hpp"
+#include "verify/deplint.hpp"
+
+namespace dfamr::verify {
+
+class Verifier final : public tasking::VerifyHook {
+public:
+    Verifier() = default;
+
+    /// Convenience: rt.set_verify_hook(this). The verifier must outlive the
+    /// runtime (or be detached first).
+    void attach(tasking::Runtime& rt) { rt.set_verify_hook(this); }
+
+    DepLint& deplint() { return deplint_; }
+
+    void on_node_registered(const tasking::DepNode& node, const char* label,
+                            std::span<const tasking::Dep> deps) override {
+        deplint_.on_node_registered(node, label, deps);
+    }
+    void on_edge_added(const tasking::DepNode& pred, const tasking::DepNode& succ) override {
+        deplint_.on_edge_added(pred, succ);
+    }
+    void on_node_released(const tasking::DepNode& node) override {
+        deplint_.on_node_released(node);
+    }
+    void on_body_start(const tasking::DepNode& node, const char* label,
+                       std::span<const tasking::Dep> deps) override {
+        access_.on_body_start(node, label, deps);
+    }
+    void on_body_end(const tasking::DepNode& node) override { access_.on_body_end(node); }
+    void on_shutdown() override { deplint_.on_shutdown(); }
+
+private:
+    DepLint deplint_;
+    AccessChecker access_;
+};
+
+}  // namespace dfamr::verify

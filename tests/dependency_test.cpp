@@ -200,5 +200,88 @@ TEST(DependencyRegistryProperty, RandomConflictsAreOrdered) {
     }
 }
 
+// --- zero-size regions and empty dependency lists --------------------------
+
+TEST(DependencyRegistry, EmptyRegionOverlapsNothing) {
+    double x = 0;
+    const Region empty_r(&x, 0);
+    const Region full_r(&x, sizeof x);
+    EXPECT_TRUE(empty_r.empty());
+    EXPECT_FALSE(empty_r.overlaps(full_r));
+    EXPECT_FALSE(full_r.overlaps(empty_r));
+    // Not even an empty region at the same base overlaps another.
+    EXPECT_FALSE(empty_r.overlaps(Region(&x, 0)));
+}
+
+TEST(DependencyRegistry, EmptyDepsListImposesNoOrdering) {
+    DependencyRegistry reg;
+    auto a = make_node(1), b = make_node(2);
+    EXPECT_EQ(register_one(reg, a, {}), 0);
+    EXPECT_EQ(register_one(reg, b, {}), 0);
+    EXPECT_EQ(a->pred_count, 0);
+    EXPECT_EQ(b->pred_count, 0);
+    EXPECT_EQ(reg.interval_count(), 0u);
+}
+
+TEST(DependencyRegistry, ZeroSizeRegionsCreateNoIntervalsOrEdges) {
+    DependencyRegistry reg;
+    double x = 0;
+    auto w1 = make_node(1), w2 = make_node(2), real = make_node(3);
+    EXPECT_EQ(register_one(reg, w1, {out(&x, 0)}), 0);
+    EXPECT_EQ(register_one(reg, w2, {out(&x, 0)}), 0);
+    EXPECT_EQ(reg.interval_count(), 0u);
+    // A real access on the same address is unaffected by the empty ones.
+    EXPECT_EQ(register_one(reg, real, {out(&x, sizeof x)}), 0);
+    EXPECT_EQ(real->pred_count, 0);
+    EXPECT_EQ(reg.interval_count(), 1u);
+}
+
+TEST(DependencyRegistry, MixedEmptyAndRealRegionsUseOnlyRealOnes) {
+    DependencyRegistry reg;
+    double x = 0, y = 0;
+    auto w = make_node(1), r = make_node(2);
+    register_one(reg, w, {out(&x, sizeof x), out(&y, 0)});
+    EXPECT_EQ(register_one(reg, r, {in(&x, sizeof x), in(&y, 0)}), 1);
+    EXPECT_TRUE(has_edge(w, r));
+}
+
+// --- elided-edge accounting -------------------------------------------------
+
+TEST(DependencyRegistry, ReleasedPredecessorElidesEdgeAndCountsIt) {
+    DependencyRegistry reg;
+    double x = 0;
+    auto w = make_node(1), r = make_node(2);
+    register_one(reg, w, {out(&x, sizeof x)});
+    w->dep_released = true;  // completed before the reader was submitted
+    EXPECT_EQ(register_one(reg, r, {in(&x, sizeof x)}), 0);
+    EXPECT_FALSE(has_edge(w, r));
+    EXPECT_EQ(r->pred_count, 0);
+    EXPECT_EQ(reg.edges_elided(), 1u);
+    // The same conflicting pair is not double-counted on a second region.
+    auto r2 = make_node(3);
+    EXPECT_EQ(register_one(reg, r2, {in(&x, sizeof x)}), 0);
+    EXPECT_EQ(reg.edges_elided(), 2u);
+}
+
+// --- garbage collection -----------------------------------------------------
+
+TEST(DependencyRegistry, GarbageCollectPrunesOnlyFullyReleasedIntervals) {
+    DependencyRegistry reg;
+    double x = 0, y = 0;
+    auto wx = make_node(1), wy = make_node(2);
+    register_one(reg, wx, {out(&x, sizeof x)});
+    register_one(reg, wy, {out(&y, sizeof y)});
+    EXPECT_EQ(reg.interval_count(), 2u);
+    wx->dep_released = true;
+    reg.garbage_collect();
+    EXPECT_EQ(reg.interval_count(), 1u);  // y's writer is still live
+    // A new writer on x after the prune starts a fresh interval with no
+    // predecessors (the ordering held by completion time; nothing to elide
+    // either — the old interval is gone).
+    auto wx2 = make_node(3);
+    EXPECT_EQ(register_one(reg, wx2, {out(&x, sizeof x)}), 0);
+    EXPECT_EQ(wx2->pred_count, 0);
+}
+
 }  // namespace
 }  // namespace dfamr::tasking

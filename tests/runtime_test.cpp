@@ -251,13 +251,36 @@ TEST_P(RuntimeTest, PollingServiceRunsWhileWaiting) {
 TEST_P(RuntimeTest, StatsAreConsistent) {
     Runtime rt(GetParam());
     double x = 0;
-    rt.submit([] {}, {out(&x, sizeof x)});
+    // Hold the writer in its body until the reader is submitted, so the
+    // conflict deterministically becomes a real edge (a free-running writer
+    // may release before the reader arrives, in which case the registry
+    // legitimately elides the edge). Safe with workers==0: inline execution
+    // happens at taskwait, after the gate is already open.
+    std::atomic<bool> gate{false};
+    rt.submit([&] { while (!gate.load()) std::this_thread::yield(); },
+              {out(&x, sizeof x)});
     rt.submit([] {}, {in(&x, sizeof x)});
+    gate.store(true);
     rt.taskwait();
     const RuntimeStats s = rt.stats();
     EXPECT_EQ(s.tasks_submitted, 2u);
     EXPECT_EQ(s.tasks_executed, 2u);
     EXPECT_EQ(s.edges_added, 1u);
+    EXPECT_EQ(s.edges_elided, 0u);
+}
+
+TEST_P(RuntimeTest, ConflictCountIsTimingIndependent) {
+    // Without any gating the writer may or may not complete before the
+    // reader is submitted, so edges_added alone is racy — but every
+    // conflict lands in exactly one of {added, elided}, so the sum is
+    // deterministic.
+    Runtime rt(GetParam());
+    double x = 0;
+    rt.submit([] {}, {out(&x, sizeof x)});
+    rt.submit([] {}, {in(&x, sizeof x)});
+    rt.taskwait();
+    const RuntimeStats s = rt.stats();
+    EXPECT_EQ(s.edges_added + s.edges_elided, 1u);
 }
 
 TEST(RuntimeStress, ManyTasksRandomDependencies) {
@@ -301,9 +324,17 @@ TEST(ParallelFor, EmptyAndTinyRanges) {
 TEST(RuntimeScheduling, ImmediateSuccessorHitsOccur) {
     Runtime rt(1);
     double x = 0;
-    for (int i = 0; i < 50; ++i) {
+    // Gate the head of the chain so the remaining 49 submits happen while
+    // it is still running; otherwise the worker can drain each task before
+    // the next submit and the chain (and its immediate-successor hand-offs)
+    // never materializes.
+    std::atomic<bool> gate{false};
+    rt.submit([&] { while (!gate.load()) std::this_thread::yield(); },
+              {inout(&x, sizeof x)});
+    for (int i = 0; i < 49; ++i) {
         rt.submit([] {}, {inout(&x, sizeof x)});
     }
+    gate.store(true);
     rt.taskwait();
     EXPECT_GT(rt.stats().immediate_successor_hits, 0u);
 }
