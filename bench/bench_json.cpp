@@ -1,0 +1,123 @@
+// Machine-readable scaling bench: runs the Fig. 4 weak-scaling and Fig. 5
+// strong-scaling sweeps for the three variants and writes the results as
+// JSON (BENCH_scaling.json at the repo root via bench/run_benches.sh or the
+// `bench-json` CMake target). The human-readable tables stay in
+// fig4_weak_scaling / fig5_strong_scaling; this binary is for CI trend
+// tracking and plotting scripts.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace dfamr;
+using namespace dfamr::bench;
+
+namespace {
+
+struct Row {
+    std::string series;    // "weak" or "strong"
+    std::string variant;   // paper name of the variant
+    int nodes = 0;
+    int ranks = 0;
+    long long blocks = 0;  // level-0 block grid size
+    double total_s = 0;
+    double refine_s = 0;
+    double gflops = 0;
+    double speedup = 0;     // vs MPI-only @1 node of the same series
+    double efficiency = 0;  // vs the variant's own 1-node point
+};
+
+void write_json(const char* path, const std::vector<Row>& rows, int max_nodes) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"dfamr_scaling\",\n");
+    std::fprintf(f, "  \"paper\": \"Sala, Rico, Beltran (CLUSTER 2020), Fig. 4-5\",\n");
+    std::fprintf(f, "  \"max_nodes\": %d,\n", max_nodes);
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::fprintf(f,
+                     "    {\"series\": \"%s\", \"variant\": \"%s\", \"nodes\": %d, "
+                     "\"ranks\": %d, \"blocks\": %lld, \"total_s\": %.6f, "
+                     "\"refine_s\": %.6f, \"gflops\": %.3f, \"speedup\": %.4f, "
+                     "\"efficiency\": %.4f}%s\n",
+                     r.series.c_str(), r.variant.c_str(), r.nodes, r.ranks, r.blocks, r.total_s,
+                     r.refine_s, r.gflops, r.speedup, r.efficiency, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* out = argc > 1 ? argv[1] : "BENCH_scaling.json";
+    int max_nodes = argc > 2 ? std::atoi(argv[2]) : 16;
+    if (max_nodes < 1) max_nodes = 1;
+
+    const CostModel costs;
+    std::vector<int> node_counts;
+    for (int n = 1; n <= max_nodes; n *= 2) node_counts.push_back(n);
+
+    struct Setup {
+        Variant variant;
+        int ranks_per_node;
+        const char* name;
+    };
+    const Setup setups[] = {
+        {Variant::MpiOnly, 48, "MPI-only"},
+        {Variant::ForkJoin, 4, "MPI+OMP"},
+        {Variant::TampiOss, 4, "TAMPI+OSS"},
+    };
+
+    std::vector<Row> rows;
+    // One-node baselines per (series, variant) for efficiency, and the
+    // MPI-only baseline per series for cross-variant speedup.
+    std::map<std::pair<std::string, std::string>, double> base_gflops;
+
+    const Config weak = weak_scaling_config();
+    const Config strong = strong_scaling_config();
+    const Vec3i strong_big = sim::factor3(48 * 256);
+    const Vec3i strong_small = sim::factor3(48 * 256 / 16);
+
+    for (const char* series : {"weak", "strong"}) {
+        const bool is_weak = std::string(series) == "weak";
+        for (const Setup& s : setups) {
+            for (int nodes : node_counts) {
+                const Vec3i grid = is_weak ? sim::factor3(48 * nodes)
+                                           : (nodes <= 8 ? strong_small : strong_big);
+                const SimResult r = run_point(is_weak ? weak : strong, s.variant, nodes,
+                                              s.ranks_per_node, grid, costs);
+                Row row;
+                row.series = series;
+                row.variant = s.name;
+                row.nodes = nodes;
+                row.ranks = nodes * s.ranks_per_node;
+                row.blocks = static_cast<long long>(grid.product());
+                row.total_s = r.total_s;
+                row.refine_s = r.refine_s;
+                row.gflops = r.gflops();
+                if (nodes == node_counts.front()) {
+                    base_gflops[{series, s.name}] = row.gflops;
+                }
+                row.speedup = row.gflops / base_gflops.at({series, "MPI-only"});
+                row.efficiency = row.gflops / (base_gflops.at({series, s.name}) * nodes);
+                rows.push_back(row);
+                std::printf("%-6s %-10s %3d nodes: %8.2f GFLOPS  eff %.3f\n", series, s.name,
+                            nodes, row.gflops, row.efficiency);
+            }
+        }
+    }
+
+    write_json(out, rows, max_nodes);
+    std::printf("wrote %s (%zu points)\n", out, rows.size());
+    return 0;
+}

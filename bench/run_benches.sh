@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the scaling bench and writes BENCH_scaling.json at the repo root.
+#
+# Usage: bench/run_benches.sh [build_dir] [max_nodes]
+#   build_dir  existing or to-be-created CMake build tree (default: build)
+#   max_nodes  largest simulated node count, power-of-two sweep (default: 16)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+max_nodes="${2:-16}"
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$build_dir" --target bench_json -j "$(nproc)"
+
+"$build_dir/bench/bench_json" "$repo_root/BENCH_scaling.json" "$max_nodes"
+echo "BENCH_scaling.json written to $repo_root/BENCH_scaling.json"

@@ -14,11 +14,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/variants.hpp"
+#include "resilience/fault_plan.hpp"
 
 using namespace dfamr;
 
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
         "single_sphere — the Rico et al. input problem: one large sphere entering the mesh "
         "from a lower corner (paper §V)");
     amr::Config::register_cli(cli);
+    resilience::FaultConfig::register_cli(cli);
     cli.add_option("--variant", "variant to run: mpi | forkjoin | tampi", "tampi");
     cli.add_option("--trace_csv", "write a per-core trace CSV to this path", "");
 
@@ -70,8 +74,29 @@ int main(int argc, char** argv) {
 
         std::printf("single sphere input — %s, %d ranks x %d workers\n",
                     to_string(variant).c_str(), cfg.num_ranks(), cfg.workers);
+
+        // Chaos mode: with any --fault_* knob on, run a fault-free twin
+        // first and require the chaos run to reproduce its checksums bit for
+        // bit (the resilience layer's correctness contract).
+        const resilience::FaultConfig fault_cfg = resilience::FaultConfig::from_cli(cli);
+        std::unique_ptr<resilience::FaultPlan> plan;
+        std::vector<double> reference_checksums;
+        if (fault_cfg.enabled()) {
+            reference_checksums = core::run_variant(cfg, variant).checksums;
+            plan = std::make_unique<resilience::FaultPlan>(fault_cfg);
+        }
         const core::RunResult r =
-            core::run_variant(cfg, variant, tracer.enabled() ? &tracer : nullptr);
+            core::run_variant(cfg, variant, tracer.enabled() ? &tracer : nullptr, plan.get());
+
+        bool chaos_ok = true;
+        if (plan) {
+            chaos_ok = r.checksums == reference_checksums;
+            std::printf("chaos: seed %llu, %llu drops, %llu delays — checksums %s\n",
+                        static_cast<unsigned long long>(fault_cfg.seed),
+                        static_cast<unsigned long long>(plan->drops()),
+                        static_cast<unsigned long long>(plan->delays()),
+                        chaos_ok ? "bit-identical to the fault-free run" : "DIVERGED");
+        }
 
         TextTable table({"metric", "value"});
         table.add_row({"total time (s)", TextTable::num(r.times.total, 3)});
@@ -95,7 +120,7 @@ int main(int argc, char** argv) {
             std::printf("trace: %d cores, utilization %.1f%%, phase overlap %.3f ms -> %s\n",
                         a.cores, a.utilization * 100, a.overlap_ns * 1e-6, trace_path.c_str());
         }
-        return r.validation_ok ? 0 : 1;
+        return r.validation_ok && chaos_ok ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

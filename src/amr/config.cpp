@@ -34,6 +34,11 @@ void Config::validate() const {
     DFAMR_REQUIRE(inbalance >= 0, "inbalance threshold must be >= 0");
     DFAMR_REQUIRE(max_comm_tasks >= 0, "max_comm_tasks must be >= 0");
     DFAMR_REQUIRE(workers >= 1, "workers must be >= 1");
+    DFAMR_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
+    DFAMR_REQUIRE(checkpoint_every == 0 || !checkpoint_path.empty(),
+                  "checkpointing needs a checkpoint_path");
+    DFAMR_REQUIRE(comm_timeout_s > 0, "comm_timeout must be positive");
+    DFAMR_REQUIRE(comm_max_attempts >= 1, "comm_retries must allow at least one attempt");
     for (const ObjectSpec& obj : objects) {
         DFAMR_REQUIRE(obj.size.x > 0 && obj.size.y > 0 && obj.size.z > 0,
                       "objects must have positive size");
@@ -75,6 +80,11 @@ void Config::register_cli(CliParser& cli) {
                  "ablation: keep refinement data operations sequential (pre-paper behaviour)");
     cli.add_option("--workers", "cores per rank for hybrid variants", "1");
     cli.add_option("--seed", "seed for initial cell values", "42");
+    cli.add_option("--checkpoint_every", "timesteps between checkpoints (0 = off)", "0");
+    cli.add_option("--checkpoint_path", "checkpoint file path", "dfamr.ckpt");
+    cli.add_option("--restore", "restore simulation state from a checkpoint file", "");
+    cli.add_option("--comm_timeout", "hardened communication deadline in seconds", "10");
+    cli.add_option("--comm_retries", "send attempts before CommTimeout", "5");
     cli.add_multi_option(
         "--object", 14,
         "object spec: type bounce cx cy cz mx my mz sx sy sz ix iy iz "
@@ -120,6 +130,11 @@ Config Config::from_cli(const CliParser& cli, Config base) {
     if (cli.get_flag("--serial_refinement")) cfg.taskify_refinement = false;
     set_int("--workers", cfg.workers);
     if (cli.has("--seed")) cfg.seed = static_cast<std::uint64_t>(cli.get_int("--seed"));
+    set_int("--checkpoint_every", cfg.checkpoint_every);
+    if (cli.has("--checkpoint_path")) cfg.checkpoint_path = cli.get_string("--checkpoint_path");
+    if (cli.has("--restore")) cfg.restore_path = cli.get_string("--restore");
+    set_double("--comm_timeout", cfg.comm_timeout_s);
+    set_int("--comm_retries", cfg.comm_max_attempts);
 
     if (!cli.get_multi("--object").empty()) cfg.objects.clear();
     for (const auto& vals : cli.get_multi("--object")) {

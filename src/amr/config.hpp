@@ -75,6 +75,13 @@ struct Config {
 
     std::uint64_t seed = 42;  // seeds initial cell data
 
+    // --- resilience (fault injection / checkpoint-restart) --------------------
+    int checkpoint_every = 0;  // timesteps between checkpoints (0 = off)
+    std::string checkpoint_path = "dfamr.ckpt";
+    std::string restore_path;     // restore simulation state from this file
+    double comm_timeout_s = 10;   // hardened comm completion deadline (seconds)
+    int comm_max_attempts = 5;    // send attempts before CommTimeout
+
     // ---- derived -------------------------------------------------------------
     int num_ranks() const { return npx * npy * npz; }
     int vars_per_group() const { return comm_vars > 0 ? comm_vars : num_vars; }

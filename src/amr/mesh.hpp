@@ -36,6 +36,8 @@ public:
 
     /// Inserts an externally produced block (refinement/LB transfers).
     void adopt(std::unique_ptr<Block> b);
+    /// Drops all owned blocks (checkpoint restore replaces them wholesale).
+    void clear_blocks() { blocks_.clear(); }
     /// Removes a block and returns it (for transfers to another rank).
     std::unique_ptr<Block> release(const BlockKey& key);
     /// Creates an empty (zeroed) block for receiving remote data.

@@ -326,4 +326,20 @@ void GlobalStructure::set_owners(const std::map<BlockKey, int>& new_owners) {
     }
 }
 
+void GlobalStructure::restore_leaves(const std::map<BlockKey, int>& leaves) {
+    DFAMR_REQUIRE(!leaves.empty(), "restored structure must have at least one leaf");
+    for (const auto& [key, owner_rank] : leaves) {
+        DFAMR_REQUIRE(key.level >= 0 && key.level <= max_level_,
+                      "restored leaf level out of range");
+        DFAMR_REQUIRE(owner_rank >= 0 && owner_rank < num_ranks_,
+                      "restored owner rank out of range");
+    }
+    const std::map<BlockKey, int> previous = std::move(owners_);
+    owners_ = leaves;
+    if (!two_to_one_ok()) {
+        owners_ = previous;
+        DFAMR_REQUIRE(false, "restored structure violates the 2:1 invariant");
+    }
+}
+
 }  // namespace dfamr::amr

@@ -85,6 +85,12 @@ public:
     /// Installs a new ownership map (must cover exactly the current leaves).
     void set_owners(const std::map<BlockKey, int>& new_owners);
 
+    // --- checkpoint/restart -------------------------------------------------
+    /// Replaces the leaf set wholesale with a checkpointed one. Validates
+    /// owner ranges and the 2:1 invariant (a corrupt checkpoint must fail
+    /// loudly, not corrupt the run).
+    void restore_leaves(const std::map<BlockKey, int>& leaves);
+
 private:
     void rcb_recurse(std::vector<std::pair<Vec3d, BlockKey>>& blocks, std::size_t lo,
                      std::size_t hi, int rank_lo, int rank_hi,

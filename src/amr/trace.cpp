@@ -22,6 +22,7 @@ std::string to_string(PhaseKind k) {
         case PhaseKind::LoadBalance: return "load_balance";
         case PhaseKind::CommWait: return "comm_wait";
         case PhaseKind::Control: return "control";
+        case PhaseKind::Retry: return "retry";
     }
     return "unknown";
 }

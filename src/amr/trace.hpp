@@ -28,6 +28,7 @@ enum class PhaseKind : std::uint8_t {
     LoadBalance,
     CommWait,  // MPI_Waitany / Waitall time in the MPI-only variant
     Control,
+    Retry,     // backoff/resend of a transiently failed message (resilience)
 };
 
 std::string to_string(PhaseKind k);

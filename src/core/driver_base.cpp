@@ -9,8 +9,22 @@
 
 namespace dfamr::core {
 
+namespace {
+resilience::RetryPolicy retry_policy(const Config& cfg) {
+    resilience::RetryPolicy policy;
+    policy.max_attempts = cfg.comm_max_attempts;
+    policy.timeout_ns = static_cast<std::int64_t>(cfg.comm_timeout_s * 1e9);
+    return policy;
+}
+}  // namespace
+
 DriverBase::DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
-    : cfg_(cfg), comm_(comm), rank_(comm.rank()), tracer_(tracer), mesh_(cfg, comm.rank()) {
+    : cfg_(cfg),
+      comm_(comm),
+      rank_(comm.rank()),
+      tracer_(tracer),
+      hcomm_(comm, retry_policy(cfg), tracer),
+      mesh_(cfg, comm.rank()) {
     cfg_.validate();
     DFAMR_REQUIRE(cfg_.num_ranks() == comm.size(),
                   "communicator size must match npx*npy*npz");
@@ -52,9 +66,14 @@ RankResult DriverBase::run() {
     comm_.barrier();
     Stopwatch total;
     total.start();
-    // Initial refinement phase: adapt the initial mesh to the objects before
-    // the first timestep (the dense region at the start of Fig. 1 traces).
-    if (cfg_.refine_freq > 0 && cfg_.num_refine > 0) {
+    if (!cfg_.restore_path.empty()) {
+        // The checkpoint already contains the fully refined, balanced mesh;
+        // skip the initial refinement and resume the timestep loop.
+        restore_state();
+    } else if (cfg_.refine_freq > 0 && cfg_.num_refine > 0) {
+        // Initial refinement phase: adapt the initial mesh to the objects
+        // before the first timestep (the dense region at the start of the
+        // Fig. 1 traces).
         refinement_phase(0);
     }
     main_loop();
@@ -66,15 +85,14 @@ RankResult DriverBase::run() {
 }
 
 void DriverBase::main_loop() {
-    int stage_counter = 0;
-    for (int ts = 1; ts <= cfg_.num_tsteps; ++ts) {
+    for (int ts = start_ts_; ts <= cfg_.num_tsteps; ++ts) {
         for (int stage = 0; stage < cfg_.stages_per_ts; ++stage) {
             for (int group = 0; group < cfg_.num_groups(); ++group) {
                 communicate_stage(group);
                 stencil_stage(group);
             }
-            ++stage_counter;
-            if (cfg_.checksum_freq > 0 && stage_counter % cfg_.checksum_freq == 0) {
+            ++stage_counter_;
+            if (cfg_.checksum_freq > 0 && stage_counter_ % cfg_.checksum_freq == 0) {
                 Stopwatch sw;
                 sw.start();
                 checksum_stage();
@@ -85,7 +103,63 @@ void DriverBase::main_loop() {
         if (cfg_.refine_freq > 0 && cfg_.num_refine > 0 && ts % cfg_.refine_freq == 0) {
             refinement_phase(cfg_.refine_freq);
         }
+        if (cfg_.checkpoint_every > 0 && ts % cfg_.checkpoint_every == 0) {
+            write_state(ts);
+        }
     }
+}
+
+void DriverBase::write_state(int ts_completed) {
+    // Quiesce: drain in-flight tasks and resolve any deferred checksum so
+    // the serialized state equals what a fresh run would hold at this point.
+    sync_before_refine();
+    comm_.barrier();
+    const std::int64_t t0 = now_ns();
+
+    resilience::CheckpointState state;
+    state.config_fingerprint = resilience::config_fingerprint(cfg_);
+    state.nranks = cfg_.num_ranks();
+    state.ts_completed = ts_completed;
+    state.stage_counter = stage_counter_;
+    state.objects = cfg_.objects;
+    state.checksums = result_.checksums;
+    state.checksum_reference = checksum_reference_;
+    state.validation_ok = result_.validation_ok;
+    state.owners = mesh_.structure().leaves();
+    resilience::write_checkpoint(hcomm_, cfg_.checkpoint_path, state,
+                                 resilience::serialize_rank_blocks(mesh_));
+
+    trace(0, t0, now_ns(), PhaseKind::Control);
+    comm_.barrier();  // nobody resumes until the file is durably in place
+}
+
+void DriverBase::restore_state() {
+    const std::int64_t t0 = now_ns();
+    const resilience::CheckpointState state =
+        resilience::read_checkpoint_state(cfg_.restore_path);
+    DFAMR_REQUIRE(state.config_fingerprint == resilience::config_fingerprint(cfg_),
+                  "checkpoint was written by an incompatible configuration");
+    DFAMR_REQUIRE(state.nranks == cfg_.num_ranks(), "checkpoint rank count mismatch");
+
+    cfg_.objects = state.objects;
+    result_.checksums = state.checksums;
+    result_.validation_ok = state.validation_ok;
+    checksum_reference_ = state.checksum_reference;
+    start_ts_ = state.ts_completed + 1;
+    stage_counter_ = state.stage_counter;
+
+    mesh_.structure().restore_leaves(state.owners);
+    mesh_.clear_blocks();
+    for (auto& [key, data] : resilience::read_rank_blocks(cfg_.restore_path, rank_)) {
+        auto block = mesh_.make_block(key);
+        DFAMR_REQUIRE(data.size() == block->data_size(), "checkpoint block size mismatch");
+        std::copy(data.begin(), data.end(), block->data());
+        mesh_.adopt(std::move(block));
+    }
+    DFAMR_ASSERT(mesh_.num_owned() == mesh_.structure().blocks_of(rank_).size());
+    rebuild_comm_plan();
+    trace(0, t0, now_ns(), PhaseKind::Control);
+    comm_.barrier();  // ranks enter the resumed loop together
 }
 
 void DriverBase::refinement_phase(int timesteps_elapsed) {
@@ -175,17 +249,17 @@ void DriverBase::exchange_blocks(const std::vector<BlockMove>& moves, bool with_
         const std::int64_t t0 = now_ns();
         int ack = 1;
         for (const BlockMove& mv : recvs) {
-            comm_.send(&ack, sizeof ack, mv.from, kAckTag);
+            hcomm_.send(&ack, sizeof ack, mv.from, kAckTag);
         }
         for (const BlockMove& mv : sends) {
             int got = 0;
-            comm_.recv(&got, sizeof got, mv.to, kAckTag);
+            hcomm_.recv(&got, sizeof got, mv.to, kAckTag);
             DFAMR_REQUIRE(got == 1, "negative exchange ACK (receiver out of space)");
-            comm_.send(&mv.id, sizeof mv.id, mv.to, kBlockIdTag);
+            hcomm_.send(&mv.id, sizeof mv.id, mv.to, kBlockIdTag);
         }
         for (const BlockMove& mv : recvs) {
             int id = -1;
-            comm_.recv(&id, sizeof id, mv.from, kBlockIdTag);
+            hcomm_.recv(&id, sizeof id, mv.from, kBlockIdTag);
             DFAMR_REQUIRE(id == mv.id, "exchange protocol id mismatch");
         }
         trace(0, t0, now_ns(), PhaseKind::Control);

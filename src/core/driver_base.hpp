@@ -15,6 +15,8 @@
 #include "amr/trace.hpp"
 #include "core/result.hpp"
 #include "mpisim/mpi.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/hardened_comm.hpp"
 
 namespace dfamr::core {
 
@@ -103,6 +105,11 @@ protected:
     mpi::Communicator& comm_;
     int rank_;
     Tracer* tracer_ = nullptr;
+    /// Hardened point-to-point wrapper around comm_: bounded retry on
+    /// transient send failures, deadlines on receive completion. Used for
+    /// every blocking/driver-level p2p operation; the data-flow variant
+    /// additionally hardens its TAMPI instance with the same policy.
+    resilience::HardenedComm hcomm_;
 
     Mesh mesh_;
     CommPlan plan_;
@@ -111,8 +118,18 @@ protected:
     RankResult result_;
     std::vector<double> checksum_reference_;  // per group; empty = no reference
 
+    /// First timestep of main_loop (shifted by a checkpoint restore).
+    int start_ts_ = 1;
+    /// Stages executed so far (persisted in checkpoints so the checksum
+    /// cadence continues seamlessly across a restore).
+    int stage_counter_ = 0;
+
 private:
     void main_loop();
+    /// Collective checkpoint write after timestep `ts_completed`.
+    void write_state(int ts_completed);
+    /// Replaces the freshly initialized state with the checkpointed one.
+    void restore_state();
 
     std::mutex worker_ids_mutex_;
     std::vector<std::pair<std::uint64_t, int>> worker_ids_;

@@ -45,7 +45,7 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
         for (const amr::MessageChunk& chunk : ex.recv_chunks) {
             auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
                                        static_cast<std::size_t>(chunk.value_count * gvars));
-            recv_reqs.push_back(comm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            recv_reqs.push_back(hcomm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
         }
     }
 
@@ -84,7 +84,7 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
             auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
                                        static_cast<std::size_t>(chunk.value_count * gvars));
             const std::int64_t t0 = now_ns();
-            send_reqs.push_back(comm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            send_reqs.push_back(hcomm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
             trace(0, t0, now_ns(), PhaseKind::Send);
         }
     }
@@ -104,7 +104,7 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
     // Master waits for ALL receives (fork-join cannot overlap per-message),
     // then a workshared loop unpacks everything.
     const std::int64_t t0 = now_ns();
-    mpi::wait_all(std::span<mpi::Request>(recv_reqs));
+    hcomm_.wait_all(std::span<mpi::Request>(recv_reqs));
     trace(0, t0, now_ns(), PhaseKind::CommWait);
 
     struct UnpackJob {
@@ -132,7 +132,7 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
     });
 
     const std::int64_t t2 = now_ns();
-    mpi::wait_all(std::span<mpi::Request>(send_reqs));
+    hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
     trace(0, t2, now_ns(), PhaseKind::CommWait);
 }
 
@@ -235,12 +235,12 @@ void ForkJoinDriver::transfer_block_data(const std::vector<BlockMove>& sends,
     const std::int64_t t0 = now_ns();
     for (const BlockMove& mv : sends) {
         Block& b = mesh_.block(mv.key);
-        comm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
+        hcomm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
         mesh_.release(mv.key);
     }
     for (const BlockMove& mv : recvs) {
         auto b = mesh_.make_block(mv.key);
-        comm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
+        hcomm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
                    kBlockDataTagBase + mv.id);
         mesh_.adopt(std::move(b));
     }

@@ -39,7 +39,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
             auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
                                        static_cast<std::size_t>(chunk.value_count * gvars));
             recv_reqs.push_back(
-                comm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+                hcomm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
             recv_slots.push_back(RecvSlot{static_cast<int>(ni), &chunk});
         }
     }
@@ -62,7 +62,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
             auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
                                        static_cast<std::size_t>(chunk.value_count * gvars));
             const std::int64_t t1 = now_ns();
-            send_reqs.push_back(comm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            send_reqs.push_back(hcomm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
             trace(0, t1, now_ns(), PhaseKind::Send);
         }
     }
@@ -80,7 +80,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
     // 4) Waitany/unpack loop (lines 14-18).
     while (true) {
         const std::int64_t t0 = now_ns();
-        const int idx = mpi::wait_any(std::span<mpi::Request>(recv_reqs));
+        const int idx = hcomm_.wait_any(std::span<mpi::Request>(recv_reqs));
         trace(0, t0, now_ns(), PhaseKind::CommWait);
         if (idx == mpi::kUndefined) break;
         const RecvSlot& slot = recv_slots[static_cast<std::size_t>(idx)];
@@ -100,7 +100,7 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
 
     // 5) Wait for sends before reusing the buffers (line 19).
     const std::int64_t t0 = now_ns();
-    mpi::wait_all(std::span<mpi::Request>(send_reqs));
+    hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
     trace(0, t0, now_ns(), PhaseKind::CommWait);
 }
 
@@ -151,12 +151,12 @@ void MpiOnlyDriver::transfer_block_data(const std::vector<BlockMove>& sends,
     // Sends complete eagerly; then receive in deterministic order.
     for (const BlockMove& mv : sends) {
         Block& b = mesh_.block(mv.key);
-        comm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
+        hcomm_.send(b.data(), b.data_size() * sizeof(double), mv.to, kBlockDataTagBase + mv.id);
         mesh_.release(mv.key);
     }
     for (const BlockMove& mv : recvs) {
         auto b = mesh_.make_block(mv.key);
-        comm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
+        hcomm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
                    kBlockDataTagBase + mv.id);
         mesh_.adopt(std::move(b));
     }

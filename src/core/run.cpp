@@ -11,9 +11,10 @@
 
 namespace dfamr::core {
 
-RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer* tracer) {
+RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer* tracer,
+                      mpi::FaultInjector* faults) {
     cfg.validate();
-    mpi::World world(cfg.num_ranks());
+    mpi::World world(cfg.num_ranks(), faults);
 
     std::mutex results_mutex;
     std::vector<RankResult> results(static_cast<std::size_t>(cfg.num_ranks()));

@@ -13,6 +13,10 @@ using tasking::out;
 
 TampiOssDriver::TampiOssDriver(const Config& cfg, mpi::Communicator& comm, Tracer* tracer)
     : DriverBase(cfg, comm, tracer), rt_(cfg.workers - 1), tampi_(rt_) {
+    // Task-bound communication uses the same retry/timeout budget as the
+    // driver-level hardened operations; a timed-out request surfaces as a
+    // CommTimeout at the next taskwait instead of hanging the worker pool.
+    tampi_.configure_resilience(hcomm_.policy(), tracer);
 #if defined(DFAMR_VERIFY)
     verifier_ = std::make_unique<verify::Verifier>();
     verifier_->attach(rt_);
@@ -329,14 +333,14 @@ void TampiOssDriver::transfer_block_data(const std::vector<BlockMove>& sends,
         const std::int64_t t0 = now_ns();
         for (const BlockMove& mv : sends) {
             Block& b = mesh_.block(mv.key);
-            comm_.send(b.data(), b.data_size() * sizeof(double), mv.to,
-                       kBlockDataTagBase + mv.id);
+            hcomm_.send(b.data(), b.data_size() * sizeof(double), mv.to,
+                        kBlockDataTagBase + mv.id);
             mesh_.release(mv.key);
         }
         for (const BlockMove& mv : recvs) {
             auto b = mesh_.make_block(mv.key);
-            comm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
-                       kBlockDataTagBase + mv.id);
+            hcomm_.recv(b->data(), b->data_size() * sizeof(double), mv.from,
+                        kBlockDataTagBase + mv.id);
             mesh_.adopt(std::move(b));
         }
         if (!sends.empty() || !recvs.empty()) {

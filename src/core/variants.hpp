@@ -4,6 +4,7 @@
 #include "amr/config.hpp"
 #include "amr/trace.hpp"
 #include "core/result.hpp"
+#include "mpisim/mpi.hpp"
 
 namespace dfamr::core {
 
@@ -14,7 +15,10 @@ namespace dfamr::core {
 /// For Variant::MpiOnly, cfg.workers is ignored (one core per rank, like the
 /// reference's 48 ranks/node). For the hybrid variants, each rank drives
 /// cfg.workers cores.
+///
+/// `faults` optionally injects deterministic communication faults into the
+/// MPI layer (see resilience/fault_plan.hpp); nullptr = fault-free.
 RunResult run_variant(const amr::Config& cfg, amr::Variant variant,
-                      amr::Tracer* tracer = nullptr);
+                      amr::Tracer* tracer = nullptr, mpi::FaultInjector* faults = nullptr);
 
 }  // namespace dfamr::core

@@ -1,7 +1,10 @@
 #include "mpisim/mpi.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <tuple>
 
 #include "common/error.hpp"
 
@@ -11,12 +14,20 @@ namespace detail {
 
 constexpr auto kAbortPollInterval = std::chrono::milliseconds(5);
 
+inline std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 struct RequestState {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
     Status status;
     WorldState* world = nullptr;
+    /// Receive requests remember their mailbox so cancel() can unpost them.
+    Mailbox* mbox = nullptr;
 };
 
 struct PendingMsg {
@@ -37,6 +48,23 @@ struct Mailbox {
     std::mutex m;
     std::deque<PendingMsg> unexpected;
     std::deque<PostedRecv> posted;
+};
+
+/// A message parked by the delivery scheduler until its release time.
+struct DelayedMsg {
+    std::int64_t release_ns = 0;
+    std::uint64_t seq = 0;  // tie-breaker: preserves post order at equal release
+    int dest = 0;
+    PendingMsg msg;
+};
+
+/// Per-(src,dst,tag) stream bookkeeping. MPI's non-overtaking rule only
+/// constrains messages of the same stream: while any message of a stream is
+/// parked, later sends of that stream must queue behind it (release-time
+/// clamped); messages of other streams may overtake freely.
+struct StreamState {
+    std::int64_t last_release_ns = 0;
+    int inflight = 0;
 };
 
 struct CollectiveCtx {
@@ -61,6 +89,16 @@ struct WorldState {
     std::atomic<bool> aborted{false};
     std::atomic<std::uint64_t> messages_delivered{0};
     std::atomic<std::uint64_t> bytes_delivered{0};
+
+    // Fault injection (null = fault-free fast path, identical to before).
+    FaultInjector* faults = nullptr;
+    std::mutex sched_m;
+    std::condition_variable sched_cv;
+    std::vector<DelayedMsg> sched_heap;  // min-heap by (release_ns, seq)
+    std::map<std::tuple<int, int, int>, StreamState> streams;
+    std::uint64_t sched_seq = 0;
+    bool sched_shutdown = false;
+    std::thread sched_thread;
 
     void bump_activity() {
         {
@@ -101,6 +139,73 @@ bool matches(int want_source, int want_tag, int have_source, int have_tag) {
            (want_tag == kAnyTag || want_tag == have_tag);
 }
 
+/// Hands a message to the destination mailbox: matches a posted receive or
+/// parks it in the unexpected queue. Called from isend (immediate path) and
+/// from the delivery-scheduler thread (delayed path).
+void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
+    Mailbox& mbox = *world->mailboxes[static_cast<std::size_t>(dest)];
+    std::shared_ptr<RequestState> matched_recv;
+    Status matched_status;
+    {
+        std::lock_guard lock(mbox.m);
+        auto it = mbox.posted.begin();
+        for (; it != mbox.posted.end(); ++it) {
+            if (matches(it->source, it->tag, msg.source, msg.tag)) break;
+        }
+        if (it != mbox.posted.end()) {
+            DFAMR_REQUIRE(msg.data.size() <= it->capacity,
+                          "message truncation: recv buffer too small");
+            if (!msg.data.empty()) std::memcpy(it->buf, msg.data.data(), msg.data.size());
+            matched_recv = it->req;
+            matched_status = Status{msg.source, msg.tag, msg.data.size()};
+            mbox.posted.erase(it);
+        } else {
+            mbox.unexpected.push_back(std::move(msg));
+        }
+    }
+    if (matched_recv) {
+        world->messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        world->bytes_delivered.fetch_add(matched_status.bytes, std::memory_order_relaxed);
+        complete_request(matched_recv, matched_status);
+    }
+}
+
+/// Delivery-scheduler thread body: releases parked messages in (release
+/// time, post order). Runs only in worlds with a fault injector.
+void scheduler_loop(WorldState* world) {
+    const auto heap_after = [](const DelayedMsg& a, const DelayedMsg& b) {
+        return std::tie(a.release_ns, a.seq) > std::tie(b.release_ns, b.seq);
+    };
+    std::unique_lock lock(world->sched_m);
+    for (;;) {
+        if (world->sched_heap.empty()) {
+            if (world->sched_shutdown) return;
+            world->sched_cv.wait(lock);
+            continue;
+        }
+        const std::int64_t now = steady_now_ns();
+        const std::int64_t next = world->sched_heap.front().release_ns;
+        // On shutdown remaining messages are flushed immediately: nothing
+        // may be waiting on them anymore, and dropping them silently would
+        // skew the delivery counters tests rely on.
+        if (next > now && !world->sched_shutdown) {
+            world->sched_cv.wait_for(lock, std::chrono::nanoseconds(next - now));
+            continue;
+        }
+        std::pop_heap(world->sched_heap.begin(), world->sched_heap.end(), heap_after);
+        DelayedMsg dm = std::move(world->sched_heap.back());
+        world->sched_heap.pop_back();
+        lock.unlock();
+        deliver_msg(world, dm.dest, std::move(dm.msg));
+        lock.lock();
+        const auto key = std::make_tuple(dm.msg.source, dm.dest, dm.msg.tag);
+        auto it = world->streams.find(key);
+        if (it != world->streams.end() && --it->second.inflight == 0) {
+            world->streams.erase(it);
+        }
+    }
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -123,12 +228,84 @@ void Request::wait(Status* status) const {
     if (status != nullptr) *status = state_->status;
 }
 
+bool Request::wait_for(std::int64_t timeout_ns, Status* status) const {
+    DFAMR_REQUIRE(state_ != nullptr, "wait_for on null request");
+    const std::int64_t deadline = detail::steady_now_ns() + timeout_ns;
+    std::unique_lock lock(state_->m);
+    while (!state_->done) {
+        const std::int64_t now = detail::steady_now_ns();
+        if (now >= deadline) return false;
+        const auto step = std::min<std::int64_t>(
+            deadline - now,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(detail::kAbortPollInterval)
+                .count());
+        state_->cv.wait_for(lock, std::chrono::nanoseconds(step));
+        if (!state_->done) state_->world->check_aborted();
+    }
+    if (status != nullptr) *status = state_->status;
+    return true;
+}
+
+bool Request::cancel() const {
+    DFAMR_REQUIRE(state_ != nullptr, "cancel on null request");
+    detail::Mailbox* mbox = state_->mbox;
+    if (mbox == nullptr) return false;  // sends complete eagerly: nothing to cancel
+    {
+        std::lock_guard lock(mbox->m);
+        auto it = mbox->posted.begin();
+        for (; it != mbox->posted.end(); ++it) {
+            if (it->req == state_) break;
+        }
+        if (it == mbox->posted.end()) return false;  // already matched/completed
+        mbox->posted.erase(it);
+    }
+    detail::complete_request(state_, Status{kUndefined, kUndefined, 0, /*ok=*/false});
+    return true;
+}
+
 void wait_all(std::span<Request> reqs) {
     for (Request& r : reqs) {
         if (r.valid()) {
             r.wait();
             r.state_.reset();
         }
+    }
+}
+
+int wait_any_for(std::span<Request> reqs, std::int64_t timeout_ns, Status* status) {
+    detail::WorldState* world = nullptr;
+    for (const Request& r : reqs) {
+        if (r.valid()) {
+            world = r.state_->world;
+            break;
+        }
+    }
+    if (world == nullptr) return kUndefined;
+    const std::int64_t deadline = detail::steady_now_ns() + timeout_ns;
+
+    for (;;) {
+        std::uint64_t seq;
+        {
+            std::lock_guard lock(world->activity_m);
+            seq = world->activity_seq;
+        }
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            if (reqs[i].valid() && reqs[i].test(status)) {
+                reqs[i].state_.reset();
+                return static_cast<int>(i);
+            }
+        }
+        const std::int64_t now = detail::steady_now_ns();
+        if (now >= deadline) return kTimeout;
+        const auto step = std::min<std::int64_t>(
+            deadline - now,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(detail::kAbortPollInterval)
+                .count());
+        std::unique_lock lock(world->activity_m);
+        world->activity_cv.wait_for(lock, std::chrono::nanoseconds(step),
+                                    [&] { return world->activity_seq != seq; });
+        lock.unlock();
+        world->check_aborted();
     }
 }
 
@@ -172,6 +349,58 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
     auto req = std::make_shared<detail::RequestState>();
     req->world = world_;
 
+    if (world_->faults != nullptr) {
+        const FaultAction act = world_->faults->on_send(rank_, dest, tag);
+        if (act.stall_ns > 0) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(act.stall_ns));
+        }
+        if (act.crash) {
+            throw Error("mpisim: injected crash at rank " + std::to_string(rank_));
+        }
+        if (act.drop) {
+            // Transient delivery failure: the payload vanishes; the sender
+            // learns synchronously via status.ok (the hardened layer retries).
+            detail::complete_request(req, Status{rank_, tag, bytes, /*ok=*/false});
+            return Request(std::move(req));
+        }
+        detail::PendingMsg msg;
+        msg.source = rank_;
+        msg.tag = tag;
+        msg.data.assign(static_cast<const std::byte*>(buf),
+                        static_cast<const std::byte*>(buf) + bytes);
+        bool scheduled = false;
+        {
+            std::lock_guard slock(world_->sched_m);
+            const auto key = std::make_tuple(rank_, dest, tag);
+            auto it = world_->streams.find(key);
+            // Route through the scheduler when delayed, or when an earlier
+            // message of the same stream is still parked (non-overtaking).
+            if (act.delay_ns > 0 || it != world_->streams.end()) {
+                const std::int64_t now = detail::steady_now_ns();
+                detail::StreamState& stream = world_->streams[key];
+                const std::int64_t release =
+                    std::max(now + act.delay_ns, stream.last_release_ns);
+                stream.last_release_ns = release;
+                ++stream.inflight;
+                world_->sched_heap.push_back(
+                    detail::DelayedMsg{release, world_->sched_seq++, dest, std::move(msg)});
+                std::push_heap(world_->sched_heap.begin(), world_->sched_heap.end(),
+                               [](const detail::DelayedMsg& a, const detail::DelayedMsg& b) {
+                                   return std::tie(a.release_ns, a.seq) >
+                                          std::tie(b.release_ns, b.seq);
+                               });
+                scheduled = true;
+            }
+        }
+        if (scheduled) {
+            world_->sched_cv.notify_one();
+        } else {
+            detail::deliver_msg(world_, dest, std::move(msg));
+        }
+        detail::complete_request(req, Status{rank_, tag, bytes});
+        return Request(std::move(req));
+    }
+
     detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(dest)];
     std::shared_ptr<detail::RequestState> matched_recv;
     Status matched_status;
@@ -213,6 +442,7 @@ Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag) {
     req->world = world_;
 
     detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+    req->mbox = &mbox;
     bool delivered = false;
     Status st;
     {
@@ -320,9 +550,11 @@ void Communicator::alltoall(const void* in, std::size_t bytes, void* out) {
 
 // ---- World ----------------------------------------------------------------
 
-World::World(int nranks) : state_(std::make_unique<detail::WorldState>()) {
+World::World(int nranks, FaultInjector* faults)
+    : state_(std::make_unique<detail::WorldState>()) {
     DFAMR_REQUIRE(nranks >= 1, "world needs at least one rank");
     state_->nranks = nranks;
+    state_->faults = faults;
     state_->mailboxes.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
         state_->mailboxes.push_back(std::make_unique<detail::Mailbox>());
@@ -333,9 +565,21 @@ World::World(int nranks) : state_(std::make_unique<detail::WorldState>()) {
     for (int r = 0; r < nranks; ++r) {
         comms_.push_back(Communicator(state_.get(), r, nranks));
     }
+    if (faults != nullptr) {
+        state_->sched_thread = std::thread(detail::scheduler_loop, state_.get());
+    }
 }
 
-World::~World() = default;
+World::~World() {
+    if (state_->sched_thread.joinable()) {
+        {
+            std::lock_guard lock(state_->sched_m);
+            state_->sched_shutdown = true;
+        }
+        state_->sched_cv.notify_all();
+        state_->sched_thread.join();
+    }
+}
 
 int World::size() const { return state_->nranks; }
 
@@ -352,15 +596,22 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     threads.reserve(static_cast<std::size_t>(state_->nranks));
     for (int r = 0; r < state_->nranks; ++r) {
         threads.emplace_back([this, r, &rank_main, &error_mutex, &first_error] {
-            try {
-                rank_main(comm(r));
-            } catch (...) {
+            const auto record = [&](std::exception_ptr err) {
                 {
                     std::lock_guard lock(error_mutex);
-                    if (!first_error) first_error = std::current_exception();
+                    if (!first_error) first_error = std::move(err);
                 }
                 state_->aborted.store(true, std::memory_order_relaxed);
                 state_->bump_activity();
+            };
+            try {
+                rank_main(comm(r));
+            } catch (const RankError&) {
+                record(std::current_exception());  // already annotated
+            } catch (const std::exception& e) {
+                record(std::make_exception_ptr(RankError(r, e.what())));
+            } catch (...) {
+                record(std::current_exception());
             }
         });
     }

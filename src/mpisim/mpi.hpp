@@ -29,11 +29,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace dfamr::mpi {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 inline constexpr int kUndefined = -2;
+/// Returned by wait_any_for when the deadline expires before any completion.
+inline constexpr int kTimeout = -3;
 
 enum class Op { Sum, Max, Min };
 
@@ -41,6 +45,39 @@ struct Status {
     int source = kUndefined;
     int tag = kUndefined;
     std::size_t bytes = 0;
+    /// False when the operation did not transfer data: a send whose payload
+    /// was dropped by fault injection, or a canceled receive.
+    bool ok = true;
+};
+
+/// Exception escaping a rank thread, annotated with the rank id by
+/// World::run (the thread context would otherwise be lost on rethrow).
+class RankError : public Error {
+public:
+    RankError(int rank, const std::string& what)
+        : Error("[rank " + std::to_string(rank) + "] " + what), rank_(rank) {}
+    int rank() const { return rank_; }
+
+private:
+    int rank_;
+};
+
+/// What the fault injector decided for one message send attempt. Defaults
+/// mean "no fault": deliver immediately, like a fault-free world.
+struct FaultAction {
+    bool drop = false;          // discard the payload; the send completes with ok=false
+    bool crash = false;         // throw from the sending call (simulated rank crash)
+    std::int64_t stall_ns = 0;  // sender-side stall before the operation proceeds
+    std::int64_t delay_ns = 0;  // in-flight delivery delay (enables legal reordering)
+};
+
+/// Chaos hook consulted once per isend attempt. mpisim carries no policy of
+/// its own — resilience::FaultPlan implements this deterministically.
+/// on_send may be called concurrently from any rank thread.
+class FaultInjector {
+public:
+    virtual ~FaultInjector() = default;
+    virtual FaultAction on_send(int src, int dest, int tag) = 0;
 };
 
 namespace detail {
@@ -61,11 +98,21 @@ public:
     bool test(Status* status = nullptr) const;
     /// Blocking wait (MPI_Wait).
     void wait(Status* status = nullptr) const;
+    /// Timed wait: returns false when `timeout_ns` elapses first (the
+    /// request stays pending and valid).
+    bool wait_for(std::int64_t timeout_ns, Status* status = nullptr) const;
+    /// Cancels a still-posted receive (MPI_Cancel): the request completes
+    /// with status.ok == false and its buffer is no longer referenced by the
+    /// mailbox. Returns true when this call performed the cancellation;
+    /// false when the request already completed (data was delivered) or is
+    /// a send. Needed so a timed-out receive can be abandoned safely.
+    bool cancel() const;
 
 private:
     friend class Communicator;
     friend void wait_all(std::span<Request> reqs);
     friend int wait_any(std::span<Request> reqs, Status* status);
+    friend int wait_any_for(std::span<Request> reqs, std::int64_t timeout_ns, Status* status);
 
     explicit Request(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
     std::shared_ptr<detail::RequestState> state_;
@@ -76,6 +123,9 @@ void wait_all(std::span<Request> reqs);
 /// Waits until one request completes and returns its index (MPI_Waitany);
 /// the completed request is invalidated. Returns kUndefined if none valid.
 int wait_any(std::span<Request> reqs, Status* status = nullptr);
+/// wait_any with a deadline: returns kTimeout when `timeout_ns` elapses
+/// before any request completes (all requests stay valid).
+int wait_any_for(std::span<Request> reqs, std::int64_t timeout_ns, Status* status = nullptr);
 
 /// A rank's endpoint into a communicator. One Communicator object per rank.
 class Communicator {
@@ -121,7 +171,11 @@ private:
 /// rank main functions on dedicated threads.
 class World {
 public:
-    explicit World(int nranks);
+    /// `faults`, when non-null, is consulted on every isend and must outlive
+    /// the World. A world with faults runs a delivery-scheduler thread for
+    /// delayed messages; without one the data path is byte-identical to the
+    /// original eager implementation.
+    explicit World(int nranks, FaultInjector* faults = nullptr);
     ~World();
 
     World(const World&) = delete;
@@ -132,7 +186,8 @@ public:
     Communicator& comm(int rank);
 
     /// Spawns one thread per rank running `rank_main`, and joins them.
-    /// The first exception thrown by any rank is rethrown here.
+    /// The first exception thrown by any rank is rethrown here, wrapped as a
+    /// RankError carrying the failing rank's id.
     void run(const std::function<void(Communicator&)>& rank_main);
 
     /// Total messages delivered so far (for tests and conservation checks).

@@ -1,0 +1,292 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "amr/comm_plan.hpp"
+#include "common/error.hpp"
+
+namespace dfamr::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'F', 'A', 'M', 'R', 'C', 'K', 'P'};
+
+// Gather tags: a dedicated pair inside the exchange-control tag space,
+// disjoint from kAckTag (+0), kBlockIdTag (+1) and kBlockDataTagBase (+16).
+constexpr int kSizeTag = amr::kExchangeTagBase + 8;
+constexpr int kBlobTag = amr::kExchangeTagBase + 9;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+struct Writer {
+    std::vector<std::byte> bytes;
+
+    void raw(const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::byte*>(p);
+        bytes.insert(bytes.end(), b, b + n);
+    }
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i32(std::int32_t v) { raw(&v, sizeof v); }
+    void i64(std::int64_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+    void vec3d(const Vec3d& v) {
+        f64(v.x);
+        f64(v.y);
+        f64(v.z);
+    }
+    void key(const amr::BlockKey& k) {
+        i32(k.level);
+        i64(k.anchor.x);
+        i64(k.anchor.y);
+        i64(k.anchor.z);
+    }
+};
+
+struct Reader {
+    const std::byte* p = nullptr;
+    std::size_t left = 0;
+
+    void raw(void* out, std::size_t n) {
+        DFAMR_REQUIRE(n <= left, "checkpoint: truncated file");
+        std::memcpy(out, p, n);
+        p += n;
+        left -= n;
+    }
+    std::uint32_t u32() {
+        std::uint32_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    std::uint64_t u64() {
+        std::uint64_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    std::int32_t i32() {
+        std::int32_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    std::int64_t i64() {
+        std::int64_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    double f64() {
+        double v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    Vec3d vec3d() {
+        Vec3d v;
+        v.x = f64();
+        v.y = f64();
+        v.z = f64();
+        return v;
+    }
+    amr::BlockKey key() {
+        amr::BlockKey k;
+        k.level = i32();
+        k.anchor.x = i64();
+        k.anchor.y = i64();
+        k.anchor.z = i64();
+        return k;
+    }
+};
+
+std::vector<std::byte> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    DFAMR_REQUIRE(in.good(), "checkpoint: cannot open '" + path + "'");
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+    if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+    DFAMR_REQUIRE(in.good(), "checkpoint: cannot read '" + path + "'");
+    return bytes;
+}
+
+/// Parses the header; returns the state and leaves `r` positioned at the
+/// per-rank section table.
+CheckpointState parse_header(Reader& r) {
+    char magic[8];
+    r.raw(magic, sizeof magic);
+    DFAMR_REQUIRE(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                  "checkpoint: bad magic (not a dfamr checkpoint)");
+    const std::uint32_t version = r.u32();
+    DFAMR_REQUIRE(version == kCheckpointVersion,
+                  "checkpoint: unsupported version " + std::to_string(version));
+
+    CheckpointState st;
+    st.nranks = static_cast<int>(r.u32());
+    st.config_fingerprint = r.u64();
+    st.ts_completed = static_cast<int>(r.i64());
+    st.stage_counter = static_cast<int>(r.i64());
+
+    const std::uint32_t nobjects = r.u32();
+    st.objects.resize(nobjects);
+    for (amr::ObjectSpec& obj : st.objects) {
+        obj.type = static_cast<amr::ObjectType>(r.i32());
+        obj.bounce = r.u32() != 0;
+        obj.center = r.vec3d();
+        obj.move = r.vec3d();
+        obj.size = r.vec3d();
+        obj.inc = r.vec3d();
+    }
+
+    const std::uint32_t nsums = r.u32();
+    st.checksums.resize(nsums);
+    for (double& v : st.checksums) v = r.f64();
+    const std::uint32_t nref = r.u32();
+    st.checksum_reference.resize(nref);
+    for (double& v : st.checksum_reference) v = r.f64();
+    st.validation_ok = r.u32() != 0;
+
+    const std::uint32_t nleaves = r.u32();
+    for (std::uint32_t i = 0; i < nleaves; ++i) {
+        const amr::BlockKey key = r.key();
+        st.owners[key] = r.i32();
+    }
+    return st;
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const amr::Config& cfg) {
+    std::uint64_t h = 0x64666d61u;  // arbitrary non-zero start
+    for (const int v : {cfg.npx, cfg.npy, cfg.npz, cfg.init_x, cfg.init_y, cfg.init_z, cfg.nx,
+                        cfg.ny, cfg.nz, cfg.num_vars, cfg.num_refine,
+                        static_cast<int>(cfg.objects.size())}) {
+        h = mix(h, static_cast<std::uint64_t>(v));
+    }
+    h = mix(h, cfg.seed);
+    return h;
+}
+
+std::vector<std::byte> serialize_rank_blocks(const amr::Mesh& mesh) {
+    Writer w;
+    const std::vector<amr::BlockKey> keys = mesh.owned_keys();
+    w.u32(static_cast<std::uint32_t>(keys.size()));
+    for (const amr::BlockKey& key : keys) {
+        const amr::Block& blk = mesh.block(key);
+        w.key(key);
+        w.u64(blk.data_size());
+        w.raw(blk.data(), blk.data_size() * sizeof(double));
+    }
+    return std::move(w.bytes);
+}
+
+void write_checkpoint(HardenedComm& comm, const std::string& path, const CheckpointState& state,
+                      const std::vector<std::byte>& rank_blob) {
+    const int rank = comm.rank();
+    const int nranks = comm.raw().size();
+    if (rank != 0) {
+        const std::uint64_t size = rank_blob.size();
+        comm.send(&size, sizeof size, 0, kSizeTag);
+        if (size > 0) comm.send(rank_blob.data(), rank_blob.size(), 0, kBlobTag);
+        return;
+    }
+
+    std::vector<std::vector<std::byte>> sections(static_cast<std::size_t>(nranks));
+    sections[0] = rank_blob;
+    for (int r = 1; r < nranks; ++r) {
+        std::uint64_t size = 0;
+        comm.recv(&size, sizeof size, r, kSizeTag);
+        sections[static_cast<std::size_t>(r)].resize(size);
+        if (size > 0) {
+            comm.recv(sections[static_cast<std::size_t>(r)].data(), size, r, kBlobTag);
+        }
+    }
+
+    Writer w;
+    w.raw(kMagic, sizeof kMagic);
+    w.u32(kCheckpointVersion);
+    w.u32(static_cast<std::uint32_t>(nranks));
+    w.u64(state.config_fingerprint);
+    w.i64(state.ts_completed);
+    w.i64(state.stage_counter);
+    w.u32(static_cast<std::uint32_t>(state.objects.size()));
+    for (const amr::ObjectSpec& obj : state.objects) {
+        w.i32(static_cast<std::int32_t>(obj.type));
+        w.u32(obj.bounce ? 1 : 0);
+        w.vec3d(obj.center);
+        w.vec3d(obj.move);
+        w.vec3d(obj.size);
+        w.vec3d(obj.inc);
+    }
+    w.u32(static_cast<std::uint32_t>(state.checksums.size()));
+    for (const double v : state.checksums) w.f64(v);
+    w.u32(static_cast<std::uint32_t>(state.checksum_reference.size()));
+    for (const double v : state.checksum_reference) w.f64(v);
+    w.u32(state.validation_ok ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(state.owners.size()));
+    for (const auto& [key, owner] : state.owners) {
+        w.key(key);
+        w.i32(owner);
+    }
+
+    // Section table, then the sections themselves.
+    const std::size_t table_at = w.bytes.size();
+    std::size_t offset = table_at + static_cast<std::size_t>(nranks) * 2 * sizeof(std::uint64_t);
+    for (int r = 0; r < nranks; ++r) {
+        w.u64(offset);
+        w.u64(sections[static_cast<std::size_t>(r)].size());
+        offset += sections[static_cast<std::size_t>(r)].size();
+    }
+    for (const auto& section : sections) {
+        w.raw(section.data(), section.size());
+    }
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        DFAMR_REQUIRE(out.good(), "checkpoint: cannot write '" + tmp + "'");
+        out.write(reinterpret_cast<const char*>(w.bytes.data()),
+                  static_cast<std::streamsize>(w.bytes.size()));
+        DFAMR_REQUIRE(out.good(), "checkpoint: write failed for '" + tmp + "'");
+    }
+    DFAMR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "checkpoint: cannot move '" + tmp + "' into place");
+}
+
+CheckpointState read_checkpoint_state(const std::string& path) {
+    const std::vector<std::byte> bytes = read_file(path);
+    Reader r{bytes.data(), bytes.size()};
+    return parse_header(r);
+}
+
+std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
+    const std::string& path, int rank) {
+    const std::vector<std::byte> bytes = read_file(path);
+    Reader r{bytes.data(), bytes.size()};
+    const CheckpointState st = parse_header(r);
+    DFAMR_REQUIRE(0 <= rank && rank < st.nranks, "checkpoint: rank out of range");
+
+    // Reader sits at the section table now.
+    std::uint64_t offset = 0, size = 0;
+    for (int i = 0; i <= rank; ++i) {
+        offset = r.u64();
+        size = r.u64();
+    }
+    DFAMR_REQUIRE(offset + size <= bytes.size(), "checkpoint: section out of bounds");
+
+    Reader section{bytes.data() + offset, static_cast<std::size_t>(size)};
+    const std::uint32_t nblocks = section.u32();
+    std::vector<std::pair<amr::BlockKey, std::vector<double>>> out;
+    out.reserve(nblocks);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+        const amr::BlockKey key = section.key();
+        const std::uint64_t count = section.u64();
+        std::vector<double> data(static_cast<std::size_t>(count));
+        section.raw(data.data(), data.size() * sizeof(double));
+        out.emplace_back(key, std::move(data));
+    }
+    return out;
+}
+
+}  // namespace dfamr::resilience

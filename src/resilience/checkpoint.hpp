@@ -1,0 +1,65 @@
+// Versioned binary checkpoint/restart of the full simulation state.
+//
+// Layout (version 1, little-endian fixed-width fields):
+//   magic "DFAMRCKP" | u32 version | u32 nranks | u64 config fingerprint
+//   | i64 ts_completed | i64 stage_counter
+//   | objects (count + raw ObjectSpec fields)
+//   | checksum history, drift reference, validation flag
+//   | leaf owner map (count + {level, anchor, owner})
+//   | per-rank section table (offset, size)
+//   | per-rank block sections ({key, cell data} per owned block)
+//
+// Writing is collective: every rank serializes its own blocks, ranks != 0
+// ship their blob to rank 0 over hardened point-to-point on dedicated tags,
+// and rank 0 writes the file atomically (tmp + rename). Restoring needs no
+// communication: ranks share the process, so each reads its own section.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "amr/config.hpp"
+#include "amr/mesh.hpp"
+#include "amr/object.hpp"
+#include "resilience/hardened_comm.hpp"
+
+namespace dfamr::resilience {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Everything global a restored run needs besides the per-rank blocks.
+struct CheckpointState {
+    std::uint64_t config_fingerprint = 0;
+    int nranks = 0;
+    int ts_completed = 0;
+    int stage_counter = 0;
+    std::vector<amr::ObjectSpec> objects;
+    std::vector<double> checksums;           // RankResult history so far
+    std::vector<double> checksum_reference;  // drift reference per group
+    bool validation_ok = true;
+    std::map<amr::BlockKey, int> owners;     // global leaf -> rank map
+};
+
+/// Hash of the Config fields a checkpoint must agree on to be restorable.
+std::uint64_t config_fingerprint(const amr::Config& cfg);
+
+/// Serializes this rank's owned blocks (keys + raw cell data).
+std::vector<std::byte> serialize_rank_blocks(const amr::Mesh& mesh);
+
+/// Collective write: every rank passes its blob; rank 0 gathers and writes
+/// `path`. All ranks must pass an identical `state` (it is written once).
+void write_checkpoint(HardenedComm& comm, const std::string& path, const CheckpointState& state,
+                      const std::vector<std::byte>& rank_blob);
+
+/// Reads and validates the header + global state. Throws dfamr::Error on a
+/// bad magic, unsupported version, or truncated file.
+CheckpointState read_checkpoint_state(const std::string& path);
+
+/// Reads one rank's block section: (key, cell data) pairs.
+std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
+    const std::string& path, int rank);
+
+}  // namespace dfamr::resilience

@@ -1,0 +1,139 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace dfamr::resilience {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+std::uint64_t stream_seed(std::uint64_t seed, int src, int dst, int tag) {
+    std::uint64_t h = seed;
+    h = mix(h, static_cast<std::uint64_t>(src));
+    h = mix(h, static_cast<std::uint64_t>(dst));
+    h = mix(h, static_cast<std::uint64_t>(tag));
+    return h;
+}
+
+}  // namespace
+
+mpi::FaultAction FaultPlan::on_send(int src, int dest, int tag) {
+    mpi::FaultAction act;
+    std::lock_guard lock(mutex_);
+
+    // Rank-scoped faults (stall, crash) count every send attempt of a rank,
+    // which is deterministic per rank because each rank's send sequence is.
+    const std::uint64_t nth = ++sends_per_rank_[src];
+    if (src == cfg_.stall_rank && cfg_.stall_every > 0 &&
+        nth % static_cast<std::uint64_t>(cfg_.stall_every) == 0) {
+        act.stall_ns = cfg_.stall_ns;
+    }
+    if (src == cfg_.crash_rank && nth >= static_cast<std::uint64_t>(cfg_.crash_after_sends)) {
+        act.crash = true;
+        events_.push_back(FaultEvent{src, dest, tag, 0, false, act.stall_ns > 0, true, 0});
+        return act;
+    }
+
+    // Stream-scoped faults (drop, delay): one RNG per stream, seeded from
+    // (seed, src, dst, tag), consulted in stream order.
+    const auto key = std::make_tuple(src, dest, tag);
+    auto [it, inserted] = streams_.try_emplace(key);
+    Stream& s = it->second;
+    if (inserted) s.rng = Rng(stream_seed(cfg_.seed, src, dest, tag));
+    const std::uint64_t seq = s.seq++;
+
+    if (s.drops_remaining > 0) {
+        --s.drops_remaining;
+        act.drop = true;
+    } else if (!s.grace && cfg_.drop_prob > 0 && s.rng.next_double() < cfg_.drop_prob) {
+        act.drop = true;
+        s.drops_remaining =
+            cfg_.max_extra_drops > 0
+                ? static_cast<int>(s.rng.below(static_cast<std::uint64_t>(cfg_.max_extra_drops) + 1))
+                : 0;
+    } else if (cfg_.delay_prob > 0 && s.rng.next_double() < cfg_.delay_prob) {
+        act.delay_ns = 1 + static_cast<std::int64_t>(
+                               s.rng.below(static_cast<std::uint64_t>(cfg_.max_delay_ns)));
+    }
+    // A burst never extends past its forced drops: the delivery that ends it
+    // is exempt from the drop roll, so per stream at most 1 + max_extra_drops
+    // consecutive sends fail and a bounded retry is guaranteed to succeed.
+    s.grace = act.drop;
+
+    if (act.drop) ++drops_;
+    if (act.delay_ns > 0) ++delays_;
+    events_.push_back(
+        FaultEvent{src, dest, tag, seq, act.drop, act.stall_ns > 0, false, act.delay_ns});
+    return act;
+}
+
+std::vector<FaultEvent> FaultPlan::events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+}
+
+std::vector<FaultEvent> FaultPlan::stream_events(int src, int dst, int tag) const {
+    std::lock_guard lock(mutex_);
+    std::vector<FaultEvent> out;
+    for (const FaultEvent& e : events_) {
+        if (e.src == src && e.dst == dst && e.tag == tag) out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+        return a.stream_seq < b.stream_seq;
+    });
+    return out;
+}
+
+std::uint64_t FaultPlan::drops() const {
+    std::lock_guard lock(mutex_);
+    return drops_;
+}
+
+std::uint64_t FaultPlan::delays() const {
+    std::lock_guard lock(mutex_);
+    return delays_;
+}
+
+void FaultConfig::register_cli(CliParser& cli) {
+    cli.add_option("--fault_seed", "seed of the deterministic fault plan", "1");
+    cli.add_option("--fault_drop_prob", "per-message transient drop probability", "0");
+    cli.add_option("--fault_max_extra_drops", "extra consecutive drops per dropped message", "1");
+    cli.add_option("--fault_delay_prob", "per-message delivery delay probability", "0");
+    cli.add_option("--fault_max_delay_ns", "maximum injected delivery delay (ns)", "200000");
+    cli.add_option("--fault_stall_rank", "rank whose sends stall periodically (-1 = off)", "-1");
+    cli.add_option("--fault_stall_every", "stall every k-th send of the stalled rank", "0");
+    cli.add_option("--fault_stall_ns", "stall duration (ns)", "0");
+    cli.add_option("--fault_crash_rank", "rank that crashes (-1 = off)", "-1");
+    cli.add_option("--fault_crash_after_sends", "crash on the rank's k-th send (1-based)", "1");
+}
+
+FaultConfig FaultConfig::from_cli(const CliParser& cli) {
+    FaultConfig cfg;
+    if (cli.has("--fault_seed")) cfg.seed = static_cast<std::uint64_t>(cli.get_int("--fault_seed"));
+    if (cli.has("--fault_drop_prob")) cfg.drop_prob = cli.get_double("--fault_drop_prob");
+    if (cli.has("--fault_max_extra_drops")) {
+        cfg.max_extra_drops = static_cast<int>(cli.get_int("--fault_max_extra_drops"));
+    }
+    if (cli.has("--fault_delay_prob")) cfg.delay_prob = cli.get_double("--fault_delay_prob");
+    if (cli.has("--fault_max_delay_ns")) cfg.max_delay_ns = cli.get_int("--fault_max_delay_ns");
+    if (cli.has("--fault_stall_rank")) {
+        cfg.stall_rank = static_cast<int>(cli.get_int("--fault_stall_rank"));
+    }
+    if (cli.has("--fault_stall_every")) {
+        cfg.stall_every = static_cast<int>(cli.get_int("--fault_stall_every"));
+    }
+    if (cli.has("--fault_stall_ns")) cfg.stall_ns = cli.get_int("--fault_stall_ns");
+    if (cli.has("--fault_crash_rank")) {
+        cfg.crash_rank = static_cast<int>(cli.get_int("--fault_crash_rank"));
+    }
+    if (cli.has("--fault_crash_after_sends")) {
+        cfg.crash_after_sends = static_cast<int>(cli.get_int("--fault_crash_after_sends"));
+    }
+    return cfg;
+}
+
+}  // namespace dfamr::resilience

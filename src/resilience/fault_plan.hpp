@@ -1,0 +1,109 @@
+// Deterministic, seed-driven chaos plan for mpisim (the resilience layer's
+// fault model). Every decision — drop, delay, stall, crash — is a pure
+// function of (seed, src, dst, tag, per-stream sequence number), so a chaos
+// run can be replayed exactly: same seed, same faults.
+//
+// Streams are (src, dst, tag) triples, matching mpisim's non-overtaking
+// unit. Decisions within a stream form a deterministic subsequence
+// regardless of how rank threads interleave; only the interleaving of the
+// global event log across streams follows wall-clock call order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "mpisim/mpi.hpp"
+
+namespace dfamr::resilience {
+
+/// Knobs of the fault model. Everything defaults to off; enabled() tells
+/// whether any fault can ever fire.
+struct FaultConfig {
+    std::uint64_t seed = 1;
+
+    // Transient delivery failure: a message's first attempt is dropped with
+    // drop_prob; up to max_extra_drops immediately following attempts of the
+    // same stream (the retries) are dropped too. Bounded, so a retrying
+    // sender always gets through within max_extra_drops + 1 extra attempts.
+    double drop_prob = 0.0;
+    int max_extra_drops = 1;
+
+    // In-flight delay: a delivered message is held back by a uniform random
+    // time in (0, max_delay_ns], which legally reorders it against messages
+    // of other streams.
+    double delay_prob = 0.0;
+    std::int64_t max_delay_ns = 200'000;
+
+    // Rank stall: every stall_every-th send of stall_rank sleeps stall_ns
+    // before proceeding (a slow rank, not a failed one).
+    int stall_rank = -1;
+    int stall_every = 0;
+    std::int64_t stall_ns = 0;
+
+    // Rank crash: crash_rank throws from its crash_after_sends-th send
+    // attempt (1-based). Used to exercise checkpoint/restart.
+    int crash_rank = -1;
+    int crash_after_sends = 1;
+
+    bool enabled() const {
+        return drop_prob > 0 || delay_prob > 0 || (stall_rank >= 0 && stall_every > 0) ||
+               crash_rank >= 0;
+    }
+
+    static void register_cli(CliParser& cli);
+    /// Builds a FaultConfig from parsed CLI values (defaults = all off).
+    static FaultConfig from_cli(const CliParser& cli);
+};
+
+/// One recorded decision (the reproducibility log).
+struct FaultEvent {
+    int src = 0;
+    int dst = 0;
+    int tag = 0;
+    std::uint64_t stream_seq = 0;  // position within the (src,dst,tag) stream
+    bool dropped = false;
+    bool stalled = false;
+    bool crashed = false;
+    std::int64_t delay_ns = 0;
+
+    friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultPlan final : public mpi::FaultInjector {
+public:
+    explicit FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {}
+
+    mpi::FaultAction on_send(int src, int dest, int tag) override;
+
+    const FaultConfig& config() const { return cfg_; }
+    /// Full decision log in call order. Per-stream subsequences (filter by
+    /// src/dst/tag) are identical across runs with the same seed.
+    std::vector<FaultEvent> events() const;
+    /// Events of one stream, in stream order (deterministic per seed).
+    std::vector<FaultEvent> stream_events(int src, int dst, int tag) const;
+    std::uint64_t drops() const;
+    std::uint64_t delays() const;
+
+private:
+    struct Stream {
+        Rng rng{0};
+        std::uint64_t seq = 0;
+        int drops_remaining = 0;
+        bool grace = false;  // the send ending a drop burst is never dropped
+    };
+
+    FaultConfig cfg_;
+    mutable std::mutex mutex_;
+    std::map<std::tuple<int, int, int>, Stream> streams_;
+    std::map<int, std::uint64_t> sends_per_rank_;
+    std::vector<FaultEvent> events_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t delays_ = 0;
+};
+
+}  // namespace dfamr::resilience

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mpisim/mpi.hpp"
+#include "resilience/hardened_comm.hpp"
 #include "tasking/runtime.hpp"
 
 namespace dfamr::tampi {
@@ -36,6 +37,14 @@ public:
 
     Tampi(const Tampi&) = delete;
     Tampi& operator=(const Tampi&) = delete;
+
+    /// Enables hardened communication: isend retries transient failures
+    /// with the policy's backoff, and every bound receive gets a completion
+    /// deadline. An expired request is canceled and reported through
+    /// Runtime::report_external_error as a resilience::CommTimeout, so the
+    /// failure surfaces at the next taskwait instead of hanging the pool.
+    void configure_resilience(const resilience::RetryPolicy& policy,
+                              amr::Tracer* tracer = nullptr);
 
     /// Non-blocking: binds `req` to the calling task (TAMPI_Iwait).
     void iwait(mpi::Request req);
@@ -64,12 +73,36 @@ private:
     struct Bound {
         mpi::Request request;
         tasking::Task* task = nullptr;
+        /// Absolute steady-clock expiry (0 = no deadline / resilience off).
+        std::int64_t deadline_ns = 0;
+        /// Context for the CommTimeout diagnostic (kUndefined when unknown,
+        /// e.g. requests bound through the bare iwait/iwaitall API).
+        int rank = mpi::kUndefined;
+        int peer = mpi::kUndefined;
+        int tag = mpi::kUndefined;
+        const char* op = "iwait";
     };
+
+    void bind_current_task(mpi::Request req, int rank, int peer, int tag, const char* op);
+    /// Cancels an expired request and reports the timeout to the runtime;
+    /// releases the owning task's event so the pool keeps draining.
+    void expire(Bound& b);
+    /// Blocking-mode completion: help-execute tasks until `req` completes or
+    /// the policy deadline passes (then cancel + throw CommTimeout).
+    void help_with_deadline(mpi::Request& req, const char* op, int rank, int peer, int tag);
 
     tasking::Runtime& runtime_;
     mutable std::mutex mutex_;
     std::vector<Bound> pending_;
     std::string service_name_;
+
+    bool hardened_ = false;
+    resilience::RetryPolicy policy_;
+    amr::Tracer* tracer_ = nullptr;
+    /// Set once any request times out: every other pending request is
+    /// flushed too, so an aborted step tears down quickly instead of
+    /// waiting out one deadline per request.
+    bool timed_out_ = false;
 };
 
 }  // namespace dfamr::tampi

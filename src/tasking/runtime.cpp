@@ -223,6 +223,12 @@ void Runtime::wait_until(const std::function<bool()>& done) {
     }
 }
 
+void Runtime::report_external_error(std::exception_ptr err) {
+    if (!err) return;
+    std::unique_lock lock(graph_mutex_);
+    if (!first_error_) first_error_ = std::move(err);
+}
+
 void Runtime::taskwait() {
     Task* ctx = (tls_runtime == this && tls_task != nullptr) ? tls_task : &root_;
     wait_until([ctx] { return ctx->descendants_live == 0; });

@@ -110,6 +110,12 @@ public:
     void register_polling_service(std::string name, std::function<bool()> poll);
     void unregister_polling_service(const std::string& name);
 
+    /// Records an error raised outside any task body — e.g. by a progress
+    /// engine detecting a communication timeout. Surfaces at the next
+    /// taskwait exactly like a task-body exception, instead of hanging the
+    /// worker pool on a task that will never complete.
+    void report_external_error(std::exception_ptr err);
+
     /// The runtime the calling thread is currently executing a task of
     /// (nullptr outside of tasks).
     static Runtime* current();
