@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sched_bench.hpp"
 
 using namespace dfamr;
 using namespace dfamr::bench;
@@ -30,7 +31,8 @@ struct Row {
     double efficiency = 0;  // vs the variant's own 1-node point
 };
 
-void write_json(const char* path, const std::vector<Row>& rows, int max_nodes) {
+void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
+                const SchedMeasurement& sched) {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
@@ -51,7 +53,29 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes) {
                      r.series.c_str(), r.variant.c_str(), r.nodes, r.ranks, r.blocks, r.total_s,
                      r.refine_s, r.gflops, r.speedup, r.efficiency, i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "  ],\n");
+    // Scheduler microbenchmark on the build host: the vendored pre-rewrite
+    // global-mutex runtime vs the current work-stealing runtime (see
+    // bench/sched_bench.hpp), plus the new runtime's scheduler counters.
+    std::fprintf(f, "  \"scheduler\": {\n");
+    std::fprintf(f, "    \"workers\": %d,\n", sched.workers);
+    std::fprintf(f, "    \"tasks\": %lld,\n", sched.tasks);
+    std::fprintf(f, "    \"old_fanout_ns_per_task\": %.1f,\n", sched.old_fanout_ns);
+    std::fprintf(f, "    \"new_fanout_ns_per_task\": %.1f,\n", sched.new_fanout_ns);
+    std::fprintf(f, "    \"old_chain_ns_per_task\": %.1f,\n", sched.old_chain_ns);
+    std::fprintf(f, "    \"new_chain_ns_per_task\": %.1f,\n", sched.new_chain_ns);
+    std::fprintf(f, "    \"steal_ns\": %.1f,\n", sched.steal_ns);
+    std::fprintf(f, "    \"steals\": %llu,\n",
+                 static_cast<unsigned long long>(sched.fanout_stats.steals));
+    std::fprintf(f, "    \"steal_fails\": %llu,\n",
+                 static_cast<unsigned long long>(sched.fanout_stats.steal_fails));
+    std::fprintf(f, "    \"parks\": %llu,\n",
+                 static_cast<unsigned long long>(sched.fanout_stats.parks));
+    std::fprintf(f, "    \"wakeups\": %llu,\n",
+                 static_cast<unsigned long long>(sched.fanout_stats.wakeups));
+    std::fprintf(f, "    \"immediate_successor_hits\": %llu\n",
+                 static_cast<unsigned long long>(sched.chain_stats.immediate_successor_hits));
+    std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -117,7 +141,10 @@ int main(int argc, char** argv) {
         }
     }
 
-    write_json(out, rows, max_nodes);
+    std::printf("running scheduler microbenchmark...\n");
+    const SchedMeasurement sched = measure_scheduler(/*workers=*/2, /*tasks=*/100000);
+
+    write_json(out, rows, max_nodes, sched);
     std::printf("wrote %s (%zu points)\n", out, rows.size());
     return 0;
 }

@@ -1,0 +1,54 @@
+// Scheduler microbenchmark: the vendored pre-work-stealing runtime
+// (bench/seed_sched, global mutex) vs the current work-stealing runtime,
+// swept over worker counts. Prints per-task spawn/complete cost for the
+// fan-out and dependency-chain workloads, successful-steal latency, the
+// new runtime's scheduler counters, and a machine-readable JSON line per
+// row.
+//
+// This is the measurement behind CostModel::tasking_overhead_ns — rerun it
+// (Release build) when the scheduler changes and update the constant if the
+// per-task cost moves materially.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "sched_bench.hpp"
+
+int main(int argc, char** argv) {
+    long long tasks = 200000;
+    if (argc > 1) tasks = std::atoll(argv[1]);
+
+    const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+    std::vector<int> sweep;
+    for (int w = 1; static_cast<unsigned>(w) <= hw; w *= 2) sweep.push_back(w);
+    if (static_cast<unsigned>(sweep.back()) != hw) sweep.push_back(static_cast<int>(hw));
+
+    std::printf("scheduler microbenchmark: %lld tasks per workload per runtime\n", tasks);
+    std::printf("%-7s | %11s %11s %8s | %11s %11s %8s | %9s %9s %8s %8s\n", "workers",
+                "old fanout", "new fanout", "speedup", "old chain", "new chain", "speedup",
+                "steal ns", "imm_succ", "steals", "parks");
+    for (int w : sweep) {
+        const auto m = dfamr::bench::measure_scheduler(w, tasks);
+        const double fan_speedup =
+            m.new_fanout_ns > 0 ? m.old_fanout_ns / m.new_fanout_ns : 0.0;
+        const double chain_speedup = m.new_chain_ns > 0 ? m.old_chain_ns / m.new_chain_ns : 0.0;
+        std::printf("%-7d | %11.1f %11.1f %7.2fx | %11.1f %11.1f %7.2fx | %9.1f %9llu %8llu %8llu\n",
+                    w, m.old_fanout_ns, m.new_fanout_ns, fan_speedup, m.old_chain_ns,
+                    m.new_chain_ns, chain_speedup, m.steal_ns,
+                    static_cast<unsigned long long>(m.chain_stats.immediate_successor_hits),
+                    static_cast<unsigned long long>(m.fanout_stats.steals),
+                    static_cast<unsigned long long>(m.fanout_stats.parks));
+        std::printf("JSON {\"workers\":%d,\"tasks\":%lld,\"old_fanout_ns\":%.1f,"
+                    "\"new_fanout_ns\":%.1f,\"old_chain_ns\":%.1f,\"new_chain_ns\":%.1f,"
+                    "\"steal_ns\":%.1f,\"steals\":%llu,\"steal_fails\":%llu,\"parks\":%llu,"
+                    "\"wakeups\":%llu,\"immediate_successor_hits\":%llu}\n",
+                    w, tasks, m.old_fanout_ns, m.new_fanout_ns, m.old_chain_ns, m.new_chain_ns,
+                    m.steal_ns, static_cast<unsigned long long>(m.fanout_stats.steals),
+                    static_cast<unsigned long long>(m.fanout_stats.steal_fails),
+                    static_cast<unsigned long long>(m.fanout_stats.parks),
+                    static_cast<unsigned long long>(m.fanout_stats.wakeups),
+                    static_cast<unsigned long long>(m.chain_stats.immediate_successor_hits));
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+// Vendored pre-work-stealing scheduler (repo history: the global-mutex
+// runtime this PR replaced), renamespaced to seed_baseline so the
+// microbenchmark can race it against the current dfamr::tasking runtime
+// with identical task machinery. Benchmark-only: not part of the library.
+
+#include "dependency.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "verify_hook.hpp"
+
+namespace seed_baseline::dfamr::tasking {
+
+DependencyRegistry::IntervalMap::iterator DependencyRegistry::split_at(std::uintptr_t point) {
+    // Find the interval containing `point` (if any) and split it so `point`
+    // becomes an interval boundary.
+    auto it = intervals_.upper_bound(point);
+    if (it != intervals_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first < point && point < prev->second.end) {
+            Interval right = prev->second;  // copy writer/readers
+            const std::uintptr_t right_end = prev->second.end;
+            prev->second.end = point;
+            right.end = right_end;
+            it = intervals_.emplace_hint(it, point, std::move(right));
+        }
+    }
+    return intervals_.lower_bound(point);
+}
+
+void DependencyRegistry::add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added) {
+    if (!pred || pred.get() == succ.get()) return;
+    if (pred->dep_released) {
+        // The conflicting predecessor already completed: ordering holds by
+        // completion time, no edge needed. Count it so (added + elided)
+        // stays deterministic for a given access sequence.
+        if (pred->last_edge_marker != succ->node_id) {
+            pred->last_edge_marker = succ->node_id;
+            ++edges_elided_;
+        }
+        return;
+    }
+    // Dedup consecutive identical edges: a multi-interval region would
+    // otherwise add one edge per covered interval.
+    if (pred->last_edge_marker == succ->node_id) return;
+    pred->last_edge_marker = succ->node_id;
+    pred->successors.push_back(succ.get());
+    ++succ->pred_count;
+    ++added;
+    if (verify_ != nullptr) verify_->on_edge_added(*pred, *succ);
+}
+
+int DependencyRegistry::register_accesses(const DepNodePtr& node, std::span<const Dep> deps) {
+    DFAMR_REQUIRE(node != nullptr, "null dependency node");
+    int added = 0;
+    for (const Dep& dep : deps) {
+        if (dep.region.size == 0) continue;
+        const std::uintptr_t lo = dep.region.base;
+        const std::uintptr_t hi = dep.region.end();
+
+        split_at(lo);
+        split_at(hi);
+
+        auto it = intervals_.lower_bound(lo);
+        std::uintptr_t cursor = lo;
+        while (cursor < hi) {
+            if (it == intervals_.end() || it->first > cursor) {
+                // Gap [cursor, min(hi, next_start)): fresh interval, no edges.
+                const std::uintptr_t gap_end =
+                    (it == intervals_.end()) ? hi : std::min<std::uintptr_t>(hi, it->first);
+                Interval fresh;
+                fresh.end = gap_end;
+                if (dep.kind == DepKind::In) {
+                    fresh.readers.push_back(node);
+                } else {
+                    fresh.writer = node;
+                }
+                it = intervals_.emplace_hint(it, cursor, std::move(fresh));
+                ++it;
+                cursor = gap_end;
+                continue;
+            }
+            // Existing interval starting exactly at cursor (split_at ensured
+            // boundaries at lo/hi, and we iterate boundary to boundary).
+            DFAMR_ASSERT(it->first == cursor && it->second.end <= hi);
+            Interval& iv = it->second;
+            if (dep.kind == DepKind::In) {
+                add_edge(iv.writer, node, added);
+                // Record as reader (avoid duplicate entry for this node).
+                if (iv.readers.empty() || iv.readers.back().get() != node.get()) {
+                    iv.readers.push_back(node);
+                }
+            } else {  // Out / InOut: order after the last writer and all readers.
+                // With readers present the writer edge is subsumed: every
+                // reader is already ordered after that writer.
+                if (iv.readers.empty()) add_edge(iv.writer, node, added);
+                for (const DepNodePtr& reader : iv.readers) add_edge(reader, node, added);
+                iv.writer = node;
+                iv.readers.clear();
+            }
+            cursor = iv.end;
+            ++it;
+        }
+    }
+    return added;
+}
+
+void DependencyRegistry::garbage_collect() {
+    for (auto it = intervals_.begin(); it != intervals_.end();) {
+        Interval& iv = it->second;
+        std::erase_if(iv.readers, [](const DepNodePtr& r) { return r->dep_released; });
+        if (iv.writer && iv.writer->dep_released && iv.readers.empty()) {
+            it = intervals_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace seed_baseline::dfamr::tasking

@@ -1,0 +1,160 @@
+// Vendored pre-work-stealing scheduler (repo history: the global-mutex
+// runtime this PR replaced), renamespaced to seed_baseline so the
+// microbenchmark can race it against the current dfamr::tasking runtime
+// with identical task machinery. Benchmark-only: not part of the library.
+
+// Data-flow dependency model (OmpSs-2-style region dependencies).
+//
+// A dependency is an access kind (in / out / inout) on a byte region.
+// Multidependencies are expressed by passing several Dep entries for one
+// task — exactly how the paper expresses a send task that reads every
+// packed section of its aggregated message buffer.
+//
+// The DependencyRegistry computes predecessor/successor edges between
+// generic DepNodes, so the same semantics drive both the real tasking
+// runtime (tasking::Runtime) and the discrete-event simulator's DAG builder
+// (sim::DagBuilder). This guarantees the simulated task graphs have the
+// dependency structure the real runtime would enforce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace seed_baseline::dfamr::tasking {
+
+/// A byte range [base, base+size) used as a dependency region.
+///
+/// Empty regions (size == 0) are well-defined and inert: they overlap
+/// nothing — not even an empty region at the same base — and registering
+/// one imposes no ordering and creates no interval bookkeeping. A task
+/// whose deps list is empty (or contains only empty regions) is therefore
+/// immediately ready and unordered with respect to every other task.
+/// DepLint checks against the same model: empty regions never conflict.
+struct Region {
+    std::uintptr_t base = 0;
+    std::size_t size = 0;
+
+    Region() = default;
+    Region(const void* p, std::size_t n) : base(reinterpret_cast<std::uintptr_t>(p)), size(n) {}
+    /// Synthetic region from an abstract id space (DES mode has no real buffers).
+    static Region synthetic(std::uint64_t id, std::size_t size = 1) {
+        Region r;
+        r.base = id;
+        r.size = size;
+        return r;
+    }
+
+    std::uintptr_t end() const { return base + size; }
+    bool empty() const { return size == 0; }
+    bool overlaps(const Region& o) const { return base < o.end() && o.base < end(); }
+};
+
+enum class DepKind : std::uint8_t { In, Out, InOut };
+
+struct Dep {
+    DepKind kind = DepKind::In;
+    Region region;
+};
+
+inline Dep in(const void* p, std::size_t n) { return {DepKind::In, Region(p, n)}; }
+inline Dep out(const void* p, std::size_t n) { return {DepKind::Out, Region(p, n)}; }
+inline Dep inout(const void* p, std::size_t n) { return {DepKind::InOut, Region(p, n)}; }
+
+template <typename T>
+Dep in(std::span<const T> s) {
+    return in(s.data(), s.size_bytes());
+}
+template <typename T>
+Dep out(std::span<T> s) {
+    return out(s.data(), s.size_bytes());
+}
+template <typename T>
+Dep inout(std::span<T> s) {
+    return inout(s.data(), s.size_bytes());
+}
+
+inline Dep in_id(std::uint64_t id) { return {DepKind::In, Region::synthetic(id)}; }
+inline Dep out_id(std::uint64_t id) { return {DepKind::Out, Region::synthetic(id)}; }
+inline Dep inout_id(std::uint64_t id) { return {DepKind::InOut, Region::synthetic(id)}; }
+
+/// Node in a dependency graph. tasking::Task and sim::DagTask derive from it.
+///
+/// Thread-safety: all fields are protected by the owning component's lock
+/// (tasking::Runtime's graph mutex, or nothing in the single-threaded DES).
+struct DepNode {
+    std::uint64_t node_id = 0;
+    /// Number of unsatisfied predecessor edges.
+    int pred_count = 0;
+    /// Nodes whose pred_count must drop when this node releases its deps.
+    std::vector<DepNode*> successors;
+    /// True once the node has released its dependencies.
+    bool dep_released = false;
+    /// Edge-dedup marker: the last successor node_id an edge was added for.
+    std::uint64_t last_edge_marker = UINT64_MAX;
+
+    virtual ~DepNode() = default;
+};
+
+using DepNodePtr = std::shared_ptr<DepNode>;
+
+class VerifyHook;
+
+/// Tracks last-writer / readers-since-write per byte interval and wires
+/// reader-after-write, write-after-read and write-after-write edges.
+///
+/// Not thread-safe; the caller serializes access.
+class DependencyRegistry {
+public:
+    /// Registers the accesses of `node`, adding predecessor edges from every
+    /// conflicting earlier node that has not yet released its dependencies.
+    /// Empty regions are skipped (see Region). Returns the number of
+    /// predecessor edges added.
+    int register_accesses(const DepNodePtr& node, std::span<const Dep> deps);
+
+    /// Number of distinct byte intervals currently tracked (for tests/stats).
+    std::size_t interval_count() const { return intervals_.size(); }
+
+    /// Cumulative count of edges elided because the conflicting predecessor
+    /// had already released its dependencies (the ordering then holds by
+    /// completion time instead of by an explicit edge). Together with the
+    /// added-edge count this makes conflict accounting deterministic:
+    /// added + elided is a property of the access sequence, not of worker
+    /// timing. Best-effort: conflicts whose predecessor interval was already
+    /// garbage-collected leave no trace and are not counted.
+    std::uint64_t edges_elided() const { return edges_elided_; }
+
+    /// Attaches a verification observer notified of every edge the registry
+    /// wires (nullptr detaches; zero-cost when detached).
+    void set_verify_hook(VerifyHook* hook) { verify_ = hook; }
+
+    /// Drops bookkeeping for regions nobody references anymore. The registry
+    /// prunes intervals whose writer and readers have all released.
+    void garbage_collect();
+
+private:
+    struct Interval {
+        std::uintptr_t end = 0;
+        DepNodePtr writer;              // last writer (may be released)
+        std::vector<DepNodePtr> readers;  // readers since last write
+    };
+
+    // Keyed by interval start; intervals are disjoint and sorted.
+    using IntervalMap = std::map<std::uintptr_t, Interval>;
+
+    /// Splits intervals so that `r`'s boundaries coincide with interval
+    /// boundaries, and returns the first interval at-or-after r.base.
+    IntervalMap::iterator split_at(std::uintptr_t point);
+
+    void add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added);
+
+    IntervalMap intervals_;
+    std::uint64_t edges_elided_ = 0;
+    VerifyHook* verify_ = nullptr;
+};
+
+}  // namespace seed_baseline::dfamr::tasking

@@ -1,0 +1,316 @@
+// Vendored pre-work-stealing scheduler (repo history: the global-mutex
+// runtime this PR replaced), renamespaced to seed_baseline so the
+// microbenchmark can race it against the current dfamr::tasking runtime
+// with identical task machinery. Benchmark-only: not part of the library.
+
+#include "runtime.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "common/error.hpp"
+#include "verify_hook.hpp"
+
+namespace seed_baseline::dfamr::tasking {
+
+namespace {
+thread_local Runtime* tls_runtime = nullptr;
+thread_local Task* tls_task = nullptr;
+
+constexpr auto kIdleWait = std::chrono::microseconds(200);
+}  // namespace
+
+Runtime* Runtime::current() { return tls_runtime; }
+Task* Runtime::current_task() { return tls_task; }
+
+Runtime::Runtime(int workers) {
+    DFAMR_REQUIRE(workers >= 0, "worker count must be non-negative");
+    root_.label = "<root>";
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+Runtime::~Runtime() {
+    try {
+        taskwait();
+    } catch (...) {
+        // A task error surfacing during teardown cannot be rethrown further.
+    }
+    {
+        std::unique_lock lock(graph_mutex_);
+        if (verify_ != nullptr) verify_->on_shutdown();
+        shutting_down_ = true;
+    }
+    ready_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void Runtime::set_verify_hook(VerifyHook* hook) {
+    std::unique_lock lock(graph_mutex_);
+    verify_ = hook;
+    registry_.set_verify_hook(hook);
+}
+
+void Runtime::submit(std::function<void()> body, std::vector<Dep> deps, const char* label) {
+    auto task = std::make_shared<Task>();
+    task->body = std::move(body);
+    task->deps = std::move(deps);
+    task->label = label;
+
+    const bool nested = (tls_runtime == this && tls_task != nullptr);
+    task->parent = nested ? tls_task : &root_;
+    if (nested) task->parent_ref = tls_task->shared_from_this();
+
+    std::unique_lock lock(graph_mutex_);
+    task->node_id = next_task_id_++;
+    live_hold_.emplace(task->node_id, task);
+    ++live_tasks_;
+    ++stats_.tasks_submitted;
+    for (Task* p = task->parent; p != nullptr; p = p->parent) ++p->descendants_live;
+    if (verify_ != nullptr) {
+        verify_->on_node_registered(*task, task->label, std::span<const Dep>(task->deps));
+    }
+    stats_.edges_added += static_cast<std::uint64_t>(
+        registry_.register_accesses(task, std::span<const Dep>(task->deps)));
+    if (task->pred_count == 0) enqueue_ready(task, lock);
+}
+
+void Runtime::enqueue_ready(TaskPtr task, std::unique_lock<std::mutex>& lock) {
+    (void)lock;  // must hold graph_mutex_
+    ready_queue_.push_back(std::move(task));
+    ready_cv_.notify_one();
+}
+
+void Runtime::run_body(const TaskPtr& task) {
+    Runtime* prev_rt = tls_runtime;
+    Task* prev_task = tls_task;
+    tls_runtime = this;
+    tls_task = task.get();
+    // verify_ is only mutated while no tasks are in flight (attach-before-
+    // submit contract), so the unlocked reads here are safe.
+    if (verify_ != nullptr) {
+        verify_->on_body_start(*task, task->label, std::span<const Dep>(task->deps));
+    }
+    try {
+        if (task->body) task->body();
+    } catch (...) {
+        std::unique_lock lock(graph_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (verify_ != nullptr) verify_->on_body_end(*task);
+    tls_runtime = prev_rt;
+    tls_task = prev_task;
+}
+
+void Runtime::execute(const TaskPtr& task) {
+    run_body(task);
+    TaskPtr next = finish_body(task);
+    // Immediate-successor chain: run just-readied successors on this thread
+    // so they reuse the producer's warm cache (OmpSs-2 locality heuristic).
+    while (next) {
+        TaskPtr chained = next;
+        run_body(chained);
+        next = finish_body(chained);
+    }
+}
+
+Runtime::TaskPtr Runtime::finish_body(const TaskPtr& task) {
+    std::unique_lock lock(graph_mutex_);
+    task->body_done = true;
+    ++stats_.tasks_executed;
+    return complete_if_ready(task, lock, /*allow_immediate=*/true);
+}
+
+Runtime::TaskPtr Runtime::complete_if_ready(const TaskPtr& task, std::unique_lock<std::mutex>& lock,
+                                            bool allow_immediate) {
+    if (task->completed || !task->body_done || task->external_events > 0) return nullptr;
+    task->completed = true;
+    task->dep_released = true;
+    if (verify_ != nullptr) verify_->on_node_released(*task);
+
+    for (Task* p = task->parent; p != nullptr; p = p->parent) --p->descendants_live;
+
+    TaskPtr immediate;
+    for (DepNode* succ_node : task->successors) {
+        auto* succ = static_cast<Task*>(succ_node);
+        if (--succ->pred_count == 0) {
+            TaskPtr sp = succ->shared_from_this();
+            if (allow_immediate && !immediate) {
+                immediate = std::move(sp);
+                ++stats_.immediate_successor_hits;
+            } else {
+                enqueue_ready(std::move(sp), lock);
+            }
+        }
+    }
+    task->successors.clear();
+
+    --live_tasks_;
+    live_hold_.erase(task->node_id);
+    if (--gc_countdown_ == 0) {
+        gc_countdown_ = kGcPeriod;
+        registry_.garbage_collect();
+    }
+    idle_cv_.notify_all();
+    return immediate;
+}
+
+bool Runtime::try_execute_one() {
+    TaskPtr task;
+    {
+        std::unique_lock lock(graph_mutex_);
+        if (ready_queue_.empty()) return false;
+        task = std::move(ready_queue_.front());
+        ready_queue_.pop_front();
+    }
+    execute(task);
+    return true;
+}
+
+void Runtime::worker_loop(int /*worker_index*/) {
+    tls_runtime = this;
+    for (;;) {
+        TaskPtr task;
+        {
+            std::unique_lock lock(graph_mutex_);
+            while (ready_queue_.empty() && !shutting_down_) {
+                if (has_polling_.load(std::memory_order_relaxed)) {
+                    lock.unlock();
+                    run_polling_services();
+                    lock.lock();
+                    if (!ready_queue_.empty() || shutting_down_) break;
+                    ready_cv_.wait_for(lock, kIdleWait);
+                } else {
+                    ready_cv_.wait(lock);
+                }
+            }
+            if (ready_queue_.empty()) {
+                if (shutting_down_) return;
+                continue;
+            }
+            task = std::move(ready_queue_.front());
+            ready_queue_.pop_front();
+        }
+        execute(task);
+    }
+    // not reached
+}
+
+bool Runtime::run_polling_services() {
+    std::unique_lock lock(polling_mutex_);
+    bool progressed = false;
+    for (auto it = polling_services_.begin(); it != polling_services_.end();) {
+        if (it->poll()) {
+            progressed = true;
+            ++it;
+        } else {
+            it = polling_services_.erase(it);
+        }
+    }
+    has_polling_.store(!polling_services_.empty(), std::memory_order_relaxed);
+    return progressed;
+}
+
+void Runtime::wait_until(const std::function<bool()>& done) {
+    for (;;) {
+        {
+            std::unique_lock lock(graph_mutex_);
+            if (done()) return;
+        }
+        if (try_execute_one()) continue;
+        if (has_polling_.load(std::memory_order_relaxed)) run_polling_services();
+        std::unique_lock lock(graph_mutex_);
+        if (done()) return;
+        if (!ready_queue_.empty()) continue;
+        idle_cv_.wait_for(lock, kIdleWait);
+    }
+}
+
+void Runtime::report_external_error(std::exception_ptr err) {
+    if (!err) return;
+    std::unique_lock lock(graph_mutex_);
+    if (!first_error_) first_error_ = std::move(err);
+}
+
+void Runtime::taskwait() {
+    Task* ctx = (tls_runtime == this && tls_task != nullptr) ? tls_task : &root_;
+    wait_until([ctx] { return ctx->descendants_live == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock lock(graph_mutex_);
+        err = first_error_;
+        first_error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+}
+
+void Runtime::taskwait_on(std::vector<Dep> deps) {
+    auto sentinel = std::make_shared<Task>();
+    sentinel->label = "<taskwait-on>";
+    sentinel->deps = std::move(deps);
+    sentinel->parent = &root_;  // not a descendant of the caller: a plain taskwait
+                                // afterwards must still be able to run it inline.
+    {
+        std::unique_lock lock(graph_mutex_);
+        sentinel->node_id = next_task_id_++;
+        live_hold_.emplace(sentinel->node_id, sentinel);
+        ++live_tasks_;
+        ++stats_.tasks_submitted;
+        for (Task* p = sentinel->parent; p != nullptr; p = p->parent) ++p->descendants_live;
+        if (verify_ != nullptr) {
+            verify_->on_node_registered(*sentinel, sentinel->label,
+                                        std::span<const Dep>(sentinel->deps));
+        }
+        stats_.edges_added += static_cast<std::uint64_t>(
+            registry_.register_accesses(sentinel, std::span<const Dep>(sentinel->deps)));
+        if (sentinel->pred_count == 0) enqueue_ready(sentinel, lock);
+    }
+    Task* raw = sentinel.get();
+    wait_until([raw] { return raw->completed; });
+}
+
+Task* Runtime::increase_current_task_events(int n) {
+    DFAMR_REQUIRE(tls_runtime == this && tls_task != nullptr,
+                  "external events can only be registered from inside a task");
+    DFAMR_REQUIRE(n > 0, "event increase must be positive");
+    std::unique_lock lock(graph_mutex_);
+    tls_task->external_events += n;
+    return tls_task;
+}
+
+void Runtime::decrease_task_events(Task* task, int n) {
+    DFAMR_REQUIRE(task != nullptr && n > 0, "invalid event decrease");
+    TaskPtr next;
+    {
+        std::unique_lock lock(graph_mutex_);
+        DFAMR_REQUIRE(task->external_events >= n, "event counter underflow");
+        task->external_events -= n;
+        TaskPtr sp = task->shared_from_this();
+        next = complete_if_ready(sp, lock, /*allow_immediate=*/false);
+        DFAMR_ASSERT(next == nullptr);
+    }
+    ready_cv_.notify_one();
+}
+
+void Runtime::register_polling_service(std::string name, std::function<bool()> poll) {
+    std::unique_lock lock(polling_mutex_);
+    polling_services_.push_back(PollingService{std::move(name), std::move(poll)});
+    has_polling_.store(true, std::memory_order_relaxed);
+}
+
+void Runtime::unregister_polling_service(const std::string& name) {
+    std::unique_lock lock(polling_mutex_);
+    std::erase_if(polling_services_, [&](const PollingService& s) { return s.name == name; });
+    has_polling_.store(!polling_services_.empty(), std::memory_order_relaxed);
+}
+
+RuntimeStats Runtime::stats() const {
+    std::unique_lock lock(graph_mutex_);
+    RuntimeStats snapshot = stats_;
+    snapshot.edges_elided = registry_.edges_elided();
+    return snapshot;
+}
+
+}  // namespace seed_baseline::dfamr::tasking

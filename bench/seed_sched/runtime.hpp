@@ -1,0 +1,193 @@
+// Vendored pre-work-stealing scheduler (repo history: the global-mutex
+// runtime this PR replaced), renamespaced to seed_baseline so the
+// microbenchmark can race it against the current dfamr::tasking runtime
+// with identical task machinery. Benchmark-only: not part of the library.
+
+// Data-flow tasking runtime — the OmpSs-2 substitute.
+//
+// Features used by the paper's parallelization and provided here:
+//  * tasks with in/out/inout region dependencies and multidependencies
+//  * nested tasks and taskwait (waits for all descendants of the caller)
+//  * taskwait with dependencies (OmpSs-2 `taskwait in(...)`), used by the
+//    delayed-checksum optimization of §IV-C
+//  * external events (the mechanism TAMPI uses to bind MPI request
+//    completion to task dependency release): a task's dependencies are
+//    released only when its body has finished AND its event counter is zero
+//  * polling services (nanos6-style): callbacks invoked by idle workers,
+//    used by the TAMPI progress engine
+//  * immediate-successor scheduling: a worker that completes a task runs a
+//    just-readied successor next, reusing warm cache state (the paper's
+//    stated cause of the IPC improvement)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dependency.hpp"
+
+namespace seed_baseline::dfamr::tasking {
+
+class Runtime;
+
+/// A task instance. Public only as an opaque handle for the external-events
+/// API (TaskEventCounter) — users interact through Runtime.
+struct Task final : DepNode, std::enable_shared_from_this<Task> {
+    std::function<void()> body;
+    std::vector<Dep> deps;
+    const char* label = "";
+
+    Task* parent = nullptr;
+    /// Keeps the parent alive while children may still walk the ancestor
+    /// chain (the root task is owned by the Runtime and has no ref).
+    std::shared_ptr<Task> parent_ref;
+    /// Live descendants (children + their descendants); guarded by graph mutex.
+    std::int64_t descendants_live = 0;
+    /// Body finished executing.
+    bool body_done = false;
+    /// Outstanding external events (TAMPI-bound MPI requests).
+    int external_events = 0;
+    /// Fully complete: body done, events zero, deps released.
+    bool completed = false;
+};
+
+/// Aggregate runtime counters (observable by tests and benches).
+///
+/// Consistency: every field is mutated and snapshotted under the graph
+/// mutex, so stats() returns one coherent point-in-time view. Note that
+/// `edges_added` alone is timing-dependent with workers > 0: a conflicting
+/// predecessor that completes before the successor is submitted needs no
+/// edge. `edges_added + edges_elided` is the timing-independent conflict
+/// count (up to garbage collection, see DependencyRegistry::edges_elided).
+struct RuntimeStats {
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t immediate_successor_hits = 0;
+    std::uint64_t edges_added = 0;
+    std::uint64_t edges_elided = 0;
+};
+
+class Runtime {
+public:
+    /// Spawns `workers` worker threads. `workers == 0` is valid: tasks then
+    /// execute inline on the submitting thread at taskwait points — useful
+    /// for deterministic unit tests.
+    explicit Runtime(int workers);
+    ~Runtime();
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /// Submits a task with data-flow dependencies. May be called from the
+    /// owning thread or from inside a task (nesting).
+    void submit(std::function<void()> body, std::vector<Dep> deps, const char* label = "");
+
+    /// Waits until every descendant task of the calling context completed.
+    void taskwait();
+
+    /// OmpSs-2 "taskwait with dependencies": waits only until the listed
+    /// regions' current producers complete, without draining the whole graph.
+    void taskwait_on(std::vector<Dep> deps);
+
+    /// --- External events (TAMPI integration) ---------------------------
+    /// Must be called from inside a task body: registers `n` pending events
+    /// on the current task and returns its handle for later decrease.
+    Task* increase_current_task_events(int n);
+    /// May be called from any thread (e.g. the progress engine).
+    void decrease_task_events(Task* task, int n);
+
+    /// Cooperative wait: executes ready tasks and runs polling services on
+    /// the calling thread until `done()` returns true. This is the
+    /// task-scheduling-point mechanism behind blocking-mode TAMPI: the
+    /// worker is never blocked, it helps with other tasks instead.
+    void help_until(const std::function<bool()>& done) { wait_until(done); }
+
+    /// Registers a polling service run periodically by idle workers and by
+    /// waiting threads. Return value `true` keeps the service registered.
+    void register_polling_service(std::string name, std::function<bool()> poll);
+    void unregister_polling_service(const std::string& name);
+
+    /// Records an error raised outside any task body — e.g. by a progress
+    /// engine detecting a communication timeout. Surfaces at the next
+    /// taskwait exactly like a task-body exception, instead of hanging the
+    /// worker pool on a task that will never complete.
+    void report_external_error(std::exception_ptr err);
+
+    /// The runtime the calling thread is currently executing a task of
+    /// (nullptr outside of tasks).
+    static Runtime* current();
+    /// The task the calling thread is executing (nullptr outside of tasks).
+    static Task* current_task();
+
+    int worker_count() const { return static_cast<int>(workers_.size()); }
+    RuntimeStats stats() const;
+
+    /// Attaches a verification observer (see tasking/verify_hook.hpp) that
+    /// sees every node registration, edge, release, body execution window,
+    /// and the shutdown. Attach before submitting tasks; detach with
+    /// nullptr. Zero-cost when detached (a null-pointer check per event).
+    void set_verify_hook(VerifyHook* hook);
+
+private:
+    using TaskPtr = std::shared_ptr<Task>;
+
+    void worker_loop(int worker_index);
+    /// Runs the task body with the thread-local context + verify hooks set.
+    void run_body(const TaskPtr& task);
+    /// Executes one ready task if available; returns true if one ran.
+    bool try_execute_one();
+    void execute(const TaskPtr& task);
+    /// Marks body done / event-complete and releases deps if fully complete.
+    /// Returns an immediate successor made ready by the release (if any).
+    TaskPtr finish_body(const TaskPtr& task);
+    TaskPtr complete_if_ready(const TaskPtr& task, std::unique_lock<std::mutex>& lock,
+                              bool allow_immediate);
+    void enqueue_ready(TaskPtr task, std::unique_lock<std::mutex>& lock);
+    /// Runs all polling services once. Returns true if any made progress.
+    bool run_polling_services();
+    /// Help-execute tasks / poll until `done()` is true.
+    void wait_until(const std::function<bool()>& done);
+
+    mutable std::mutex graph_mutex_;
+    std::condition_variable ready_cv_;   // ready queue non-empty or shutdown
+    std::condition_variable idle_cv_;    // completion events (taskwait wake-ups)
+
+    DependencyRegistry registry_;
+    std::deque<TaskPtr> ready_queue_;
+    // Owns every submitted-but-incomplete task. The registry alone is not a
+    // reliable owner: a later writer on the same region supersedes a pending
+    // task's interval entry and would drop its last reference while
+    // predecessor edges still point at it.
+    std::unordered_map<std::uint64_t, TaskPtr> live_hold_;
+    std::uint64_t next_task_id_ = 1;
+    std::uint64_t live_tasks_ = 0;
+    std::uint64_t gc_countdown_ = kGcPeriod;
+    static constexpr std::uint64_t kGcPeriod = 256;
+
+    Task root_;  // implicit task for the owning (non-worker) thread
+
+    std::vector<std::thread> workers_;
+    bool shutting_down_ = false;
+    std::exception_ptr first_error_;
+
+    struct PollingService {
+        std::string name;
+        std::function<bool()> poll;
+    };
+    std::mutex polling_mutex_;
+    std::vector<PollingService> polling_services_;
+    std::atomic<bool> has_polling_{false};
+
+    RuntimeStats stats_;
+    VerifyHook* verify_ = nullptr;
+};
+
+}  // namespace seed_baseline::dfamr::tasking

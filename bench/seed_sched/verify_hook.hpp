@@ -1,3 +1,8 @@
+// Vendored pre-work-stealing scheduler (repo history: the global-mutex
+// runtime this PR replaced), renamespaced to seed_baseline so the
+// microbenchmark can race it against the current dfamr::tasking runtime
+// with identical task machinery. Benchmark-only: not part of the library.
+
 // Verification hook: the observation interface DepLint (src/verify) uses to
 // watch the tasking layer without the tasking layer depending on it.
 //
@@ -12,14 +17,11 @@
 //
 // Locking contract:
 //  * on_node_registered / on_edge_added / on_node_released / on_shutdown are
+//    invoked with the owning component's lock held (the Runtime's graph
+//    mutex, or nothing for a standalone DependencyRegistry). Calls are
 //    serialized in a single total order consistent with the runtime's own
-//    ordering of submissions and releases. The Runtime guarantees this by
-//    holding a dedicated verify mutex across each whole registration and
-//    each whole release while a hook is attached (the sharded registry
-//    alone does not provide a total order; a standalone single-threaded
-//    DependencyRegistry trivially does). on_edge_added is additionally
-//    invoked with registry shard mutexes and the predecessor's node lock
-//    held. Implementations must not call back into the runtime.
+//    ordering of submissions and releases. Implementations must not call
+//    back into the runtime.
 //  * on_body_start / on_body_end are invoked on the executing thread,
 //    outside any runtime lock, bracketing the task body (including bodies
 //    run through the immediate-successor chain and inline execution).
@@ -27,9 +29,9 @@
 
 #include <span>
 
-#include "tasking/dependency.hpp"
+#include "dependency.hpp"
 
-namespace dfamr::tasking {
+namespace seed_baseline::dfamr::tasking {
 
 class VerifyHook {
 public:
@@ -67,4 +69,4 @@ public:
     virtual void on_shutdown() {}
 };
 
-}  // namespace dfamr::tasking
+}  // namespace seed_baseline::dfamr::tasking

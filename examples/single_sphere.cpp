@@ -111,6 +111,17 @@ int main(int argc, char** argv) {
         table.add_row({"MPI messages", std::to_string(r.messages)});
         table.add_row({"checksums validated", std::to_string(r.checksums.size())});
         table.add_row({"validation", r.validation_ok ? "OK" : "FAILED"});
+        if (r.sched.tasks_executed > 0) {
+            // Scheduler telemetry (all ranks summed); the refine slice shows
+            // how much of the stealing happens inside refinement phases.
+            table.add_row({"tasks executed", std::to_string(r.sched.tasks_executed)});
+            table.add_row({"steals (refine)", std::to_string(r.sched.steals) + " (" +
+                                                  std::to_string(r.sched_refine.steals) + ")"});
+            table.add_row({"parks / wakeups", std::to_string(r.sched.parks) + " / " +
+                                                  std::to_string(r.sched.wakeups)});
+            table.add_row({"immediate-successor hits",
+                           std::to_string(r.sched.immediate_successor_hits)});
+        }
         table.print(std::cout);
 
         if (tracer.enabled()) {

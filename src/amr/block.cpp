@@ -301,29 +301,41 @@ void Block::absorb_child(const Block& child, int octant) {
 }
 
 std::int64_t Block::stencil7(int var_begin, int var_end) {
-    const std::int64_t plane = shape_.stride_var();
-    if (static_cast<std::int64_t>(tls_scratch.size()) < plane) {
-        tls_scratch.resize(static_cast<std::size_t>(plane));
-    }
+    // Rolling two-plane scratch: plane x's stencil reads original planes
+    // x-1..x+1, so plane x-1's result can be written back as soon as plane x
+    // has been computed. One pass over the block instead of
+    // compute-everything-then-copy-back, and the scratch shrinks from a full
+    // variable to two interior planes. The per-cell expression (including
+    // the / 7.0 — 1/7 is not exactly representable, a multiplication would
+    // change results) is unchanged, so checksums stay bit-identical.
+    const std::size_t plane = static_cast<std::size_t>(shape_.ny) * shape_.nz;
+    if (tls_scratch.size() < 2 * plane) tls_scratch.resize(2 * plane);
+    const auto cell = [&](std::size_t buf, int y, int z) -> double& {
+        return tls_scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
+    };
+    const auto write_back = [&](int v, int x) {
+        const std::size_t buf = static_cast<std::size_t>(x & 1);
+        for (int y = 1; y <= shape_.ny; ++y) {
+            for (int z = 1; z <= shape_.nz; ++z) {
+                at(v, x, y, z) = cell(buf, y, z);
+            }
+        }
+    };
     for (int v = var_begin; v < var_end; ++v) {
         for (int x = 1; x <= shape_.nx; ++x) {
+            const std::size_t buf = static_cast<std::size_t>(x & 1);
             for (int y = 1; y <= shape_.ny; ++y) {
                 for (int z = 1; z <= shape_.nz; ++z) {
-                    tls_scratch[static_cast<std::size_t>(index(0, x, y, z))] =
+                    cell(buf, y, z) =
                         (at(v, x - 1, y, z) + at(v, x + 1, y, z) + at(v, x, y - 1, z) +
                          at(v, x, y + 1, z) + at(v, x, y, z - 1) + at(v, x, y, z + 1) +
                          at(v, x, y, z)) /
                         7.0;
                 }
             }
+            if (x > 1) write_back(v, x - 1);
         }
-        for (int x = 1; x <= shape_.nx; ++x) {
-            for (int y = 1; y <= shape_.ny; ++y) {
-                for (int z = 1; z <= shape_.nz; ++z) {
-                    at(v, x, y, z) = tls_scratch[static_cast<std::size_t>(index(0, x, y, z))];
-                }
-            }
-        }
+        write_back(v, shape_.nx);
     }
     // miniAMR accounting: 7 floating-point operations per cell per variable.
     return 7 * static_cast<std::int64_t>(shape_.nx) * shape_.ny * shape_.nz *
@@ -351,13 +363,26 @@ void Block::fill_ghost_edges(int var) {
 }
 
 std::int64_t Block::stencil27(int var_begin, int var_end) {
-    const std::int64_t plane = shape_.stride_var();
-    if (static_cast<std::int64_t>(tls_scratch.size()) < plane) {
-        tls_scratch.resize(static_cast<std::size_t>(plane));
-    }
+    // Same rolling two-plane fusion as stencil7 (the 27-point stencil also
+    // only reads planes x-1..x+1). The accumulation order and the / 27.0
+    // are unchanged — bit-identical results.
+    const std::size_t plane = static_cast<std::size_t>(shape_.ny) * shape_.nz;
+    if (tls_scratch.size() < 2 * plane) tls_scratch.resize(2 * plane);
+    const auto cell = [&](std::size_t buf, int y, int z) -> double& {
+        return tls_scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
+    };
+    const auto write_back = [&](int v, int x) {
+        const std::size_t buf = static_cast<std::size_t>(x & 1);
+        for (int y = 1; y <= shape_.ny; ++y) {
+            for (int z = 1; z <= shape_.nz; ++z) {
+                at(v, x, y, z) = cell(buf, y, z);
+            }
+        }
+    };
     for (int v = var_begin; v < var_end; ++v) fill_ghost_edges(v);
     for (int v = var_begin; v < var_end; ++v) {
         for (int x = 1; x <= shape_.nx; ++x) {
+            const std::size_t buf = static_cast<std::size_t>(x & 1);
             for (int y = 1; y <= shape_.ny; ++y) {
                 for (int z = 1; z <= shape_.nz; ++z) {
                     double sum = 0;
@@ -368,17 +393,12 @@ std::int64_t Block::stencil27(int var_begin, int var_end) {
                             }
                         }
                     }
-                    tls_scratch[static_cast<std::size_t>(index(0, x, y, z))] = sum / 27.0;
+                    cell(buf, y, z) = sum / 27.0;
                 }
             }
+            if (x > 1) write_back(v, x - 1);
         }
-        for (int x = 1; x <= shape_.nx; ++x) {
-            for (int y = 1; y <= shape_.ny; ++y) {
-                for (int z = 1; z <= shape_.nz; ++z) {
-                    at(v, x, y, z) = tls_scratch[static_cast<std::size_t>(index(0, x, y, z))];
-                }
-            }
-        }
+        write_back(v, shape_.nx);
     }
     return 27 * static_cast<std::int64_t>(shape_.nx) * shape_.ny * shape_.nz *
            (var_end - var_begin);

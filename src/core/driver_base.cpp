@@ -79,6 +79,7 @@ RankResult DriverBase::run() {
     main_loop();
     final_sync();
     total.stop();
+    result_.sched = scheduler_counters();
     result_.times.total = total.elapsed_s();
     result_.final_blocks = static_cast<std::int64_t>(mesh_.num_owned());
     return result_;
@@ -165,6 +166,10 @@ void DriverBase::restore_state() {
 void DriverBase::refinement_phase(int timesteps_elapsed) {
     sync_before_refine();
     ++result_.counters.refinement_phases;
+    // Snapshot after the drain: tasks retired by sync_before_refine belong
+    // to the compute stages, everything from here to the end of the phase
+    // (split/merge copies, exchange pack/unpack) is refinement work.
+    const SchedulerCounters sched_at_entry = scheduler_counters();
     Stopwatch sw;
     sw.start();
 
@@ -231,6 +236,7 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
     rebuild_comm_plan();
     reset_checksum_reference();
     sw.stop();
+    result_.sched_refine += scheduler_counters() - sched_at_entry;
     result_.times.refine += sw.elapsed_s();
 }
 

@@ -64,6 +64,10 @@ protected:
     /// Drains outstanding work at the end of the run (final validation of a
     /// deferred checksum included).
     virtual void final_sync() {}
+    /// Cumulative scheduler telemetry of the variant's tasking runtime.
+    /// Sampled by the base class at phase boundaries to attribute counters
+    /// per phase; the default (no runtime) reports zeros.
+    virtual SchedulerCounters scheduler_counters() const { return {}; }
     /// Synchronization point before the refinement phase (taskwait/no-op).
     virtual void sync_before_refine() {}
     /// Data operations of one refinement round.

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/timing.hpp"
+#include "core/sched_telemetry.hpp"
 #include "tasking/parallel_for.hpp"
 #include "verify/verifier.hpp"
 
@@ -173,6 +174,10 @@ void ForkJoinDriver::checksum_stage() {
         sums[static_cast<std::size_t>(g)] = sum;
     }
     reduce_and_validate(sums);
+}
+
+SchedulerCounters ForkJoinDriver::scheduler_counters() const {
+    return to_scheduler_counters(rt_.stats());
 }
 
 void ForkJoinDriver::do_splits(const std::vector<BlockKey>& parents) {

@@ -25,6 +25,7 @@ protected:
     void communicate_stage(int group) override;
     void stencil_stage(int group) override;
     void checksum_stage() override;
+    SchedulerCounters scheduler_counters() const override;
     void do_splits(const std::vector<BlockKey>& parents) override;
     void do_merges(const std::vector<BlockKey>& parents) override;
     void transfer_block_data(const std::vector<BlockMove>& sends,

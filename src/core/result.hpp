@@ -42,6 +42,40 @@ struct RunCounters {
     }
 };
 
+/// Scheduler telemetry sampled from the tasking runtime (zero for the
+/// MPI-only variant, which runs sequentially inside each rank). Summed
+/// across ranks in the reduction; the refine/total split gives the
+/// per-phase view the traces cannot (steals during refinement indicate the
+/// split/merge copies actually spread across workers).
+struct SchedulerCounters {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_fails = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t immediate_successor_hits = 0;
+
+    SchedulerCounters& operator+=(const SchedulerCounters& o) {
+        tasks_executed += o.tasks_executed;
+        steals += o.steals;
+        steal_fails += o.steal_fails;
+        parks += o.parks;
+        wakeups += o.wakeups;
+        immediate_successor_hits += o.immediate_successor_hits;
+        return *this;
+    }
+    SchedulerCounters operator-(const SchedulerCounters& o) const {
+        SchedulerCounters d;
+        d.tasks_executed = tasks_executed - o.tasks_executed;
+        d.steals = steals - o.steals;
+        d.steal_fails = steal_fails - o.steal_fails;
+        d.parks = parks - o.parks;
+        d.wakeups = wakeups - o.wakeups;
+        d.immediate_successor_hits = immediate_successor_hits - o.immediate_successor_hits;
+        return d;
+    }
+};
+
 /// Per-rank result, before the cross-rank reduction.
 struct RankResult {
     PhaseTimes times;
@@ -50,6 +84,8 @@ struct RankResult {
     std::int64_t stencil_flops = 0;  // this rank's stencil FLOPs
     std::int64_t final_blocks = 0;   // blocks owned at the end
     RunCounters counters;
+    SchedulerCounters sched;         // whole run (cumulative runtime stats)
+    SchedulerCounters sched_refine;  // slice attributed to refinement phases
 };
 
 /// Global result (reduced across ranks; the numbers a bench prints).
@@ -62,6 +98,8 @@ struct RunResult {
     std::uint64_t messages = 0;  // delivered by the MPI layer
     std::uint64_t bytes = 0;
     RunCounters counters;
+    SchedulerCounters sched;         // summed over ranks
+    SchedulerCounters sched_refine;  // summed over ranks
 
     double gflops() const {
         return times.total > 0 ? static_cast<double>(total_flops) / times.total * 1e-9 : 0.0;

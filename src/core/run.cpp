@@ -52,6 +52,8 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
         total.final_blocks += r.final_blocks;
         total.validation_ok = total.validation_ok && r.validation_ok;
         total.counters += r.counters;
+        total.sched += r.sched;
+        total.sched_refine += r.sched_refine;
         DFAMR_REQUIRE(r.checksums.size() == total.checksums.size(),
                       "ranks disagree on the number of checksum stages");
     }

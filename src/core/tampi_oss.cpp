@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
+#include "core/sched_telemetry.hpp"
 #include "verify/verifier.hpp"
 
 namespace dfamr::core {
@@ -231,6 +232,10 @@ void TampiOssDriver::checksum_stage() {
         slot.pending = false;
     }
     slot_index_ = 1 - slot_index_;
+}
+
+SchedulerCounters TampiOssDriver::scheduler_counters() const {
+    return to_scheduler_counters(rt_.stats());
 }
 
 void TampiOssDriver::final_sync() {

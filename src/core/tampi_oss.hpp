@@ -39,6 +39,7 @@ protected:
     void communicate_stage(int group) override;
     void stencil_stage(int group) override;
     void checksum_stage() override;
+    SchedulerCounters scheduler_counters() const override;
     void final_sync() override;
     void sync_before_refine() override;
     void sync_refine_step() override;

@@ -26,6 +26,18 @@ struct CostModel {
 
     // --- runtime/MPI overheads -------------------------------------------
     double task_overhead_ns = 400;   // per-task scheduling/creation overhead
+    // Per-task overhead of the work-stealing tasking runtime (the tasking
+    // variants' scheduler after the per-worker-deque rewrite). The old
+    // global-mutex runtime serialized every submit/dispatch/completion on
+    // one lock — its 400 ns above is the mutex-bound per-task cost at the
+    // paper's 12 workers per rank. The work-stealing runtime has no global
+    // serial section: bench/sched_micro measures ~380-590 ns total per task
+    // on a 2-core host, but only the completion+dispatch slice rides each
+    // worker's critical path (submission overlaps execution, and the
+    // immediate-successor path — ~98% of stencil-chain handoffs in
+    // sched_micro — hands tasks over without touching any queue). That
+    // slice is what this constant models.
+    double tasking_overhead_ns = 150;
     double mpi_call_ns = 300;        // posting an Isend/Irecv
     double control_ns_per_block = 2500;  // refinement marking/control per block
     double rcb_ns_per_block = 400;       // load-balance partitioning per block

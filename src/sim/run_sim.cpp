@@ -172,7 +172,10 @@ private:
     bool refine_tasking() const { return tasking() && cfg_.taskify_refinement; }
 
     std::int64_t overhead() const {
-        return tasking() ? static_cast<std::int64_t>(costs_.task_overhead_ns) : 0;
+        // Work-stealing runtime constant (see CostModel::tasking_overhead_ns);
+        // the legacy task_overhead_ns models the retired global-mutex
+        // scheduler and remains for the micro_substrates comparisons.
+        return tasking() ? static_cast<std::int64_t>(costs_.tasking_overhead_ns) : 0;
     }
     std::int64_t stencil_ns(std::int64_t blocks, int vars) const {
         double ns = costs_.stencil_ns_per_cell_var * static_cast<double>(blocks) *
@@ -314,7 +317,8 @@ private:
         }
         if (!tasking()) return;
 
-        regs_.assign(static_cast<std::size_t>(R_), tasking::DependencyRegistry{});
+        // Fresh registries (the sharded registry is move-only, so no assign).
+        regs_ = std::vector<tasking::DependencyRegistry>(static_cast<std::size_t>(R_));
         const std::uint64_t gvm = static_cast<std::uint64_t>(cfg_.vars_per_group());
         for (int r = 0; r < R_; ++r) {
             RankState& st = state_[static_cast<std::size_t>(r)];

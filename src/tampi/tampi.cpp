@@ -161,7 +161,7 @@ bool Tampi::poll() {
         }
     }
     // Fulfill events outside the tracking lock: decrease_task_events takes
-    // the runtime's graph mutex and may wake successors.
+    // the task's node lock and may complete it and wake successors.
     for (const Bound& b : completed) {
         runtime_.decrease_task_events(b.task, 1);
     }

@@ -7,110 +7,194 @@
 
 namespace dfamr::tasking {
 
-DependencyRegistry::IntervalMap::iterator DependencyRegistry::split_at(std::uintptr_t point) {
+DependencyRegistry::DependencyRegistry()
+    : shards_(new Shard[kShardCount]),
+      edges_elided_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
+
+void DependencyRegistry::split_at(IntervalMap& map, std::uintptr_t point) {
     // Find the interval containing `point` (if any) and split it so `point`
     // becomes an interval boundary.
-    auto it = intervals_.upper_bound(point);
-    if (it != intervals_.begin()) {
+    auto it = map.upper_bound(point);
+    if (it != map.begin()) {
         auto prev = std::prev(it);
         if (prev->first < point && point < prev->second.end) {
             Interval right = prev->second;  // copy writer/readers
             const std::uintptr_t right_end = prev->second.end;
             prev->second.end = point;
             right.end = right_end;
-            it = intervals_.emplace_hint(it, point, std::move(right));
+            map.emplace_hint(it, point, std::move(right));
         }
     }
-    return intervals_.lower_bound(point);
 }
 
 void DependencyRegistry::add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added) {
     if (!pred || pred.get() == succ.get()) return;
-    if (pred->dep_released) {
+    DepNode& p = *pred;
+    // The node lock orders this against the predecessor's release, which
+    // drains `successors` under the same lock: either we add the edge before
+    // the drain (and the release decrements succ), or we observe
+    // dep_released and elide. Lock order: shard mutex(es) -> node lock.
+    std::lock_guard guard(p.node_lock);
+    if (p.dep_released.load(std::memory_order_relaxed)) {
         // The conflicting predecessor already completed: ordering holds by
         // completion time, no edge needed. Count it so (added + elided)
         // stays deterministic for a given access sequence.
-        if (pred->last_edge_marker != succ->node_id) {
-            pred->last_edge_marker = succ->node_id;
-            ++edges_elided_;
+        if (p.last_edge_marker != succ->node_id) {
+            p.last_edge_marker = succ->node_id;
+            edges_elided_->fetch_add(1, std::memory_order_relaxed);
         }
         return;
     }
     // Dedup consecutive identical edges: a multi-interval region would
     // otherwise add one edge per covered interval.
-    if (pred->last_edge_marker == succ->node_id) return;
-    pred->last_edge_marker = succ->node_id;
-    pred->successors.push_back(succ.get());
-    ++succ->pred_count;
+    if (p.last_edge_marker == succ->node_id) return;
+    p.last_edge_marker = succ->node_id;
+    p.successors.push_back(succ.get());
+    // Relaxed is enough: the successor cannot become ready while its
+    // submission guard (or a caller-held count) is outstanding, and the
+    // release-side fetch_sub that eventually drops it to zero is acq_rel.
+    succ->pred_count.fetch_add(1, std::memory_order_relaxed);
     ++added;
-    if (verify_ != nullptr) verify_->on_edge_added(*pred, *succ);
+    if (verify_ != nullptr) verify_->on_edge_added(p, *succ);
 }
 
-int DependencyRegistry::register_accesses(const DepNodePtr& node, std::span<const Dep> deps) {
-    DFAMR_REQUIRE(node != nullptr, "null dependency node");
+int DependencyRegistry::register_piece(Shard& shard, const DepNodePtr& node, DepKind kind,
+                                       std::uintptr_t lo, std::uintptr_t hi) {
+    IntervalMap& map = shard.intervals;
+    split_at(map, lo);
+    split_at(map, hi);
     int added = 0;
-    for (const Dep& dep : deps) {
-        if (dep.region.size == 0) continue;
-        const std::uintptr_t lo = dep.region.base;
-        const std::uintptr_t hi = dep.region.end();
-
-        split_at(lo);
-        split_at(hi);
-
-        auto it = intervals_.lower_bound(lo);
-        std::uintptr_t cursor = lo;
-        while (cursor < hi) {
-            if (it == intervals_.end() || it->first > cursor) {
-                // Gap [cursor, min(hi, next_start)): fresh interval, no edges.
-                const std::uintptr_t gap_end =
-                    (it == intervals_.end()) ? hi : std::min<std::uintptr_t>(hi, it->first);
-                Interval fresh;
-                fresh.end = gap_end;
-                if (dep.kind == DepKind::In) {
-                    fresh.readers.push_back(node);
-                } else {
-                    fresh.writer = node;
-                }
-                it = intervals_.emplace_hint(it, cursor, std::move(fresh));
-                ++it;
-                cursor = gap_end;
-                continue;
+    auto it = map.lower_bound(lo);
+    std::uintptr_t cursor = lo;
+    while (cursor < hi) {
+        if (it == map.end() || it->first > cursor) {
+            // Gap [cursor, min(hi, next_start)): fresh interval, no edges.
+            const std::uintptr_t gap_end =
+                (it == map.end()) ? hi : std::min<std::uintptr_t>(hi, it->first);
+            Interval fresh;
+            fresh.end = gap_end;
+            if (kind == DepKind::In) {
+                fresh.readers.push_back(node);
+            } else {
+                fresh.writer = node;
             }
-            // Existing interval starting exactly at cursor (split_at ensured
-            // boundaries at lo/hi, and we iterate boundary to boundary).
-            DFAMR_ASSERT(it->first == cursor && it->second.end <= hi);
-            Interval& iv = it->second;
-            if (dep.kind == DepKind::In) {
-                add_edge(iv.writer, node, added);
-                // Record as reader (avoid duplicate entry for this node).
-                if (iv.readers.empty() || iv.readers.back().get() != node.get()) {
-                    iv.readers.push_back(node);
-                }
-            } else {  // Out / InOut: order after the last writer and all readers.
-                // With readers present the writer edge is subsumed: every
-                // reader is already ordered after that writer.
-                if (iv.readers.empty()) add_edge(iv.writer, node, added);
-                for (const DepNodePtr& reader : iv.readers) add_edge(reader, node, added);
-                iv.writer = node;
-                iv.readers.clear();
-            }
-            cursor = iv.end;
+            it = map.emplace_hint(it, cursor, std::move(fresh));
             ++it;
+            cursor = gap_end;
+            continue;
         }
+        // Existing interval starting exactly at cursor (split_at ensured
+        // boundaries at lo/hi, and we iterate boundary to boundary).
+        DFAMR_ASSERT(it->first == cursor && it->second.end <= hi);
+        Interval& iv = it->second;
+        if (kind == DepKind::In) {
+            add_edge(iv.writer, node, added);
+            // Record as reader (avoid duplicate entry for this node).
+            if (iv.readers.empty() || iv.readers.back().get() != node.get()) {
+                iv.readers.push_back(node);
+            }
+        } else {  // Out / InOut: order after the last writer and all readers.
+            // With readers present the writer edge is subsumed: every
+            // reader is already ordered after that writer.
+            if (iv.readers.empty()) add_edge(iv.writer, node, added);
+            for (const DepNodePtr& reader : iv.readers) add_edge(reader, node, added);
+            iv.writer = node;
+            iv.readers.clear();
+        }
+        cursor = iv.end;
+        ++it;
     }
     return added;
 }
 
-void DependencyRegistry::garbage_collect() {
-    for (auto it = intervals_.begin(); it != intervals_.end();) {
+int DependencyRegistry::register_accesses(const DepNodePtr& node, std::span<const Dep> deps) {
+    DFAMR_REQUIRE(node != nullptr, "null dependency node");
+
+    // Pass 1: which shards does this access list touch? One bit per shard.
+    std::uint64_t shard_mask = 0;
+    for (const Dep& dep : deps) {
+        if (dep.region.size == 0) continue;
+        const std::uintptr_t g_lo = dep.region.base >> kGranuleBits;
+        const std::uintptr_t g_hi = (dep.region.end() - 1) >> kGranuleBits;
+        if (g_hi - g_lo >= static_cast<std::uintptr_t>(kShardCount) - 1) {
+            shard_mask = ~std::uint64_t{0};
+            break;
+        }
+        for (std::uintptr_t g = g_lo; g <= g_hi; ++g) {
+            shard_mask |= std::uint64_t{1} << (g & (kShardCount - 1));
+        }
+    }
+    if (shard_mask == 0) return 0;  // only empty regions
+
+    // Lock touched shards in ascending index order: concurrent multi-shard
+    // registrations cannot deadlock because everyone acquires in the same
+    // global order.
+    for (int s = 0; s < kShardCount; ++s) {
+        if ((shard_mask >> s) & 1) shards_[s].mutex.lock();
+    }
+
+    int added = 0;
+    for (const Dep& dep : deps) {
+        if (dep.region.size == 0) continue;
+        const std::uintptr_t hi = dep.region.end();
+        // Walk granule by granule; each piece lies in exactly one shard, so
+        // every tracked interval stays within a single granule.
+        std::uintptr_t cursor = dep.region.base;
+        while (cursor < hi) {
+            const std::uintptr_t granule_end =
+                ((cursor >> kGranuleBits) + 1) << kGranuleBits;
+            const std::uintptr_t piece_end =
+                (granule_end == 0 || granule_end > hi) ? hi : granule_end;
+            added += register_piece(shards_[shard_of(cursor)], node, dep.kind, cursor, piece_end);
+            cursor = piece_end;
+        }
+    }
+
+    // Amortized per-shard GC, then unlock in descending order.
+    for (int s = kShardCount - 1; s >= 0; --s) {
+        if (!((shard_mask >> s) & 1)) continue;
+        Shard& sh = shards_[s];
+        if (--sh.gc_countdown == 0) {
+            sh.gc_countdown = kGcPeriod;
+            collect_shard(sh);
+        }
+        sh.mutex.unlock();
+    }
+    return added;
+}
+
+void DependencyRegistry::collect_shard(Shard& shard) {
+    // dep_released never goes back to false, so an unlocked read seeing
+    // `true` is stable; a stale `false` just keeps the entry one cycle
+    // longer.
+    for (auto it = shard.intervals.begin(); it != shard.intervals.end();) {
         Interval& iv = it->second;
-        std::erase_if(iv.readers, [](const DepNodePtr& r) { return r->dep_released; });
-        if (iv.writer && iv.writer->dep_released && iv.readers.empty()) {
-            it = intervals_.erase(it);
+        std::erase_if(iv.readers, [](const DepNodePtr& r) {
+            return r->dep_released.load(std::memory_order_acquire);
+        });
+        if (iv.writer && iv.writer->dep_released.load(std::memory_order_acquire) &&
+            iv.readers.empty()) {
+            it = shard.intervals.erase(it);
         } else {
             ++it;
         }
     }
+}
+
+void DependencyRegistry::garbage_collect() {
+    for (int s = 0; s < kShardCount; ++s) {
+        std::lock_guard lock(shards_[s].mutex);
+        collect_shard(shards_[s]);
+    }
+}
+
+std::size_t DependencyRegistry::interval_count() const {
+    std::size_t total = 0;
+    for (int s = 0; s < kShardCount; ++s) {
+        std::lock_guard lock(shards_[s].mutex);
+        total += shards_[s].intervals.size();
+    }
+    return total;
 }
 
 }  // namespace dfamr::tasking

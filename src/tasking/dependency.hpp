@@ -10,15 +10,27 @@
 // runtime (tasking::Runtime) and the discrete-event simulator's DAG builder
 // (sim::DagBuilder). This guarantees the simulated task graphs have the
 // dependency structure the real runtime would enforce.
+//
+// Concurrency model (new with the work-stealing scheduler): the registry is
+// sharded by address granule so submissions and releases touching different
+// blocks proceed on different locks. Registration locks only the shards a
+// task's regions map to (in ascending shard order — deadlock-free);
+// dependency release takes no shard lock at all, only the releasing node's
+// own spinlock. Single-threaded callers (the DES DAG builder, unit tests)
+// pay one uncontended lock per touched shard.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/threading.hpp"
 
 namespace dfamr::tasking {
 
@@ -79,18 +91,32 @@ inline Dep inout_id(std::uint64_t id) { return {DepKind::InOut, Region::syntheti
 
 /// Node in a dependency graph. tasking::Task and sim::DagTask derive from it.
 ///
-/// Thread-safety: all fields are protected by the owning component's lock
-/// (tasking::Runtime's graph mutex, or nothing in the single-threaded DES).
+/// Thread-safety: `pred_count` and `dep_released` are atomics so releases
+/// racing with registrations stay well-defined; `successors` and
+/// `last_edge_marker` are guarded by the per-node `node_lock` spinlock.
+/// Lock order: shard mutexes (ascending) may be held when taking a node
+/// lock; never the reverse, and never two node locks at once.
+/// Single-threaded users (the DES simulator, unit tests) can read and write
+/// the atomic fields with plain assignment/comparison syntax as before.
 struct DepNode {
     std::uint64_t node_id = 0;
-    /// Number of unsatisfied predecessor edges.
-    int pred_count = 0;
+    /// Number of unsatisfied predecessor edges. The tasking runtime holds an
+    /// extra "submission guard" count of 1 while a node's accesses are being
+    /// registered so concurrent predecessor releases cannot make the node
+    /// ready halfway through registration.
+    std::atomic<int> pred_count{0};
     /// Nodes whose pred_count must drop when this node releases its deps.
+    /// Guarded by node_lock.
     std::vector<DepNode*> successors;
-    /// True once the node has released its dependencies.
-    bool dep_released = false;
-    /// Edge-dedup marker: the last successor node_id an edge was added for.
+    /// True once the node has released its dependencies. The store happens
+    /// under node_lock (together with draining `successors`); lock-free
+    /// readers only ever see it as a hint.
+    std::atomic<bool> dep_released{false};
+    /// Edge-dedup marker: the last successor node_id an edge (or elision)
+    /// was recorded for. Guarded by node_lock.
     std::uint64_t last_edge_marker = UINT64_MAX;
+    /// Guards successors / last_edge_marker / the dep_released transition.
+    SpinLock node_lock;
 
     virtual ~DepNode() = default;
 };
@@ -102,17 +128,37 @@ class VerifyHook;
 /// Tracks last-writer / readers-since-write per byte interval and wires
 /// reader-after-write, write-after-read and write-after-write edges.
 ///
-/// Not thread-safe; the caller serializes access.
+/// Sharded: the address space is cut into 1 MiB granules (kGranuleBits) and
+/// granule g maps to shard g mod kShardCount. Every tracked interval lies
+/// entirely inside one granule (regions are split at granule boundaries on
+/// registration), so each interval belongs to exactly one shard and a
+/// registration only locks the shards its regions touch. Concurrent
+/// registrations of non-overlapping granule sets do not contend.
+///
+/// When a VerifyHook is attached the caller must serialize registrations
+/// and releases in one total order (the Runtime does this with a dedicated
+/// verify mutex); the sharding is then irrelevant to the hook's contract.
 class DependencyRegistry {
 public:
+    static constexpr int kShardCount = 64;       // power of two
+    static constexpr unsigned kGranuleBits = 20; // 1 MiB address granules
+
+    DependencyRegistry();
+
+    DependencyRegistry(const DependencyRegistry&) = delete;
+    DependencyRegistry& operator=(const DependencyRegistry&) = delete;
+    DependencyRegistry(DependencyRegistry&&) = default;
+    DependencyRegistry& operator=(DependencyRegistry&&) = default;
+
     /// Registers the accesses of `node`, adding predecessor edges from every
     /// conflicting earlier node that has not yet released its dependencies.
     /// Empty regions are skipped (see Region). Returns the number of
-    /// predecessor edges added.
+    /// predecessor edges added. Thread-safe against itself and against
+    /// concurrent dependency releases.
     int register_accesses(const DepNodePtr& node, std::span<const Dep> deps);
 
     /// Number of distinct byte intervals currently tracked (for tests/stats).
-    std::size_t interval_count() const { return intervals_.size(); }
+    std::size_t interval_count() const;
 
     /// Cumulative count of edges elided because the conflicting predecessor
     /// had already released its dependencies (the ordering then holds by
@@ -121,34 +167,60 @@ public:
     /// added + elided is a property of the access sequence, not of worker
     /// timing. Best-effort: conflicts whose predecessor interval was already
     /// garbage-collected leave no trace and are not counted.
-    std::uint64_t edges_elided() const { return edges_elided_; }
+    std::uint64_t edges_elided() const { return edges_elided_->load(std::memory_order_relaxed); }
 
     /// Attaches a verification observer notified of every edge the registry
-    /// wires (nullptr detaches; zero-cost when detached).
+    /// wires (nullptr detaches; zero-cost when detached). While a hook is
+    /// attached the caller must serialize register_accesses calls and node
+    /// releases in one total order.
     void set_verify_hook(VerifyHook* hook) { verify_ = hook; }
 
-    /// Drops bookkeeping for regions nobody references anymore. The registry
-    /// prunes intervals whose writer and readers have all released.
+    /// Drops bookkeeping for regions nobody references anymore. Prunes
+    /// intervals whose writer and readers have all released, one shard at a
+    /// time. Shards also self-collect every kGcPeriod registrations, so
+    /// explicit calls are only needed by tests.
     void garbage_collect();
 
 private:
     struct Interval {
         std::uintptr_t end = 0;
-        DepNodePtr writer;              // last writer (may be released)
+        DepNodePtr writer;                // last writer (may be released)
         std::vector<DepNodePtr> readers;  // readers since last write
     };
 
-    // Keyed by interval start; intervals are disjoint and sorted.
+    // Keyed by interval start; intervals are disjoint and sorted. Every
+    // interval lies inside a single granule of this shard.
     using IntervalMap = std::map<std::uintptr_t, Interval>;
 
-    /// Splits intervals so that `r`'s boundaries coincide with interval
-    /// boundaries, and returns the first interval at-or-after r.base.
-    IntervalMap::iterator split_at(std::uintptr_t point);
+    static constexpr std::uint64_t kGcPeriod = 256;
+
+    struct Shard {
+        mutable std::mutex mutex;
+        IntervalMap intervals;
+        std::uint64_t gc_countdown = kGcPeriod;
+    };
+
+    static int shard_of(std::uintptr_t addr) {
+        return static_cast<int>((addr >> kGranuleBits) & (kShardCount - 1));
+    }
+
+    /// Splits intervals in `map` so `point` becomes an interval boundary.
+    static void split_at(IntervalMap& map, std::uintptr_t point);
+
+    /// Registers one region piece that lies entirely inside one granule.
+    /// Caller holds the owning shard's mutex.
+    int register_piece(Shard& shard, const DepNodePtr& node, DepKind kind, std::uintptr_t lo,
+                       std::uintptr_t hi);
 
     void add_edge(const DepNodePtr& pred, const DepNodePtr& succ, int& added);
 
-    IntervalMap intervals_;
-    std::uint64_t edges_elided_ = 0;
+    /// Prunes released entries of one shard. Caller holds the shard's mutex.
+    static void collect_shard(Shard& shard);
+
+    // unique_ptr indirection keeps the registry movable (the DES simulator
+    // stores one registry per simulated rank in a std::vector).
+    std::unique_ptr<Shard[]> shards_;
+    std::unique_ptr<std::atomic<std::uint64_t>> edges_elided_;
     VerifyHook* verify_ = nullptr;
 };
 

@@ -13,6 +13,16 @@
 //  * immediate-successor scheduling: a worker that completes a task runs a
 //    just-readied successor next, reusing warm cache state (the paper's
 //    stated cause of the IPC improvement)
+//
+// Scheduler architecture (work stealing; see DESIGN.md §11): each worker
+// owns a lock-free Chase–Lev deque (LIFO for the owner, FIFO for thieves)
+// plus a `next_task` slot for the immediate successor, non-worker threads
+// submit through a mutex-protected injection queue, and idle workers spin
+// briefly, steal from victims chosen by rotating scan, then park on a
+// condition variable. Wakeups are targeted: a producer wakes at most as
+// many parked workers as it made tasks ready. There is no global graph
+// mutex — the dependency registry is sharded (see dependency.hpp) and task
+// state transitions are guarded by per-task spinlocks.
 #pragma once
 
 #include <atomic>
@@ -24,10 +34,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "tasking/dependency.hpp"
+#include "tasking/ws_deque.hpp"
 
 namespace dfamr::tasking {
 
@@ -44,30 +54,42 @@ struct Task final : DepNode, std::enable_shared_from_this<Task> {
     /// Keeps the parent alive while children may still walk the ancestor
     /// chain (the root task is owned by the Runtime and has no ref).
     std::shared_ptr<Task> parent_ref;
-    /// Live descendants (children + their descendants); guarded by graph mutex.
-    std::int64_t descendants_live = 0;
-    /// Body finished executing.
+    /// Live descendants (children + their descendants).
+    std::atomic<std::int64_t> descendants_live{0};
+    /// Body finished executing. Guarded by node_lock.
     bool body_done = false;
-    /// Outstanding external events (TAMPI-bound MPI requests).
+    /// Outstanding external events (TAMPI-bound MPI requests). Guarded by
+    /// node_lock.
     int external_events = 0;
     /// Fully complete: body done, events zero, deps released.
-    bool completed = false;
+    std::atomic<bool> completed{false};
+    /// Self-ownership from submission until completion: the scheduler's
+    /// deques hold raw pointers, so the task keeps itself alive (the
+    /// registry's interval references alone are not reliable — a later
+    /// writer on the same region supersedes a pending task's entry).
+    std::shared_ptr<Task> self_ref;
 };
 
 /// Aggregate runtime counters (observable by tests and benches).
 ///
-/// Consistency: every field is mutated and snapshotted under the graph
-/// mutex, so stats() returns one coherent point-in-time view. Note that
-/// `edges_added` alone is timing-dependent with workers > 0: a conflicting
-/// predecessor that completes before the successor is submitted needs no
-/// edge. `edges_added + edges_elided` is the timing-independent conflict
-/// count (up to garbage collection, see DependencyRegistry::edges_elided).
+/// Consistency: counters are maintained as relaxed atomics; stats() is
+/// exact once the runtime is quiescent (after a top-level taskwait).
+/// Note that `edges_added` alone is timing-dependent with workers > 0: a
+/// conflicting predecessor that completes before the successor is submitted
+/// needs no edge. `edges_added + edges_elided` is the timing-independent
+/// conflict count (up to garbage collection, see
+/// DependencyRegistry::edges_elided).
 struct RuntimeStats {
     std::uint64_t tasks_submitted = 0;
     std::uint64_t tasks_executed = 0;
     std::uint64_t immediate_successor_hits = 0;
     std::uint64_t edges_added = 0;
     std::uint64_t edges_elided = 0;
+    // Scheduler telemetry (new with the work-stealing scheduler):
+    std::uint64_t steals = 0;       // tasks obtained from another worker's deque
+    std::uint64_t steal_fails = 0;  // full victim scans that found nothing
+    std::uint64_t parks = 0;        // times a worker blocked on the idle CV
+    std::uint64_t wakeups = 0;      // targeted notify_one calls issued
 };
 
 class Runtime {
@@ -129,48 +151,114 @@ public:
     /// sees every node registration, edge, release, body execution window,
     /// and the shutdown. Attach before submitting tasks; detach with
     /// nullptr. Zero-cost when detached (a null-pointer check per event).
+    /// While attached, registrations and releases are serialized on a
+    /// dedicated mutex so the hook observes one total order (DepLint's
+    /// logical-clock contract) even though the registry is sharded.
     void set_verify_hook(VerifyHook* hook);
 
 private:
     using TaskPtr = std::shared_ptr<Task>;
 
+    /// Per-worker scheduler state. Owned by the Runtime; `deque` bottom end
+    /// and `next_task`/`next_victim` are touched only by the owning thread.
+    struct Worker {
+        WsDeque<Task> deque;
+        Task* next_task = nullptr;  // immediate successor, bypasses the deque
+        Runtime* owner = nullptr;
+        int index = 0;
+        unsigned next_victim = 0;  // rotating steal scan start
+    };
+
+    /// Relaxed atomic counters behind RuntimeStats.
+    struct StatsCounters {
+        std::atomic<std::uint64_t> tasks_submitted{0};
+        std::atomic<std::uint64_t> tasks_executed{0};
+        std::atomic<std::uint64_t> immediate_successor_hits{0};
+        std::atomic<std::uint64_t> edges_added{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> steal_fails{0};
+        std::atomic<std::uint64_t> parks{0};
+        std::atomic<std::uint64_t> wakeups{0};
+    };
+
     void worker_loop(int worker_index);
     /// Runs the task body with the thread-local context + verify hooks set.
-    void run_body(const TaskPtr& task);
-    /// Executes one ready task if available; returns true if one ran.
-    bool try_execute_one();
-    void execute(const TaskPtr& task);
-    /// Marks body done / event-complete and releases deps if fully complete.
-    /// Returns an immediate successor made ready by the release (if any).
-    TaskPtr finish_body(const TaskPtr& task);
-    TaskPtr complete_if_ready(const TaskPtr& task, std::unique_lock<std::mutex>& lock,
-                              bool allow_immediate);
-    void enqueue_ready(TaskPtr task, std::unique_lock<std::mutex>& lock);
+    void run_body(Task* task);
+    /// Runs one task; the immediate successor goes to the worker's
+    /// next_task slot (worker threads) or is chained inline (other threads).
+    void execute(Task* task);
+    /// Marks the body done and releases deps if fully complete. Returns an
+    /// immediate successor made ready by the release (if any).
+    Task* finish_body(Task* task);
+    Task* complete_if_ready(Task* task, bool allow_immediate);
+    /// Next-task slot, own deque, injection queue, then stealing.
+    Task* find_task(Worker& me);
+    Task* pop_injected();
+    Task* try_steal(Worker& me);
+    /// Puts a ready task where the calling thread can schedule it cheapest.
+    void enqueue_ready(Task* task);
+    /// Wakes up to `newly_ready` parked workers (targeted, not broadcast).
+    void wake_workers(int newly_ready);
+    /// Parks the calling worker until new work may exist (epoch change).
+    void park(Worker& me);
+    /// Racy hint that some queue is non-empty (pre-park recheck).
+    bool work_available() const;
+    /// Wakes threads blocked in wait_until (completion events).
+    void signal_idle();
+    void wait_idle_briefly();
     /// Runs all polling services once. Returns true if any made progress.
     bool run_polling_services();
     /// Help-execute tasks / poll until `done()` is true.
     void wait_until(const std::function<bool()>& done);
+    /// Registers the task's accesses and drops the submission guard.
+    void register_and_release_guard(const TaskPtr& task);
 
-    mutable std::mutex graph_mutex_;
-    std::condition_variable ready_cv_;   // ready queue non-empty or shutdown
-    std::condition_variable idle_cv_;    // completion events (taskwait wake-ups)
+    /// The Worker owned by the calling thread, if it is a worker thread of
+    /// some Runtime (check `owner` before using — threads may help other
+    /// runtimes through nested taskwaits).
+    static thread_local Worker* tls_worker_;
 
     DependencyRegistry registry_;
-    std::deque<TaskPtr> ready_queue_;
-    // Owns every submitted-but-incomplete task. The registry alone is not a
-    // reliable owner: a later writer on the same region supersedes a pending
-    // task's interval entry and would drop its last reference while
-    // predecessor edges still point at it.
-    std::unordered_map<std::uint64_t, TaskPtr> live_hold_;
-    std::uint64_t next_task_id_ = 1;
-    std::uint64_t live_tasks_ = 0;
-    std::uint64_t gc_countdown_ = kGcPeriod;
-    static constexpr std::uint64_t kGcPeriod = 256;
+    std::atomic<std::uint64_t> next_task_id_{1};
 
     Task root_;  // implicit task for the owning (non-worker) thread
 
+    // Worker state lives behind unique_ptr so addresses stay stable for
+    // thieves while the vector is built.
+    std::vector<std::unique_ptr<Worker>> worker_state_;
     std::vector<std::thread> workers_;
-    bool shutting_down_ = false;
+
+    // Injection queue for ready tasks produced by non-worker threads (the
+    // owning thread, external event sources). FIFO: with workers == 0 this
+    // is the whole scheduler and preserves deterministic submit order.
+    mutable std::mutex inject_mutex_;
+    std::deque<Task*> inject_queue_;
+    std::atomic<std::size_t> inject_size_{0};
+
+    // Park/wake protocol: producers bump work_epoch_ after publishing work;
+    // a parking worker captures the epoch, registers in parked_workers_,
+    // rechecks the queues, then waits for an epoch change. The seq_cst
+    // accesses make the publish/park handshake a Dekker pair: either the
+    // producer sees the parked worker, or the parker sees the new epoch.
+    // pending_wakes_ counts notifies believed to be in flight so producers
+    // skip redundant futex wakes while an already-notified worker is still
+    // coming up; each parker conservatively resets it before sleeping
+    // (stale suppression can only cost an extra notify, never lose one).
+    std::mutex park_mutex_;
+    std::condition_variable ready_cv_;
+    std::atomic<std::uint64_t> work_epoch_{0};
+    std::atomic<int> parked_workers_{0};
+    std::atomic<int> pending_wakes_{0};
+
+    // Completion signal for wait_until (taskwait / help_until waiters).
+    std::mutex idle_mutex_;
+    std::condition_variable idle_cv_;
+    std::atomic<std::uint64_t> idle_epoch_{0};
+    std::atomic<int> idle_waiters_{0};
+
+    std::atomic<bool> shutting_down_{false};
+
+    std::mutex error_mutex_;
     std::exception_ptr first_error_;
 
     struct PollingService {
@@ -181,7 +269,12 @@ private:
     std::vector<PollingService> polling_services_;
     std::atomic<bool> has_polling_{false};
 
-    RuntimeStats stats_;
+    StatsCounters stats_;
+
+    // Serializes registrations and releases into one total order while a
+    // verify hook is attached (never taken otherwise). Lock order:
+    // verify_mutex_ -> registry shard mutexes -> task node locks.
+    std::mutex verify_mutex_;
     VerifyHook* verify_ = nullptr;
 };
 

@@ -1,0 +1,152 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; C11 formulation
+// after Lê, Pop, Cohen & Zappa Nardelli, PPoPP 2013).
+//
+// Single-owner bottom end: the owning worker pushes and pops LIFO, which
+// keeps the most recently readied task — whose data is still warm in the
+// owner's cache — first in line. Thieves steal FIFO from the top end, which
+// hands them the oldest task: the one whose working set the owner's cache
+// has most likely already evicted, so stealing it costs the least locality.
+//
+// Deviations from the PPoPP'13 letter-of-the-paper version, both deliberate:
+//  * The two places the paper uses `atomic_thread_fence(seq_cst)` (the
+//    owner's bottom-store/top-load pair in pop, and the thief's top-load/
+//    bottom-load pair in steal) are expressed as seq_cst operations on the
+//    indices instead. ThreadSanitizer does not model standalone fences, so
+//    the fence-based version reports false races under the TSan CI config;
+//    the operation-based version is as strong and TSan-clean.
+//  * The circular buffer grows geometrically but retired buffers are kept
+//    on a chain until the deque is destroyed: a concurrent thief may still
+//    be reading through a stale buffer pointer, and with growth-only
+//    retirement the total waste is bounded by 2x the final capacity.
+//
+// Elements are raw pointers. The deque does not own them: the tasking
+// runtime keeps every submitted task alive through Task::self_ref until it
+// completes, and a task enters a deque at most once, so a popped or stolen
+// pointer is always valid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace dfamr::tasking {
+
+template <typename T>
+class WsDeque {
+public:
+    explicit WsDeque(std::int64_t initial_capacity = 64) {
+        DFAMR_REQUIRE(initial_capacity > 0 && (initial_capacity & (initial_capacity - 1)) == 0,
+                      "deque capacity must be a positive power of two");
+        buffer_.store(new Buffer(initial_capacity, nullptr), std::memory_order_relaxed);
+    }
+
+    ~WsDeque() {
+        Buffer* b = buffer_.load(std::memory_order_relaxed);
+        while (b != nullptr) {
+            Buffer* prev = b->prev;
+            delete b;
+            b = prev;
+        }
+    }
+
+    WsDeque(const WsDeque&) = delete;
+    WsDeque& operator=(const WsDeque&) = delete;
+
+    /// Owner only: push one element at the bottom (LIFO end).
+    void push(T* item) {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Buffer* a = buffer_.load(std::memory_order_relaxed);
+        if (b - t > a->capacity - 1) {
+            a = grow(a, t, b);
+        }
+        a->slot(b).store(item, std::memory_order_relaxed);
+        // The release store publishes the slot write to thieves that
+        // acquire-load bottom.
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /// Owner only: pop the most recently pushed element (LIFO end).
+    /// Returns nullptr when the deque is empty.
+    T* pop() {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Buffer* a = buffer_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t <= b) {
+            T* item = a->slot(b).load(std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: race the thieves for it through top.
+                if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+                    item = nullptr;  // a thief won
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+            return item;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    /// Any thread: steal the oldest element (FIFO end). Returns nullptr when
+    /// the deque looks empty or the steal lost a race (caller just moves on
+    /// to the next victim; distinguishing the two is not worth a retry loop
+    /// in the scan).
+    T* steal() {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t < b) {
+            Buffer* a = buffer_.load(std::memory_order_acquire);
+            T* item = a->slot(t).load(std::memory_order_relaxed);
+            if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+                return nullptr;
+            }
+            return item;
+        }
+        return nullptr;
+    }
+
+    /// Racy size estimate (monitoring / wake heuristics only).
+    std::int64_t size_estimate() const {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? b - t : 0;
+    }
+
+private:
+    struct Buffer {
+        const std::int64_t capacity;
+        const std::int64_t mask;
+        Buffer* const prev;  // retired predecessor, freed in ~WsDeque
+        std::unique_ptr<std::atomic<T*>[]> slots;
+
+        Buffer(std::int64_t cap, Buffer* prev_buffer)
+            : capacity(cap),
+              mask(cap - 1),
+              prev(prev_buffer),
+              slots(new std::atomic<T*>[static_cast<std::size_t>(cap)]) {}
+
+        std::atomic<T*>& slot(std::int64_t i) { return slots[static_cast<std::size_t>(i & mask)]; }
+    };
+
+    /// Owner only: double the capacity, copying the live range [t, b).
+    Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+        auto* bigger = new Buffer(old->capacity * 2, old);
+        for (std::int64_t i = t; i < b; ++i) {
+            bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+        }
+        buffer_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Buffer*> buffer_{nullptr};
+};
+
+}  // namespace dfamr::tasking

@@ -15,9 +15,11 @@
 //   T: "released before submitted" — task a released its dependencies
 //      before task b was registered (the registry legitimately elides the
 //      edge then; completion order provides the ordering).
-// A single logical clock stamps registrations and releases (both happen
-// under the runtime's graph mutex, so the stamps form a total order
-// consistent with execution). Since sub(x) <= rel(x) for every task, T is
+// A single logical clock stamps registrations and releases. While a hook
+// is attached the runtime serializes whole registrations and whole releases
+// on a dedicated verify mutex (the registry itself is sharded, see
+// dependency.hpp), so the stamps form a total order consistent with
+// execution. Since sub(x) <= rel(x) for every task, T is
 // transitively closed and any mixed E/T path collapses to E* or E*·T·E* —
 // so the reachability query "a happens-before b" reduces to: b is E-reachable
 // from a, OR some x in E-closure(a) released before some y in
