@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/variants.hpp"
 #include "sched_bench.hpp"
 
 using namespace dfamr;
@@ -31,8 +32,51 @@ struct Row {
     double efficiency = 0;  // vs the variant's own 1-node point
 };
 
+/// Wire-level counters from a small real run over the TCP loopback
+/// transport (every rank a thread with its own localhost socket pair).
+/// Tracks transport overhead trends: frames/bytes per delivered message and
+/// how much traffic takes the rendezvous path at the default threshold.
+struct NetMeasurement {
+    int ranks = 0;
+    std::uint64_t messages = 0;
+    net::NetCounters counters;
+    double total_s = 0;
+    bool checksums_match_inproc = false;
+};
+
+NetMeasurement measure_net() {
+    amr::Config cfg = amr::single_sphere_input();
+    cfg.npx = 2;
+    cfg.npy = cfg.npz = 1;
+    cfg.init_x = 1;
+    cfg.init_y = cfg.init_z = 2;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 8;
+    cfg.num_tsteps = 2;
+    cfg.stages_per_ts = 6;
+    cfg.num_refine = 2;
+    cfg.workers = 2;
+    cfg.objects[0].move = {0.4, 0.4, 0.4};
+
+    core::RunOptions inproc;
+    inproc.ignore_launch_env = true;
+    core::RunOptions tcp = inproc;
+    tcp.transport = mpi::TransportKind::Tcp;
+    tcp.rendezvous_threshold = 4096;  // low enough that ghost traffic crosses it
+
+    const core::RunResult ref = core::run_variant(cfg, Variant::TampiOss, nullptr, nullptr, inproc);
+    const core::RunResult r = core::run_variant(cfg, Variant::TampiOss, nullptr, nullptr, tcp);
+    NetMeasurement m;
+    m.ranks = cfg.num_ranks();
+    m.messages = r.messages;
+    m.counters = r.net;
+    m.total_s = r.times.total;
+    m.checksums_match_inproc = r.validation_ok && r.checksums == ref.checksums;
+    return m;
+}
+
 void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
-                const SchedMeasurement& sched) {
+                const SchedMeasurement& sched, const NetMeasurement& netm) {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
@@ -75,6 +119,22 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
                  static_cast<unsigned long long>(sched.fanout_stats.wakeups));
     std::fprintf(f, "    \"immediate_successor_hits\": %llu\n",
                  static_cast<unsigned long long>(sched.chain_stats.immediate_successor_hits));
+    std::fprintf(f, "  },\n");
+    // Wire counters from a small real TCP-loopback run (see measure_net).
+    const auto u64 = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(f, "  \"net\": {\n");
+    std::fprintf(f, "    \"transport\": \"tcp-loopback\",\n");
+    std::fprintf(f, "    \"ranks\": %d,\n", netm.ranks);
+    std::fprintf(f, "    \"messages\": %llu,\n", u64(netm.messages));
+    std::fprintf(f, "    \"bytes_sent\": %llu,\n", u64(netm.counters.bytes_sent));
+    std::fprintf(f, "    \"bytes_received\": %llu,\n", u64(netm.counters.bytes_received));
+    std::fprintf(f, "    \"frames_sent\": %llu,\n", u64(netm.counters.frames_sent));
+    std::fprintf(f, "    \"frames_received\": %llu,\n", u64(netm.counters.frames_received));
+    std::fprintf(f, "    \"rendezvous\": %llu,\n", u64(netm.counters.rendezvous));
+    std::fprintf(f, "    \"reconnects\": %llu,\n", u64(netm.counters.reconnects));
+    std::fprintf(f, "    \"total_s\": %.6f,\n", netm.total_s);
+    std::fprintf(f, "    \"checksums_match_inproc\": %s\n",
+                 netm.checksums_match_inproc ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -144,7 +204,14 @@ int main(int argc, char** argv) {
     std::printf("running scheduler microbenchmark...\n");
     const SchedMeasurement sched = measure_scheduler(/*workers=*/2, /*tasks=*/100000);
 
-    write_json(out, rows, max_nodes, sched);
+    std::printf("running TCP loopback wire measurement...\n");
+    const NetMeasurement netm = measure_net();
+    std::printf("net: %d ranks, %llu frames, %llu rendezvous, checksums %s\n", netm.ranks,
+                static_cast<unsigned long long>(netm.counters.frames_sent),
+                static_cast<unsigned long long>(netm.counters.rendezvous),
+                netm.checksums_match_inproc ? "match inproc" : "DIVERGED");
+
+    write_json(out, rows, max_nodes, sched, netm);
     std::printf("wrote %s (%zu points)\n", out, rows.size());
     return 0;
 }

@@ -11,7 +11,12 @@
 //   ./examples/single_sphere
 //   ./examples/single_sphere --variant mpi   --npx 4
 //   ./examples/single_sphere --variant tampi --send_faces --separate_buffers
+//
+// With the TCP transport the ranks become real processes:
+//
+//   ./dfamr_mpirun -n 4 ./examples/single_sphere --transport tcp --npx 4
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -42,8 +47,11 @@ int main(int argc, char** argv) {
         "from a lower corner (paper §V)");
     amr::Config::register_cli(cli);
     resilience::FaultConfig::register_cli(cli);
+    core::RunOptions::register_cli(cli);
     cli.add_option("--variant", "variant to run: mpi | forkjoin | tampi", "tampi");
     cli.add_option("--trace_csv", "write a per-core trace CSV to this path", "");
+    cli.add_option("--checksum_out",
+                   "write the stage checksums (hex doubles, one per line) to this path", "");
 
     try {
         if (!cli.parse(argc, argv)) return 0;
@@ -68,35 +76,63 @@ int main(int argc, char** argv) {
         cfg = amr::Config::from_cli(cli, cfg);
 
         const amr::Variant variant = parse_variant(cli.get_string("--variant"));
+        const core::RunOptions opts = core::RunOptions::from_cli(cli);
         amr::Tracer tracer;
         const std::string trace_path = cli.get_string("--trace_csv");
         tracer.enable(!trace_path.empty());
 
-        std::printf("single sphere input — %s, %d ranks x %d workers\n",
-                    to_string(variant).c_str(), cfg.num_ranks(), cfg.workers);
+        // Under dfamr_mpirun every rank process runs this main; only rank 0
+        // talks to the terminal (every process computes the same reduced
+        // result, so nothing is lost).
+        const char* rank_env = std::getenv("DFAMR_RANK");
+        const bool primary = rank_env == nullptr || std::string(rank_env) == "0";
+
+        if (primary) {
+            std::printf("single sphere input — %s, %d ranks x %d workers\n",
+                        to_string(variant).c_str(), cfg.num_ranks(), cfg.workers);
+        }
 
         // Chaos mode: with any --fault_* knob on, run a fault-free twin
         // first and require the chaos run to reproduce its checksums bit for
-        // bit (the resilience layer's correctness contract).
+        // bit (the resilience layer's correctness contract). The twin always
+        // runs in-process (threads-as-ranks inside this very process), even
+        // under dfamr_mpirun — it is the transport-independent reference.
         const resilience::FaultConfig fault_cfg = resilience::FaultConfig::from_cli(cli);
         std::unique_ptr<resilience::FaultPlan> plan;
         std::vector<double> reference_checksums;
         if (fault_cfg.enabled()) {
-            reference_checksums = core::run_variant(cfg, variant).checksums;
+            core::RunOptions twin;
+            twin.ignore_launch_env = true;
+            reference_checksums = core::run_variant(cfg, variant, nullptr, nullptr, twin).checksums;
             plan = std::make_unique<resilience::FaultPlan>(fault_cfg);
         }
-        const core::RunResult r =
-            core::run_variant(cfg, variant, tracer.enabled() ? &tracer : nullptr, plan.get());
+        const core::RunResult r = core::run_variant(
+            cfg, variant, tracer.enabled() ? &tracer : nullptr, plan.get(), opts);
 
         bool chaos_ok = true;
         if (plan) {
             chaos_ok = r.checksums == reference_checksums;
-            std::printf("chaos: seed %llu, %llu drops, %llu delays — checksums %s\n",
-                        static_cast<unsigned long long>(fault_cfg.seed),
-                        static_cast<unsigned long long>(plan->drops()),
-                        static_cast<unsigned long long>(plan->delays()),
-                        chaos_ok ? "bit-identical to the fault-free run" : "DIVERGED");
+            if (primary) {
+                std::printf("chaos: seed %llu, %llu drops, %llu delays — checksums %s\n",
+                            static_cast<unsigned long long>(fault_cfg.seed),
+                            static_cast<unsigned long long>(plan->drops()),
+                            static_cast<unsigned long long>(plan->delays()),
+                            chaos_ok ? "bit-identical to the fault-free run" : "DIVERGED");
+            }
         }
+
+        const std::string checksum_path = cli.get_string("--checksum_out");
+        if (primary && !checksum_path.empty()) {
+            // %a is exact (hex float): byte-identical checksums produce
+            // byte-identical files, which is what the cross-process golden
+            // test diffs.
+            std::FILE* f = std::fopen(checksum_path.c_str(), "w");
+            DFAMR_REQUIRE(f != nullptr, "cannot open --checksum_out path " + checksum_path);
+            for (const double c : r.checksums) std::fprintf(f, "%a\n", c);
+            std::fclose(f);
+        }
+
+        if (!primary) return r.validation_ok && chaos_ok ? 0 : 1;
 
         TextTable table({"metric", "value"});
         table.add_row({"total time (s)", TextTable::num(r.times.total, 3)});
@@ -109,6 +145,11 @@ int main(int argc, char** argv) {
         table.add_row({"GFLOPS", TextTable::num(r.gflops(), 2)});
         table.add_row({"final blocks", std::to_string(r.final_blocks)});
         table.add_row({"MPI messages", std::to_string(r.messages)});
+        if (r.net.frames_sent > 0) {
+            table.add_row({"wire frames sent", std::to_string(r.net.frames_sent)});
+            table.add_row({"wire bytes sent", std::to_string(r.net.bytes_sent)});
+            table.add_row({"wire rendezvous", std::to_string(r.net.rendezvous)});
+        }
         table.add_row({"checksums validated", std::to_string(r.checksums.size())});
         table.add_row({"validation", r.validation_ok ? "OK" : "FAILED"});
         if (r.sched.tasks_executed > 0) {

@@ -23,6 +23,7 @@ std::string to_string(PhaseKind k) {
         case PhaseKind::CommWait: return "comm_wait";
         case PhaseKind::Control: return "control";
         case PhaseKind::Retry: return "retry";
+        case PhaseKind::NetProgress: return "net_progress";
     }
     return "unknown";
 }

@@ -28,7 +28,8 @@ enum class PhaseKind : std::uint8_t {
     LoadBalance,
     CommWait,  // MPI_Waitany / Waitall time in the MPI-only variant
     Control,
-    Retry,     // backoff/resend of a transiently failed message (resilience)
+    Retry,        // backoff/resend of a transiently failed message (resilience)
+    NetProgress,  // TCP transport progress-thread time (frame reassembly/dispatch)
 };
 
 std::string to_string(PhaseKind k);

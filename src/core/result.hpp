@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/wire.hpp"
+
 namespace dfamr::core {
 
 /// Wall-clock phase breakdown (seconds). For the data-flow variant the
@@ -97,6 +99,9 @@ struct RunResult {
     std::int64_t final_blocks = 0;
     std::uint64_t messages = 0;  // delivered by the MPI layer
     std::uint64_t bytes = 0;
+    /// Wire-level transport counters, summed over all rank processes (all
+    /// zero for the in-process transport).
+    net::NetCounters net;
     RunCounters counters;
     SchedulerCounters sched;         // summed over ranks
     SchedulerCounters sched_refine;  // summed over ranks

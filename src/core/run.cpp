@@ -1,23 +1,133 @@
-// Top-level variant runner: spins up the in-process MPI world, runs one
-// driver per rank, and reduces the per-rank results.
-#include "core/variants.hpp"
-
+// Top-level variant runner: spins up the MPI world (in-process or TCP),
+// runs one driver per local rank, and reduces the per-rank results. In a
+// distributed world the reduction itself runs over MPI collectives, so
+// every rank process returns the identical global RunResult.
+#include <cstdlib>
 #include <mutex>
 
 #include "common/error.hpp"
 #include "core/fork_join.hpp"
 #include "core/mpi_only.hpp"
 #include "core/tampi_oss.hpp"
+#include "core/variants.hpp"
 
 namespace dfamr::core {
 
+namespace {
+
+/// Cross-process reduction of one rank's result, mirroring the local
+/// reduction in run_variant exactly (same operators per field). Every rank
+/// computes the same global totals; checksums are already globally agreed.
+RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
+                             std::uint64_t local_messages, std::uint64_t local_bytes,
+                             const net::NetCounters& local_net) {
+    RunResult g;
+    g.checksums = r.checksums;
+
+    double tmax_in[5] = {r.times.total, r.times.refine, r.times.comm, r.times.stencil,
+                         r.times.checksum};
+    double tmax[5];
+    comm.allreduce(tmax_in, tmax, 5, mpi::Op::Max);
+    g.times.total = tmax[0];
+    g.times.refine = tmax[1];
+    g.times.comm = tmax[2];
+    g.times.stencil = tmax[3];
+    g.times.checksum = tmax[4];
+
+    std::int64_t sums_in[5] = {r.stencil_flops, r.final_blocks, r.counters.blocks_split,
+                               r.counters.blocks_merged, r.counters.blocks_moved};
+    std::int64_t sums[5];
+    comm.allreduce(sums_in, sums, 5, mpi::Op::Sum);
+    g.total_flops = sums[0];
+    g.final_blocks = sums[1];
+    g.counters.blocks_split = sums[2];
+    g.counters.blocks_merged = sums[3];
+    g.counters.blocks_moved = sums[4];
+
+    std::int64_t maxes_in[3] = {r.counters.refinement_phases, r.counters.load_balances,
+                                r.counters.checksum_stages};
+    std::int64_t maxes[3];
+    comm.allreduce(maxes_in, maxes, 3, mpi::Op::Max);
+    g.counters.refinement_phases = maxes[0];
+    g.counters.load_balances = maxes[1];
+    g.counters.checksum_stages = maxes[2];
+
+    std::uint64_t usums_in[20] = {
+        r.sched.tasks_executed, r.sched.steals, r.sched.steal_fails, r.sched.parks,
+        r.sched.wakeups, r.sched.immediate_successor_hits,
+        r.sched_refine.tasks_executed, r.sched_refine.steals, r.sched_refine.steal_fails,
+        r.sched_refine.parks, r.sched_refine.wakeups, r.sched_refine.immediate_successor_hits,
+        local_messages, local_bytes,
+        local_net.bytes_sent, local_net.bytes_received, local_net.frames_sent,
+        local_net.frames_received, local_net.rendezvous, local_net.reconnects};
+    std::uint64_t usums[20];
+    comm.allreduce(usums_in, usums, 20, mpi::Op::Sum);
+    g.sched = {usums[0], usums[1], usums[2], usums[3], usums[4], usums[5]};
+    g.sched_refine = {usums[6], usums[7], usums[8], usums[9], usums[10], usums[11]};
+    g.messages = usums[12];
+    g.bytes = usums[13];
+    g.net = {usums[14], usums[15], usums[16], usums[17], usums[18], usums[19]};
+
+    int ok_in = r.validation_ok ? 1 : 0;
+    int ok = 0;
+    comm.allreduce(&ok_in, &ok, 1, mpi::Op::Min);
+    g.validation_ok = ok == 1;
+    return g;
+}
+
+}  // namespace
+
+void RunOptions::register_cli(CliParser& cli) {
+    cli.add_option("--transport", "message transport: inproc | tcp", "");
+    cli.add_option("--rendezvous_threshold",
+                   "TCP payload size (bytes) at which sends switch from eager to the "
+                   "Rts/Cts rendezvous handshake",
+                   "65536");
+}
+
+RunOptions RunOptions::from_cli(const CliParser& cli) {
+    RunOptions opts;
+    std::string transport;
+    if (cli.has("--transport")) transport = cli.get_string("--transport");
+    if (transport.empty()) {
+        // dfamr_mpirun sets DFAMR_TRANSPORT=tcp for its rank processes.
+        const char* env = std::getenv("DFAMR_TRANSPORT");
+        if (env != nullptr) transport = env;
+    }
+    if (transport == "tcp") {
+        opts.transport = mpi::TransportKind::Tcp;
+    } else if (!transport.empty() && transport != "inproc") {
+        throw ConfigError("unknown transport '" + transport + "' (expected inproc or tcp)");
+    }
+    if (cli.has("--rendezvous_threshold")) {
+        opts.rendezvous_threshold =
+            static_cast<std::size_t>(cli.get_int("--rendezvous_threshold"));
+    } else if (const char* env = std::getenv("DFAMR_RNDZ_THRESHOLD")) {
+        opts.rendezvous_threshold = static_cast<std::size_t>(std::atol(env));
+    }
+    return opts;
+}
+
 RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer* tracer,
-                      mpi::FaultInjector* faults) {
+                      mpi::FaultInjector* faults, const RunOptions& opts) {
     cfg.validate();
-    mpi::World world(cfg.num_ranks(), faults);
+    mpi::WorldOptions wopts;
+    wopts.transport = opts.transport;
+    wopts.rendezvous_threshold = opts.rendezvous_threshold;
+    wopts.ignore_launch_env = opts.ignore_launch_env;
+    if (tracer != nullptr) {
+        // The progress thread gets the worker slot one past the compute
+        // workers, so it shows as its own lane in per-core timelines.
+        wopts.progress_trace = [tracer, workers = cfg.workers](int rank, std::int64_t t0,
+                                                              std::int64_t t1) {
+            tracer->record(rank, workers, t0, t1, amr::PhaseKind::NetProgress);
+        };
+    }
+    mpi::World world(cfg.num_ranks(), wopts, faults);
 
     std::mutex results_mutex;
     std::vector<RankResult> results(static_cast<std::size_t>(cfg.num_ranks()));
+    RunResult distributed_total;
 
     world.run([&](mpi::Communicator& comm) {
         std::unique_ptr<DriverBase> driver;
@@ -36,9 +146,21 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
                 break;
         }
         RankResult r = driver->run();
+        if (world.distributed()) {
+            // Reduce across processes while every rank is still inside
+            // rank_main (the reduction is collective). Wire counters are
+            // snapshotted first: the reduction itself adds traffic.
+            RunResult g = reduce_distributed(comm, r, world.messages_delivered(),
+                                             world.bytes_delivered(), world.net_counters());
+            std::lock_guard lock(results_mutex);
+            distributed_total = std::move(g);
+            return;
+        }
         std::lock_guard lock(results_mutex);
         results[static_cast<std::size_t>(comm.rank())] = std::move(r);
     });
+
+    if (world.distributed()) return distributed_total;
 
     RunResult total;
     total.checksums = results[0].checksums;
@@ -59,6 +181,7 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
     }
     total.messages = world.messages_delivered();
     total.bytes = world.bytes_delivered();
+    total.net = world.net_counters();
     return total;
 }
 

@@ -3,14 +3,32 @@
 
 #include "amr/config.hpp"
 #include "amr/trace.hpp"
+#include "common/cli.hpp"
 #include "core/result.hpp"
 #include "mpisim/mpi.hpp"
 
 namespace dfamr::core {
 
-/// Runs the mini-app with `cfg.num_ranks()` in-process ranks using the given
-/// variant, and returns the reduced result (times: max over ranks, flops:
-/// summed, checksums: the global values every rank agrees on).
+/// Transport selection for a run. Defaults reproduce the historical
+/// behavior (in-process ranks). from_cli also honors the DFAMR_TRANSPORT
+/// environment variable (set by dfamr_mpirun), with the CLI flag winning.
+struct RunOptions {
+    mpi::TransportKind transport = mpi::TransportKind::Inproc;
+    std::size_t rendezvous_threshold = 64 * 1024;
+    /// Build a fully local world even when DFAMR_RANK is set (used for the
+    /// in-process reference run of a chaos comparison under dfamr_mpirun).
+    bool ignore_launch_env = false;
+
+    static void register_cli(CliParser& cli);
+    static RunOptions from_cli(const CliParser& cli);
+};
+
+/// Runs the mini-app with `cfg.num_ranks()` ranks using the given variant,
+/// and returns the reduced result (times: max over ranks, flops: summed,
+/// checksums: the global values every rank agrees on). With the TCP
+/// transport the ranks may be threads of this process (loopback) or sibling
+/// processes started by dfamr_mpirun; either way every process returns the
+/// same globally reduced result.
 ///
 /// For Variant::MpiOnly, cfg.workers is ignored (one core per rank, like the
 /// reference's 48 ranks/node). For the hybrid variants, each rank drives
@@ -19,6 +37,7 @@ namespace dfamr::core {
 /// `faults` optionally injects deterministic communication faults into the
 /// MPI layer (see resilience/fault_plan.hpp); nullptr = fault-free.
 RunResult run_variant(const amr::Config& cfg, amr::Variant variant,
-                      amr::Tracer* tracer = nullptr, mpi::FaultInjector* faults = nullptr);
+                      amr::Tracer* tracer = nullptr, mpi::FaultInjector* faults = nullptr,
+                      const RunOptions& opts = {});
 
 }  // namespace dfamr::core

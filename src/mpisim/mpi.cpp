@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <tuple>
 
 #include "common/error.hpp"
+#include "net/endpoint.hpp"
+#include "net/rendezvous.hpp"
 
 namespace dfamr::mpi {
 
@@ -30,11 +33,27 @@ struct RequestState {
     Mailbox* mbox = nullptr;
 };
 
+/// A buffered message. `payload` is a view into `storage`, which owns the
+/// bytes — a net frame (payload at a 40-byte offset) for anything that may
+/// hit the wire, or a bare vector for frames received from a peer. The
+/// payload is copied exactly once when the message is buffered.
 struct PendingMsg {
     int source = 0;
     int tag = 0;
-    std::vector<std::byte> data;
+    net::FrameBuf storage;
+    std::span<const std::byte> payload;
 };
+
+/// Buffers a user payload once, into a frame that can either be parked in a
+/// mailbox or handed to a net::Endpoint as-is.
+inline PendingMsg make_buffered(int source, int tag, const void* buf, std::size_t bytes) {
+    PendingMsg msg;
+    msg.source = source;
+    msg.tag = tag;
+    msg.storage = net::make_frame(buf, bytes);
+    msg.payload = {msg.storage->data() + net::kHeaderBytes, bytes};
+    return msg;
+}
 
 struct PostedRecv {
     int source = kAnySource;
@@ -76,10 +95,19 @@ struct CollectiveCtx {
     std::vector<void*> outs;
 };
 
+class WorldSink;
+
 struct WorldState {
     int nranks = 0;
     std::vector<std::unique_ptr<Mailbox>> mailboxes;
     CollectiveCtx coll;
+
+    WorldOptions opts;
+    int local_rank = 0;
+    bool is_distributed = false;
+    std::atomic<int> lost_peer{-1};  // rank whose connection died uncleanly
+
+    bool wire() const { return !endpoints.empty(); }
 
     // Completion "activity" broadcast used by wait_any and blocking waits.
     std::mutex activity_m;
@@ -99,6 +127,16 @@ struct WorldState {
     std::uint64_t sched_seq = 0;
     bool sched_shutdown = false;
     std::thread sched_thread;
+
+    // Transport. `endpoints` is empty for the in-process transport. On Tcp
+    // it holds one endpoint per rank (loopback world) or a single endpoint
+    // at index local_rank (distributed world); all other slots are null.
+    // Declared LAST: their reader threads call into the sinks and from
+    // there into the mailboxes/activity_cv above, so the endpoints must be
+    // destroyed (threads joined) before any other member. `sinks` right
+    // before them, so sinks outlive the endpoint threads too.
+    std::vector<std::unique_ptr<WorldSink>> sinks;
+    std::vector<std::unique_ptr<net::Endpoint>> endpoints;
 
     void bump_activity() {
         {
@@ -135,6 +173,9 @@ void complete_request(const std::shared_ptr<RequestState>& req, const Status& st
 }
 
 bool matches(int want_source, int want_tag, int have_source, int have_tag) {
+    // A wildcard tag never matches reserved (protocol-internal) tags, so
+    // wire-collective traffic can't leak into application receives.
+    if (want_tag == kAnyTag && have_tag >= kReservedTagBase) return false;
     return (want_source == kAnySource || want_source == have_source) &&
            (want_tag == kAnyTag || want_tag == have_tag);
 }
@@ -153,11 +194,13 @@ void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
             if (matches(it->source, it->tag, msg.source, msg.tag)) break;
         }
         if (it != mbox.posted.end()) {
-            DFAMR_REQUIRE(msg.data.size() <= it->capacity,
+            DFAMR_REQUIRE(msg.payload.size() <= it->capacity,
                           "message truncation: recv buffer too small");
-            if (!msg.data.empty()) std::memcpy(it->buf, msg.data.data(), msg.data.size());
+            if (!msg.payload.empty()) {
+                std::memcpy(it->buf, msg.payload.data(), msg.payload.size());
+            }
             matched_recv = it->req;
-            matched_status = Status{msg.source, msg.tag, msg.data.size()};
+            matched_status = Status{msg.source, msg.tag, msg.payload.size()};
             mbox.posted.erase(it);
         } else {
             mbox.unexpected.push_back(std::move(msg));
@@ -168,6 +211,19 @@ void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
         world->bytes_delivered.fetch_add(matched_status.bytes, std::memory_order_relaxed);
         complete_request(matched_recv, matched_status);
     }
+}
+
+/// Sends a buffered message where it belongs: the local mailbox for the
+/// in-process transport or a self-send, the wire otherwise. Scheduler-
+/// released (fault-delayed) messages always travel eagerly: their payload
+/// is already buffered, so the rendezvous handshake would buy nothing.
+void route_msg(WorldState* world, int dest, PendingMsg&& msg) {
+    if (world->wire() && dest != msg.source) {
+        net::Endpoint* ep = world->endpoints[static_cast<std::size_t>(msg.source)].get();
+        ep->send_eager(dest, msg.tag, std::move(msg.storage));
+        return;
+    }
+    deliver_msg(world, dest, std::move(msg));
 }
 
 /// Delivery-scheduler thread body: releases parked messages in (release
@@ -196,9 +252,11 @@ void scheduler_loop(WorldState* world) {
         DelayedMsg dm = std::move(world->sched_heap.back());
         world->sched_heap.pop_back();
         lock.unlock();
-        deliver_msg(world, dm.dest, std::move(dm.msg));
+        const int stream_src = dm.msg.source;
+        const int stream_tag = dm.msg.tag;
+        route_msg(world, dm.dest, std::move(dm.msg));
         lock.lock();
-        const auto key = std::make_tuple(dm.msg.source, dm.dest, dm.msg.tag);
+        const auto key = std::make_tuple(stream_src, dm.dest, stream_tag);
         auto it = world->streams.find(key);
         if (it != world->streams.end() && --it->second.inflight == 0) {
             world->streams.erase(it);
@@ -207,6 +265,36 @@ void scheduler_loop(WorldState* world) {
 }
 
 }  // namespace
+
+/// Bridges a rank's net::Endpoint into the matching machinery: a received
+/// frame becomes a PendingMsg and takes the exact same deliver path as a
+/// local send. An unclean peer loss aborts the world.
+class WorldSink : public net::Sink {
+public:
+    WorldSink(WorldState* world, int owner_rank) : world_(world), owner_(owner_rank) {}
+
+    void deliver(int src, int tag, net::FrameBuf storage,
+                 std::span<const std::byte> payload) override {
+        PendingMsg msg;
+        msg.source = src;
+        msg.tag = tag;
+        msg.storage = std::move(storage);
+        msg.payload = payload;
+        deliver_msg(world_, owner_, std::move(msg));
+    }
+
+    void peer_gone(int peer, bool clean) override {
+        if (clean) return;  // orderly Bye during teardown
+        world_->lost_peer.store(peer, std::memory_order_relaxed);
+        world_->aborted.store(true, std::memory_order_relaxed);
+        world_->bump_activity();
+    }
+
+private:
+    WorldState* world_;
+    int owner_;
+};
+
 }  // namespace detail
 
 // ---- Request -------------------------------------------------------------
@@ -296,7 +384,14 @@ int wait_any_for(std::span<Request> reqs, std::int64_t timeout_ns, Status* statu
             }
         }
         const std::int64_t now = detail::steady_now_ns();
-        if (now >= deadline) return kTimeout;
+        if (now >= deadline) {
+            // An aborted world must surface as RankError, never as a benign
+            // timeout — otherwise the caller would retry into a dead world.
+            // (The abort may arrive via a transport progress thread, so this
+            // path is reachable on both transports.)
+            world->check_aborted();
+            return kTimeout;
+        }
         const auto step = std::min<std::int64_t>(
             deadline - now,
             std::chrono::duration_cast<std::chrono::nanoseconds>(detail::kAbortPollInterval)
@@ -344,12 +439,20 @@ int wait_any(std::span<Request> reqs, Status* status) {
 // ---- Communicator: point-to-point -----------------------------------------
 
 Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int tag) {
+    DFAMR_REQUIRE(tag >= 0 && tag < kReservedTagBase,
+                  "isend: tag must be in [0, kReservedTagBase)");
+    return isend_impl(buf, bytes, dest, tag, /*allow_fault=*/true);
+}
+
+Request Communicator::isend_impl(const void* buf, std::size_t bytes, int dest, int tag,
+                                 bool allow_fault) {
     DFAMR_REQUIRE(0 <= dest && dest < size_, "isend: destination rank out of range");
     DFAMR_REQUIRE(tag >= 0, "isend: tag must be non-negative");
     auto req = std::make_shared<detail::RequestState>();
     req->world = world_;
+    const bool wire_dest = world_->wire() && dest != rank_;
 
-    if (world_->faults != nullptr) {
+    if (allow_fault && world_->faults != nullptr) {
         const FaultAction act = world_->faults->on_send(rank_, dest, tag);
         if (act.stall_ns > 0) {
             std::this_thread::sleep_for(std::chrono::nanoseconds(act.stall_ns));
@@ -358,16 +461,13 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
             throw Error("mpisim: injected crash at rank " + std::to_string(rank_));
         }
         if (act.drop) {
-            // Transient delivery failure: the payload vanishes; the sender
-            // learns synchronously via status.ok (the hardened layer retries).
+            // Transient delivery failure: the payload vanishes before it
+            // reaches the wire/mailbox; the sender learns synchronously via
+            // status.ok (the hardened layer retries). Identical on both
+            // transports by construction.
             detail::complete_request(req, Status{rank_, tag, bytes, /*ok=*/false});
             return Request(std::move(req));
         }
-        detail::PendingMsg msg;
-        msg.source = rank_;
-        msg.tag = tag;
-        msg.data.assign(static_cast<const std::byte*>(buf),
-                        static_cast<const std::byte*>(buf) + bytes);
         bool scheduled = false;
         {
             std::lock_guard slock(world_->sched_m);
@@ -382,8 +482,8 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
                     std::max(now + act.delay_ns, stream.last_release_ns);
                 stream.last_release_ns = release;
                 ++stream.inflight;
-                world_->sched_heap.push_back(
-                    detail::DelayedMsg{release, world_->sched_seq++, dest, std::move(msg)});
+                world_->sched_heap.push_back(detail::DelayedMsg{
+                    release, world_->sched_seq++, dest, detail::make_buffered(rank_, tag, buf, bytes)});
                 std::push_heap(world_->sched_heap.begin(), world_->sched_heap.end(),
                                [](const detail::DelayedMsg& a, const detail::DelayedMsg& b) {
                                    return std::tie(a.release_ns, a.seq) >
@@ -394,9 +494,29 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
         }
         if (scheduled) {
             world_->sched_cv.notify_one();
-        } else {
-            detail::deliver_msg(world_, dest, std::move(msg));
+            detail::complete_request(req, Status{rank_, tag, bytes});
+            return Request(std::move(req));
         }
+        // No fault on this attempt: fall through to the direct path, which
+        // buffers at most once (or not at all when a receive is waiting).
+    }
+
+    if (wire_dest) {
+        net::Endpoint* ep = world_->endpoints[static_cast<std::size_t>(rank_)].get();
+        net::FrameBuf frame = net::make_frame(buf, bytes);
+        if (bytes >= ep->rendezvous_threshold()) {
+            // The request completes when the granted Data frame is handed to
+            // the kernel (from the endpoint's writer thread).
+            const int src = rank_;
+            auto* world = world_;
+            ep->send_rendezvous(dest, tag, std::move(frame),
+                                [req, world, src, tag, bytes] {
+                                    (void)world;
+                                    detail::complete_request(req, Status{src, tag, bytes});
+                                });
+            return Request(std::move(req));
+        }
+        ep->send_eager(dest, tag, std::move(frame));
         detail::complete_request(req, Status{rank_, tag, bytes});
         return Request(std::move(req));
     }
@@ -417,12 +537,7 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
             matched_status = Status{rank_, tag, bytes};
             mbox.posted.erase(it);
         } else {
-            detail::PendingMsg msg;
-            msg.source = rank_;
-            msg.tag = tag;
-            msg.data.assign(static_cast<const std::byte*>(buf),
-                            static_cast<const std::byte*>(buf) + bytes);
-            mbox.unexpected.push_back(std::move(msg));
+            mbox.unexpected.push_back(detail::make_buffered(rank_, tag, buf, bytes));
         }
     }
     if (matched_recv) {
@@ -436,6 +551,12 @@ Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int ta
 }
 
 Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag) {
+    DFAMR_REQUIRE(tag == kAnyTag || (tag >= 0 && tag < kReservedTagBase),
+                  "irecv: tag must be kAnyTag or in [0, kReservedTagBase)");
+    return irecv_impl(buf, bytes, source, tag);
+}
+
+Request Communicator::irecv_impl(void* buf, std::size_t bytes, int source, int tag) {
     DFAMR_REQUIRE(source == kAnySource || (0 <= source && source < size_),
                   "irecv: source rank out of range");
     auto req = std::make_shared<detail::RequestState>();
@@ -452,9 +573,10 @@ Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag) {
             if (detail::matches(source, tag, it->source, it->tag)) break;
         }
         if (it != mbox.unexpected.end()) {
-            DFAMR_REQUIRE(it->data.size() <= bytes, "message truncation: recv buffer too small");
-            if (!it->data.empty()) std::memcpy(buf, it->data.data(), it->data.size());
-            st = Status{it->source, it->tag, it->data.size()};
+            DFAMR_REQUIRE(it->payload.size() <= bytes,
+                          "message truncation: recv buffer too small");
+            if (!it->payload.empty()) std::memcpy(buf, it->payload.data(), it->payload.size());
+            st = Status{it->source, it->tag, it->payload.size()};
             mbox.unexpected.erase(it);
             delivered = true;
         } else {
@@ -482,7 +604,7 @@ bool Communicator::iprobe(int source, int tag, Status* status) {
     std::lock_guard lock(mbox.m);
     for (const detail::PendingMsg& msg : mbox.unexpected) {
         if (detail::matches(source, tag, msg.source, msg.tag)) {
-            if (status != nullptr) *status = Status{msg.source, msg.tag, msg.data.size()};
+            if (status != nullptr) *status = Status{msg.source, msg.tag, msg.payload.size()};
             return true;
         }
     }
@@ -491,8 +613,13 @@ bool Communicator::iprobe(int source, int tag, Status* status) {
 
 // ---- Communicator: collectives ---------------------------------------------
 
-void Communicator::collective(const void* in, void* out,
+void Communicator::collective(const void* in, std::size_t in_bytes, void* out,
+                              std::size_t out_bytes,
                               const std::function<void(detail::CollectiveCtx&)>& combine) {
+    if (world_->wire()) {
+        collective_wire(in, in_bytes, out, out_bytes, combine);
+        return;
+    }
     detail::CollectiveCtx& ctx = world_->coll;
     std::unique_lock lock(ctx.m);
     ctx.ins[static_cast<std::size_t>(rank_)] = in;
@@ -511,11 +638,73 @@ void Communicator::collective(const void* in, void* out,
     }
 }
 
-void Communicator::barrier() { collective(nullptr, nullptr, {}); }
+// Wire collectives: rank 0 coordinates. Every other rank contributes a
+// 16-byte size announcement ([in_bytes, out_bytes]) followed, when
+// in_bytes > 0, by its input payload on the same reserved-tag stream (FIFO
+// order guarantees the pair arrives intact). Rank 0 materializes a local
+// CollectiveCtx — gathered inputs, scratch outputs sized as announced — and
+// runs the exact same combine closure the in-process path runs, then sends
+// every rank its result. A zero-byte result frame still flows, which is
+// what makes barrier (and every collective) a synchronization point.
+void Communicator::collective_wire(const void* in, std::size_t in_bytes, void* out,
+                                   std::size_t out_bytes,
+                                   const std::function<void(detail::CollectiveCtx&)>& combine) {
+    constexpr int kCollGather = kReservedTagBase + 1;
+    constexpr int kCollResult = kReservedTagBase + 2;
+    if (rank_ != 0) {
+        std::uint64_t sizes[2] = {in_bytes, out_bytes};
+        isend_impl(sizes, sizeof sizes, 0, kCollGather, /*allow_fault=*/false).wait();
+        if (in_bytes > 0) {
+            isend_impl(in, in_bytes, 0, kCollGather, /*allow_fault=*/false).wait();
+        }
+        irecv_impl(out_bytes > 0 ? out : nullptr, out_bytes, 0, kCollResult).wait();
+        return;
+    }
+    const std::size_t n = static_cast<std::size_t>(size_);
+    std::vector<std::uint64_t> peer_in(n, 0), peer_out(n, 0);
+    std::vector<std::vector<std::byte>> gathered(n);
+    peer_in[0] = in_bytes;
+    peer_out[0] = out_bytes;
+    for (int r = 1; r < size_; ++r) {
+        std::uint64_t sizes[2] = {0, 0};
+        irecv_impl(sizes, sizeof sizes, r, kCollGather).wait();
+        peer_in[static_cast<std::size_t>(r)] = sizes[0];
+        peer_out[static_cast<std::size_t>(r)] = sizes[1];
+        if (sizes[0] > 0) {
+            gathered[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(sizes[0]));
+            irecv_impl(gathered[static_cast<std::size_t>(r)].data(), sizes[0], r, kCollGather)
+                .wait();
+        }
+    }
+    detail::CollectiveCtx ctx;
+    ctx.ins.resize(n, nullptr);
+    ctx.outs.resize(n, nullptr);
+    std::vector<std::vector<std::byte>> scratch(n);
+    ctx.ins[0] = in;
+    ctx.outs[0] = out_bytes > 0 ? out : nullptr;
+    for (int r = 1; r < size_; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        ctx.ins[ri] = peer_in[ri] > 0 ? gathered[ri].data() : nullptr;
+        if (peer_out[ri] > 0) {
+            scratch[ri].resize(static_cast<std::size_t>(peer_out[ri]));
+            ctx.outs[ri] = scratch[ri].data();
+        }
+    }
+    if (combine) combine(ctx);
+    for (int r = 1; r < size_; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        isend_impl(scratch[ri].data(), scratch[ri].size(), r, kCollResult,
+                   /*allow_fault=*/false)
+            .wait();
+    }
+}
+
+void Communicator::barrier() { collective(nullptr, 0, nullptr, 0, {}); }
 
 void Communicator::bcast(void* buf, std::size_t bytes, int root) {
     DFAMR_REQUIRE(0 <= root && root < size_, "bcast: root out of range");
-    collective(buf, buf, [bytes, root, this](detail::CollectiveCtx& ctx) {
+    collective(buf, rank_ == root ? bytes : 0, buf, rank_ == root ? 0 : bytes,
+               [bytes, root, this](detail::CollectiveCtx& ctx) {
         const void* src = ctx.ins[static_cast<std::size_t>(root)];
         for (int r = 0; r < size_; ++r) {
             if (r != root) std::memcpy(ctx.outs[static_cast<std::size_t>(r)], src, bytes);
@@ -524,7 +713,8 @@ void Communicator::bcast(void* buf, std::size_t bytes, int root) {
 }
 
 void Communicator::allgather(const void* in, std::size_t bytes, void* out) {
-    collective(in, out, [bytes, this](detail::CollectiveCtx& ctx) {
+    collective(in, bytes, out, static_cast<std::size_t>(size_) * bytes,
+               [bytes, this](detail::CollectiveCtx& ctx) {
         for (int r = 0; r < size_; ++r) {
             auto* dst = static_cast<std::byte*>(ctx.outs[static_cast<std::size_t>(r)]);
             for (int s = 0; s < size_; ++s) {
@@ -536,7 +726,8 @@ void Communicator::allgather(const void* in, std::size_t bytes, void* out) {
 }
 
 void Communicator::alltoall(const void* in, std::size_t bytes, void* out) {
-    collective(in, out, [bytes, this](detail::CollectiveCtx& ctx) {
+    const std::size_t total = static_cast<std::size_t>(size_) * bytes;
+    collective(in, total, out, total, [bytes, this](detail::CollectiveCtx& ctx) {
         for (int r = 0; r < size_; ++r) {
             auto* dst = static_cast<std::byte*>(ctx.outs[static_cast<std::size_t>(r)]);
             for (int s = 0; s < size_; ++s) {
@@ -550,10 +741,13 @@ void Communicator::alltoall(const void* in, std::size_t bytes, void* out) {
 
 // ---- World ----------------------------------------------------------------
 
-World::World(int nranks, FaultInjector* faults)
+World::World(int nranks, FaultInjector* faults) : World(nranks, WorldOptions{}, faults) {}
+
+World::World(int nranks, const WorldOptions& options, FaultInjector* faults)
     : state_(std::make_unique<detail::WorldState>()) {
     DFAMR_REQUIRE(nranks >= 1, "world needs at least one rank");
     state_->nranks = nranks;
+    state_->opts = options;
     state_->faults = faults;
     state_->mailboxes.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
@@ -565,6 +759,65 @@ World::World(int nranks, FaultInjector* faults)
     for (int r = 0; r < nranks; ++r) {
         comms_.push_back(Communicator(state_.get(), r, nranks));
     }
+
+    const auto env = options.ignore_launch_env ? std::optional<net::LaunchEnv>{}
+                                               : net::LaunchEnv::detect();
+    if (options.transport == TransportKind::Tcp) {
+        const auto make_endpoint = [&](int rank) {
+            net::ProgressTrace trace;
+            if (options.progress_trace) {
+                trace = [cb = options.progress_trace, rank](std::int64_t t0, std::int64_t t1) {
+                    cb(rank, t0, t1);
+                };
+            }
+            state_->sinks[static_cast<std::size_t>(rank)] =
+                std::make_unique<detail::WorldSink>(state_.get(), rank);
+            state_->endpoints[static_cast<std::size_t>(rank)] = std::make_unique<net::Endpoint>(
+                rank, nranks, options.rendezvous_threshold,
+                state_->sinks[static_cast<std::size_t>(rank)].get(), std::move(trace));
+        };
+        state_->endpoints.resize(static_cast<std::size_t>(nranks));
+        state_->sinks.resize(static_cast<std::size_t>(nranks));
+        if (env.has_value()) {
+            // Distributed world: one rank in this process; the launcher's
+            // exchange server brokers the address table.
+            DFAMR_REQUIRE(env->nranks == nranks,
+                          "mpisim: world size " + std::to_string(nranks) +
+                              " does not match DFAMR_NRANKS=" + std::to_string(env->nranks));
+            state_->is_distributed = true;
+            state_->local_rank = env->rank;
+            make_endpoint(env->rank);
+            net::Endpoint& ep = *state_->endpoints[static_cast<std::size_t>(env->rank)];
+            const std::vector<net::HostPort> table =
+                net::exchange_addresses(*env, ep.listen_port());
+            ep.connect_mesh(table);
+        } else {
+            // Loopback world: every rank is a thread here, each with a real
+            // TCP endpoint on localhost. Meshing must run concurrently (rank
+            // r blocks accepting from ranks > r while dialing ranks < r).
+            for (int r = 0; r < nranks; ++r) make_endpoint(r);
+            std::vector<net::HostPort> table(static_cast<std::size_t>(nranks));
+            for (int r = 0; r < nranks; ++r) {
+                table[static_cast<std::size_t>(r)] =
+                    net::HostPort{"127.0.0.1",
+                                  state_->endpoints[static_cast<std::size_t>(r)]->listen_port()};
+            }
+            std::vector<std::thread> meshers;
+            meshers.reserve(static_cast<std::size_t>(nranks));
+            for (int r = 0; r < nranks; ++r) {
+                meshers.emplace_back(
+                    [this, r, &table] {
+                        state_->endpoints[static_cast<std::size_t>(r)]->connect_mesh(table);
+                    });
+            }
+            for (auto& t : meshers) t.join();
+        }
+    } else {
+        DFAMR_REQUIRE(!env.has_value(),
+                      "mpisim: launched by dfamr_mpirun (DFAMR_RANK is set) but the transport "
+                      "is inproc; pass --transport tcp or set ignore_launch_env");
+    }
+
     if (faults != nullptr) {
         state_->sched_thread = std::thread(detail::scheduler_loop, state_.get());
     }
@@ -585,16 +838,35 @@ int World::size() const { return state_->nranks; }
 
 Communicator& World::comm(int rank) {
     DFAMR_REQUIRE(0 <= rank && rank < state_->nranks, "rank out of range");
+    DFAMR_REQUIRE(!state_->is_distributed || rank == state_->local_rank,
+                  "comm: rank " + std::to_string(rank) + " lives in another process");
     return comms_[static_cast<std::size_t>(rank)];
+}
+
+bool World::distributed() const { return state_->is_distributed; }
+
+int World::local_rank() const { return state_->is_distributed ? state_->local_rank : 0; }
+
+net::NetCounters World::net_counters() const {
+    net::NetCounters total;
+    for (const auto& ep : state_->endpoints) {
+        if (ep) total += ep->counters();
+    }
+    return total;
 }
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
     std::mutex error_mutex;
     std::exception_ptr first_error;
 
+    // A distributed world hosts exactly one rank; its siblings run the same
+    // rank_main in their own processes.
+    const int first_rank = state_->is_distributed ? state_->local_rank : 0;
+    const int last_rank = state_->is_distributed ? state_->local_rank + 1 : state_->nranks;
+
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(state_->nranks));
-    for (int r = 0; r < state_->nranks; ++r) {
+    threads.reserve(static_cast<std::size_t>(last_rank - first_rank));
+    for (int r = first_rank; r < last_rank; ++r) {
         threads.emplace_back([this, r, &rank_main, &error_mutex, &first_error] {
             const auto record = [&](std::exception_ptr err) {
                 {
@@ -618,6 +890,12 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     for (auto& t : threads) t.join();
     state_->aborted.store(false, std::memory_order_relaxed);
     if (first_error) std::rethrow_exception(first_error);
+    const int lost = state_->lost_peer.load(std::memory_order_relaxed);
+    if (lost >= 0) {
+        throw RankError(state_->local_rank,
+                        "connection to rank " + std::to_string(lost) +
+                            " lost (peer process died without a Bye)");
+    }
 }
 
 std::uint64_t World::messages_delivered() const {

@@ -15,6 +15,17 @@
 // Thread-safety: equivalent to MPI_THREAD_MULTIPLE. Any thread of a rank
 // (e.g. a tasking worker running a communication task) may post operations
 // concurrently.
+//
+// Transports: the matching/mailbox machinery above is transport-agnostic.
+// With TransportKind::Inproc, messages move through shared memory exactly as
+// before. With TransportKind::Tcp each rank owns a net::Endpoint and
+// non-local messages travel as framed TCP payloads (eager below the
+// rendezvous threshold, Rts/Cts/Data handshake at or above it); a received
+// frame is fed into the same deliver path as a local send, so ordering,
+// wildcards and fault semantics are identical. A Tcp world started by
+// dfamr_mpirun (DFAMR_RANK et al. in the environment) runs ONE local rank
+// per process and meshes with its sibling processes; otherwise all ranks
+// live in this process, each with its own loopback endpoint.
 #pragma once
 
 #include <condition_variable>
@@ -30,6 +41,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/wire.hpp"
 
 namespace dfamr::mpi {
 
@@ -38,6 +50,29 @@ inline constexpr int kAnyTag = -1;
 inline constexpr int kUndefined = -2;
 /// Returned by wait_any_for when the deadline expires before any completion.
 inline constexpr int kTimeout = -3;
+
+/// Tags at or above this value are reserved for mpisim internals (the wire
+/// collective protocol). Public isend/irecv reject them, and a kAnyTag
+/// wildcard never matches them.
+inline constexpr int kReservedTagBase = 1 << 29;
+
+enum class TransportKind { Inproc, Tcp };
+
+/// Transport configuration for a World. Defaults reproduce the historical
+/// in-process behavior exactly.
+struct WorldOptions {
+    TransportKind transport = TransportKind::Inproc;
+    /// Payloads >= this many bytes use the rendezvous handshake on the TCP
+    /// transport (no effect in-process).
+    std::size_t rendezvous_threshold = 64 * 1024;
+    /// When set, DFAMR_RANK & friends in the environment are ignored and the
+    /// world always runs every rank in this process (loopback endpoints for
+    /// Tcp). Used e.g. by the chaos reference twin under dfamr_mpirun.
+    bool ignore_launch_env = false;
+    /// Progress-thread time accounting hook: called by a rank's endpoint
+    /// reader thread after each batch of protocol work.
+    std::function<void(int rank, std::int64_t t0_ns, std::int64_t t1_ns)> progress_trace;
+};
 
 enum class Op { Sum, Max, Min };
 
@@ -134,6 +169,7 @@ public:
     int size() const { return size_; }
 
     // --- point-to-point ------------------------------------------------
+    /// `tag` must be in [0, kReservedTagBase).
     Request isend(const void* buf, std::size_t bytes, int dest, int tag);
     Request irecv(void* buf, std::size_t bytes, int source, int tag);
     void send(const void* buf, std::size_t bytes, int dest, int tag);
@@ -158,9 +194,22 @@ private:
     Communicator(detail::WorldState* world, int rank, int size)
         : world_(world), rank_(rank), size_(size) {}
 
-    // Type-erased collective entry: the last arriving rank runs `combine`.
-    void collective(const void* in, void* out,
+    // Internal p2p entry points: `allow_fault` is false for protocol
+    // traffic (wire collectives), which must never be chaos-injected —
+    // matching the in-process collectives, which don't touch the injector.
+    Request isend_impl(const void* buf, std::size_t bytes, int dest, int tag, bool allow_fault);
+    Request irecv_impl(void* buf, std::size_t bytes, int source, int tag);
+
+    // Type-erased collective entry. In-process, the last arriving rank runs
+    // `combine` on a shared context; over the wire, rank 0 gathers every
+    // rank's contribution (`in_bytes` of input, `out_bytes` of expected
+    // result), runs the SAME combine on a materialized context, and scatters
+    // the results — so the arithmetic (and its fold order) is bit-identical
+    // across transports.
+    void collective(const void* in, std::size_t in_bytes, void* out, std::size_t out_bytes,
                     const std::function<void(detail::CollectiveCtx&)>& combine);
+    void collective_wire(const void* in, std::size_t in_bytes, void* out, std::size_t out_bytes,
+                         const std::function<void(detail::CollectiveCtx&)>& combine);
 
     detail::WorldState* world_ = nullptr;
     int rank_ = 0;
@@ -176,6 +225,10 @@ public:
     /// delayed messages; without one the data path is byte-identical to the
     /// original eager implementation.
     explicit World(int nranks, FaultInjector* faults = nullptr);
+    /// Transport-aware constructor. With TransportKind::Tcp the endpoints
+    /// mesh during construction (distributed worlds block here until every
+    /// sibling process has checked in with the launcher).
+    World(int nranks, const WorldOptions& options, FaultInjector* faults = nullptr);
     ~World();
 
     World(const World&) = delete;
@@ -191,8 +244,19 @@ public:
     void run(const std::function<void(Communicator&)>& rank_main);
 
     /// Total messages delivered so far (for tests and conservation checks).
+    /// In a distributed world these count this process's rank only.
     std::uint64_t messages_delivered() const;
     std::uint64_t bytes_delivered() const;
+
+    /// True when this process hosts a single rank of a multi-process world
+    /// (started by dfamr_mpirun). run() then executes rank_main once, for
+    /// local_rank(), and comm() is only valid for that rank.
+    bool distributed() const;
+    /// The rank hosted by this process (0 when not distributed).
+    int local_rank() const;
+    /// Aggregated wire counters of this process's endpoints (all zero for
+    /// the in-process transport).
+    net::NetCounters net_counters() const;
 
 private:
     std::unique_ptr<detail::WorldState> state_;
@@ -224,7 +288,8 @@ std::span<void* const> ctx_outputs(const CollectiveCtx& ctx);
 
 template <typename T>
 void Communicator::allreduce(const T* in, T* out, std::size_t count, Op op) {
-    collective(in, out, [count, op, this](detail::CollectiveCtx& ctx) {
+    collective(in, count * sizeof(T), out, count * sizeof(T),
+               [count, op, this](detail::CollectiveCtx& ctx) {
         auto inputs = detail::ctx_inputs(ctx);
         auto outputs = detail::ctx_outputs(ctx);
         std::vector<T> acc(static_cast<const T*>(inputs[0]), static_cast<const T*>(inputs[0]) + count);
@@ -235,7 +300,8 @@ void Communicator::allreduce(const T* in, T* out, std::size_t count, Op op) {
 
 template <typename T>
 void Communicator::reduce(const T* in, T* out, std::size_t count, Op op, int root) {
-    collective(in, out, [count, op, root, this](detail::CollectiveCtx& ctx) {
+    collective(in, count * sizeof(T), out, rank_ == root ? count * sizeof(T) : 0,
+               [count, op, root, this](detail::CollectiveCtx& ctx) {
         auto inputs = detail::ctx_inputs(ctx);
         auto outputs = detail::ctx_outputs(ctx);
         std::vector<T> acc(static_cast<const T*>(inputs[0]), static_cast<const T*>(inputs[0]) + count);

@@ -1,0 +1,180 @@
+// One rank's TCP transport endpoint: a full-duplex connection to every peer,
+// a writer thread draining an ordered frame queue, and a reader (progress)
+// thread that reassembles incoming frames and feeds them to a Sink — the
+// hook mpisim implements with its matching/mailbox machinery.
+//
+// Transfer policy: payloads below the rendezvous threshold travel eagerly in
+// one frame. At or above it, the sender posts a header-only Rts and keeps
+// the payload; the receiver's progress thread grants a Cts, and the payload
+// follows in a Data frame. Because later frames of the same (source, tag)
+// stream can overtake the Data on the wire, the receiver parks them behind
+// the pending rendezvous and releases them in order once the Data lands —
+// MPI non-overtaking order holds across both transfer modes.
+//
+// Threading: send_eager/send_rendezvous may be called from any thread. The
+// reader thread never blocks on a partially received frame (non-blocking
+// sockets, per-connection reassembly state), so every endpoint always
+// drains its peers; that is what makes the writer threads' blocking sends
+// deadlock-free even when two ranks exchange large payloads simultaneously.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace dfamr::net {
+
+/// A frame's backing storage: header (kHeaderBytes) followed by payload.
+/// Shared so the mailbox can keep a view of the payload without copying.
+using FrameBuf = std::shared_ptr<std::vector<std::byte>>;
+
+/// Allocates a frame with room for `payload_bytes` and copies the payload
+/// in after the (still unwritten) header. This is the single payload copy
+/// of the eager send path.
+FrameBuf make_frame(const void* payload, std::size_t payload_bytes);
+
+/// Where received messages go. Implemented by mpisim (delivery into the
+/// destination mailbox) and by tests (capture).
+class Sink {
+public:
+    virtual ~Sink() = default;
+    /// A complete user message arrived (eager payload or rendezvous data).
+    /// `storage` owns the bytes `payload` points into.
+    virtual void deliver(int src, int tag, FrameBuf storage,
+                         std::span<const std::byte> payload) = 0;
+    /// The connection to `peer` ended: `clean` when a Bye frame preceded
+    /// EOF, false when the peer vanished (crash / kill).
+    virtual void peer_gone(int peer, bool clean) = 0;
+};
+
+/// Called by the reader thread around each batch of protocol work, so
+/// progress-thread time shows up in the execution traces
+/// (amr::PhaseKind::NetProgress); null disables the accounting.
+using ProgressTrace = std::function<void(std::int64_t t0_ns, std::int64_t t1_ns)>;
+
+class Endpoint {
+public:
+    /// Creates the endpoint and binds its data listener (ephemeral port).
+    /// `sink` must outlive the endpoint.
+    Endpoint(int rank, int nranks, std::size_t rendezvous_threshold, Sink* sink,
+             ProgressTrace trace = nullptr);
+    ~Endpoint();
+
+    Endpoint(const Endpoint&) = delete;
+    Endpoint& operator=(const Endpoint&) = delete;
+
+    int rank() const { return rank_; }
+    std::uint16_t listen_port() const { return listen_port_; }
+    std::size_t rendezvous_threshold() const { return rndz_threshold_; }
+
+    /// Establishes the peer mesh from the rank -> address table (this rank
+    /// dials every lower rank, accepts from every higher one) and starts the
+    /// reader and writer threads. Must be called exactly once.
+    void connect_mesh(const std::vector<HostPort>& table);
+
+    /// Queues `frame` (payload already in place) for eager transfer. The
+    /// payload is considered delivered to the transport on return.
+    void send_eager(int dest, int tag, FrameBuf frame);
+
+    /// Starts a rendezvous transfer: posts the Rts now, sends the payload
+    /// when the peer grants it. `on_sent` fires (from the writer thread)
+    /// once the Data frame is handed to the kernel; it may be null.
+    void send_rendezvous(int dest, int tag, FrameBuf frame, std::function<void()> on_sent);
+
+    /// Snapshot of the wire counters.
+    NetCounters counters() const;
+
+private:
+    struct QueuedWrite {
+        int dest = 0;
+        FrameBuf frame;
+        std::function<void()> on_written;
+    };
+
+    /// Receiver-side per-(source, tag) hold-back entry: either a message
+    /// ready to deliver, or the placeholder of a granted rendezvous whose
+    /// Data frame is still in flight (placeholder = true).
+    struct HeldFrame {
+        bool placeholder = false;
+        std::uint32_t seq = 0;
+        FrameBuf storage;
+        std::span<const std::byte> payload;
+    };
+
+    struct Connection {
+        int peer = -1;
+        Socket sock;
+        // Cleared by the reader on EOF / by the writer on send failure; the
+        // socket itself stays open until destruction so the fd can't be
+        // reused under the other thread.
+        std::atomic<bool> open{false};
+        bool saw_bye = false;  // reader-thread only
+        // Reader reassembly state.
+        std::array<std::byte, kHeaderBytes> header_buf;
+        std::size_t header_got = 0;
+        bool have_header = false;
+        FrameHeader header;
+        FrameBuf payload;
+        std::size_t payload_got = 0;
+        // Non-overtaking hold-back, keyed by tag (source is the peer).
+        std::map<int, std::deque<HeldFrame>> held;
+    };
+
+    void reader_loop();
+    void writer_loop();
+    /// Reads whatever is available on `conn` without blocking; dispatches
+    /// every completed frame. Returns false when the connection ended.
+    bool drain_connection(Connection& conn);
+    void handle_frame(Connection& conn, FrameHeader h, FrameBuf payload);
+    void deliver_or_hold(Connection& conn, int tag, FrameBuf storage,
+                         std::span<const std::byte> payload);
+    void enqueue(int dest, FrameBuf frame, std::function<void()> on_written = nullptr);
+    /// Completes and forgets rendezvous transfers headed at a dead peer.
+    void drop_pending_for(int peer);
+    void wake_reader();
+    FrameBuf header_only_frame(FrameKind kind, int tag, std::uint32_t seq, std::uint64_t aux);
+
+    const int rank_;
+    const int nranks_;
+    const std::size_t rndz_threshold_;
+    Sink* const sink_;
+    const ProgressTrace trace_;
+
+    Socket listener_;
+    std::uint16_t listen_port_ = 0;
+    std::vector<std::unique_ptr<Connection>> conns_;  // by peer rank (self slot unused)
+    int wake_pipe_[2] = {-1, -1};
+
+    std::mutex write_m_;
+    std::condition_variable write_cv_;
+    std::deque<QueuedWrite> write_q_;
+    bool writer_shutdown_ = false;
+
+    // Sender-side rendezvous transfers awaiting their Cts.
+    std::mutex rndz_m_;
+    std::condition_variable rndz_cv_;
+    std::uint32_t next_seq_ = 1;
+    std::map<std::pair<int, std::uint32_t>, QueuedWrite> pending_rndz_;
+
+    std::thread reader_;
+    std::thread writer_;
+    std::atomic<bool> reader_stop_{false};
+    bool mesh_started_ = false;
+
+    mutable std::mutex counters_m_;
+    NetCounters counters_;
+};
+
+}  // namespace dfamr::net

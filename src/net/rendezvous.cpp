@@ -1,0 +1,133 @@
+#include "net/rendezvous.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dfamr::net {
+
+namespace {
+
+constexpr std::uint32_t kRdvMagic = 0x44465244;  // "DFRD"
+
+// Registration: rank -> server.
+struct RegisterMsg {
+    std::uint32_t magic = kRdvMagic;
+    std::int32_t rank = 0;
+    std::uint32_t port = 0;
+};
+
+// Table entry: server -> rank, one per rank in rank order. The host is the
+// address the server observed the registration from, so the table works for
+// any future multi-host launcher without changing the ranks.
+struct TableEntry {
+    std::uint32_t ipv4_be = 0;  // network byte order, as in sockaddr_in
+    std::uint32_t port = 0;
+};
+
+template <typename T>
+std::span<std::byte> as_bytes_mut(T& v) {
+    return {reinterpret_cast<std::byte*>(&v), sizeof v};
+}
+
+template <typename T>
+std::span<const std::byte> as_bytes(const T& v) {
+    return {reinterpret_cast<const std::byte*>(&v), sizeof v};
+}
+
+std::string ip_to_string(std::uint32_t ipv4_be) {
+    in_addr a{};
+    a.s_addr = ipv4_be;
+    char buf[INET_ADDRSTRLEN] = {};
+    DFAMR_REQUIRE(inet_ntop(AF_INET, &a, buf, sizeof buf) != nullptr,
+                  "net: inet_ntop failed");
+    return buf;
+}
+
+std::optional<long> env_long(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    char* end = nullptr;
+    const long x = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0') return std::nullopt;
+    return x;
+}
+
+}  // namespace
+
+std::optional<LaunchEnv> LaunchEnv::detect() {
+    const auto rank = env_long("DFAMR_RANK");
+    const auto nranks = env_long("DFAMR_NRANKS");
+    const auto port = env_long("DFAMR_RDV_PORT");
+    const char* host = std::getenv("DFAMR_RDV_HOST");
+    if (!rank || !nranks || !port || host == nullptr || *host == '\0') return std::nullopt;
+    if (*rank < 0 || *nranks < 1 || *rank >= *nranks || *port < 1 || *port > 65535) {
+        return std::nullopt;
+    }
+    LaunchEnv env;
+    env.rank = static_cast<int>(*rank);
+    env.nranks = static_cast<int>(*nranks);
+    env.rdv_host = host;
+    env.rdv_port = static_cast<std::uint16_t>(*port);
+    return env;
+}
+
+std::vector<HostPort> exchange_addresses(const LaunchEnv& env, std::uint16_t my_port) {
+    Socket s = dial(HostPort{env.rdv_host, env.rdv_port}, /*attempts=*/250);
+    RegisterMsg reg;
+    reg.rank = env.rank;
+    reg.port = my_port;
+    write_all(s, as_bytes(reg));
+    std::vector<HostPort> table(static_cast<std::size_t>(env.nranks));
+    for (auto& hp : table) {
+        TableEntry e;
+        DFAMR_REQUIRE(read_exactly(s, as_bytes_mut(e)),
+                      "net: rendezvous server closed before sending the table");
+        hp.host = ip_to_string(e.ipv4_be);
+        hp.port = static_cast<std::uint16_t>(e.port);
+    }
+    return table;
+}
+
+std::vector<HostPort> run_exchange_server(const Socket& listener, int nranks) {
+    std::vector<Socket> socks;
+    std::vector<int> sock_rank;
+    std::vector<TableEntry> table(static_cast<std::size_t>(nranks));
+    std::vector<bool> seen(static_cast<std::size_t>(nranks), false);
+    for (int i = 0; i < nranks; ++i) {
+        Socket s = accept_one(listener);
+        RegisterMsg reg;
+        DFAMR_REQUIRE(read_exactly(s, as_bytes_mut(reg)), "net: EOF before registration");
+        DFAMR_REQUIRE(reg.magic == kRdvMagic, "net: bad registration magic");
+        DFAMR_REQUIRE(reg.rank >= 0 && reg.rank < nranks, "net: registration from bad rank");
+        DFAMR_REQUIRE(!seen[static_cast<std::size_t>(reg.rank)],
+                      "net: duplicate registration from rank " + std::to_string(reg.rank));
+        seen[static_cast<std::size_t>(reg.rank)] = true;
+        sockaddr_in peer{};
+        socklen_t len = sizeof peer;
+        DFAMR_REQUIRE(getpeername(s.fd(), reinterpret_cast<sockaddr*>(&peer), &len) == 0,
+                      "net: getpeername failed");
+        auto& e = table[static_cast<std::size_t>(reg.rank)];
+        e.ipv4_be = peer.sin_addr.s_addr;
+        e.port = reg.port;
+        socks.push_back(std::move(s));
+        sock_rank.push_back(reg.rank);
+    }
+    for (const auto& s : socks) {
+        for (const auto& e : table) write_all(s, as_bytes(e));
+    }
+    std::vector<HostPort> result(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        result[static_cast<std::size_t>(r)].host = ip_to_string(table[static_cast<std::size_t>(r)].ipv4_be);
+        result[static_cast<std::size_t>(r)].port =
+            static_cast<std::uint16_t>(table[static_cast<std::size_t>(r)].port);
+    }
+    return result;
+}
+
+}  // namespace dfamr::net

@@ -1,0 +1,46 @@
+// Launcher <-> rank rendezvous: dfamr_mpirun runs a tiny TCP exchange
+// server; each rank process dials it, registers its own data-listener port,
+// and receives the complete rank -> host:port table once every rank has
+// checked in. All messages are fixed-size little-endian structs.
+//
+// The environment variables below are the launcher/rank contract:
+//   DFAMR_RANK            this process's rank            (required)
+//   DFAMR_NRANKS          world size                     (required)
+//   DFAMR_RDV_HOST        exchange server host           (required)
+//   DFAMR_RDV_PORT        exchange server port           (required)
+//   DFAMR_TRANSPORT       "tcp" | "inproc"               (optional)
+//   DFAMR_RNDZ_THRESHOLD  rendezvous threshold, bytes    (optional)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace dfamr::net {
+
+/// Parsed launcher environment; absent when this process was not started by
+/// dfamr_mpirun.
+struct LaunchEnv {
+    int rank = 0;
+    int nranks = 1;
+    std::string rdv_host;
+    std::uint16_t rdv_port = 0;
+
+    /// Reads DFAMR_RANK & friends; returns nullopt unless all four required
+    /// variables are present and well-formed.
+    static std::optional<LaunchEnv> detect();
+};
+
+/// Rank side: dials the exchange server, registers `my_port`, and blocks
+/// until the full address table (indexed by rank) comes back.
+std::vector<HostPort> exchange_addresses(const LaunchEnv& env, std::uint16_t my_port);
+
+/// Launcher side: accepts one registration per rank on `listener`, then
+/// broadcasts the completed table to every rank. Returns the table.
+/// Registrations may arrive in any order; duplicate ranks are an error.
+std::vector<HostPort> run_exchange_server(const Socket& listener, int nranks);
+
+}  // namespace dfamr::net

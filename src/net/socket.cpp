@@ -1,0 +1,129 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dfamr::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    DFAMR_REQUIRE(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "net: invalid IPv4 address '" + host + "'");
+    return addr;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw Error("net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::set_nonblocking(bool on) {
+    const int flags = fcntl(fd_, F_GETFL, 0);
+    DFAMR_REQUIRE(flags >= 0, "net: fcntl(F_GETFL) failed");
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    DFAMR_REQUIRE(fcntl(fd_, F_SETFL, want) == 0, "net: fcntl(F_SETFL) failed");
+}
+
+void Socket::set_nodelay(bool on) {
+    const int v = on ? 1 : 0;
+    DFAMR_REQUIRE(setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof v) == 0,
+                  "net: setsockopt(TCP_NODELAY) failed");
+}
+
+std::pair<Socket, std::uint16_t> listen_on(const std::string& host, std::uint16_t port,
+                                           int backlog) {
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) throw_errno("socket");
+    const int one = 1;
+    setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        throw_errno("bind " + host + ":" + std::to_string(port));
+    }
+    if (::listen(s.fd(), backlog) != 0) throw_errno("listen");
+    socklen_t len = sizeof addr;
+    DFAMR_REQUIRE(getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                  "net: getsockname failed");
+    return {std::move(s), ntohs(addr.sin_port)};
+}
+
+Socket dial(const HostPort& addr, int attempts, std::uint64_t* retries_out) {
+    const sockaddr_in sa = make_addr(addr.host, addr.port);
+    for (int attempt = 1;; ++attempt) {
+        Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!s.valid()) throw_errno("socket");
+        if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0) {
+            return s;
+        }
+        if (attempt >= attempts) {
+            throw_errno("connect " + addr.host + ":" + std::to_string(addr.port));
+        }
+        if (retries_out != nullptr) ++*retries_out;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20 * attempt));
+    }
+}
+
+Socket accept_one(const Socket& listener) {
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) return Socket(fd);
+        if (errno == EINTR) continue;
+        throw_errno("accept");
+    }
+}
+
+bool read_exactly(const Socket& s, std::span<std::byte> buf) {
+    std::size_t got = 0;
+    while (got < buf.size()) {
+        const ssize_t n = ::recv(s.fd(), buf.data() + got, buf.size() - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got == 0) return false;  // clean EOF between frames
+            throw Error("net: connection closed mid-frame");
+        }
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+    }
+    return true;
+}
+
+void write_all(const Socket& s, std::span<const std::byte> buf) {
+    std::size_t sent = 0;
+    while (sent < buf.size()) {
+        const ssize_t n = ::send(s.fd(), buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        throw_errno("send");
+    }
+}
+
+}  // namespace dfamr::net

@@ -1,0 +1,69 @@
+// Thin RAII layer over BSD TCP sockets (IPv4, localhost-oriented): listen,
+// dial with bounded retry, and exact-size blocking reads/writes. Everything
+// above this file speaks frames; everything below is the kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace dfamr::net {
+
+/// Owning socket fd. Move-only.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+    Socket& operator=(Socket&& o) noexcept {
+        if (this != &o) {
+            close();
+            fd_ = std::exchange(o.fd_, -1);
+        }
+        return *this;
+    }
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    void set_nonblocking(bool on);
+    void set_nodelay(bool on);
+
+private:
+    int fd_ = -1;
+};
+
+struct HostPort {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+};
+
+/// Binds and listens on `host` (port 0 = ephemeral); returns the socket and
+/// the actual bound port.
+std::pair<Socket, std::uint16_t> listen_on(const std::string& host, std::uint16_t port,
+                                           int backlog);
+
+/// Connects to host:port, retrying `attempts` times with a short backoff
+/// (listeners may still be coming up during rendezvous). `retries_out`, when
+/// non-null, is incremented once per extra attempt actually needed.
+Socket dial(const HostPort& addr, int attempts, std::uint64_t* retries_out = nullptr);
+
+/// Blocking accept; throws on error.
+Socket accept_one(const Socket& listener);
+
+/// Reads exactly `buf.size()` bytes (blocking socket). Returns false on
+/// clean EOF at a frame boundary (zero bytes read); throws on mid-read EOF
+/// or error.
+bool read_exactly(const Socket& s, std::span<std::byte> buf);
+
+/// Writes all bytes (blocking socket, SIGPIPE suppressed); throws on error.
+void write_all(const Socket& s, std::span<const std::byte> buf);
+
+}  // namespace dfamr::net

@@ -1,0 +1,77 @@
+// Wire format of the TCP transport: length-prefixed frames over one
+// full-duplex connection per peer pair.
+//
+// Every frame starts with a fixed 40-byte little-endian header. Small
+// payloads travel eagerly inside a single Eager frame; payloads at or above
+// the rendezvous threshold use a three-way handshake — the sender announces
+// the transfer with a header-only Rts (request-to-send) frame, the
+// receiver's progress thread answers with Cts (clear-to-send), and only then
+// does the payload move in a Data frame. The receiver preserves MPI
+// non-overtaking order per (source, tag) stream by holding frames that
+// arrive between an Rts and its Data (see endpoint.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace dfamr::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x4446'4E31;  // "DFN1"
+
+enum class FrameKind : std::uint32_t {
+    Hello = 0,  // first frame on a dialed connection; src = dialer's rank
+    Eager = 1,  // payload carried inline
+    Rts = 2,    // rendezvous announce; aux = payload bytes to follow
+    Cts = 3,    // rendezvous grant; seq echoes the Rts
+    Data = 4,   // rendezvous payload; seq matches the granted Rts
+    Bye = 5,    // orderly shutdown; EOF without Bye means the peer died
+};
+
+struct FrameHeader {
+    std::uint32_t magic = kWireMagic;
+    FrameKind kind = FrameKind::Eager;
+    std::int32_t src = 0;
+    std::int32_t tag = 0;
+    std::uint32_t seq = 0;          // rendezvous sequence (Rts/Cts/Data)
+    std::uint32_t reserved = 0;
+    std::uint64_t payload_bytes = 0;  // bytes following this header
+    std::uint64_t aux = 0;            // Rts: announced Data payload size
+};
+
+inline constexpr std::size_t kHeaderBytes = sizeof(FrameHeader);
+static_assert(kHeaderBytes == 40, "wire header layout changed");
+
+inline void encode_header(const FrameHeader& h, std::byte* out) {
+    std::memcpy(out, &h, kHeaderBytes);
+}
+
+inline FrameHeader decode_header(std::span<const std::byte> in) {
+    FrameHeader h;
+    std::memcpy(&h, in.data(), kHeaderBytes);
+    return h;
+}
+
+/// Wire-level counters surfaced through core::RunResult and
+/// BENCH_scaling.json. bytes_* count everything on the wire (headers
+/// included); frames_* count frames of every kind.
+struct NetCounters {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t rendezvous = 0;  // Rts handshakes initiated by this side
+    std::uint64_t reconnects = 0;  // extra dial attempts during mesh setup
+
+    NetCounters& operator+=(const NetCounters& o) {
+        bytes_sent += o.bytes_sent;
+        bytes_received += o.bytes_received;
+        frames_sent += o.frames_sent;
+        frames_received += o.frames_received;
+        rendezvous += o.rendezvous;
+        reconnects += o.reconnects;
+        return *this;
+    }
+};
+
+}  // namespace dfamr::net

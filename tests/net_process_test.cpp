@@ -1,0 +1,80 @@
+// Cross-process golden tests: launch real rank processes with dfamr_mpirun
+// over the TCP transport and require bit-identical checksums to the
+// in-process run, for every variant, plus launcher exit-code propagation.
+//
+// The binary paths come in as compile definitions (DFAMR_MPIRUN_BIN,
+// DFAMR_SINGLE_SPHERE_BIN) so the test works from any CWD.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dfamr {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// Runs a shell command, returns its exit status (-1 on system() failure).
+int run(const std::string& cmd) {
+    const int rc = std::system(cmd.c_str());
+    if (rc == -1) return -1;
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : 128 + WTERMSIG(rc);
+}
+
+// Small but real problem: 2 timesteps of the single-sphere input.
+const char* kProblem = "--num_tsteps 2 --checksum_freq 2 > /dev/null 2>&1";
+
+class MpirunGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpirunGolden, TcpChecksumsBitIdenticalToInproc) {
+    const std::string variant = GetParam();
+    const std::string dir = ::testing::TempDir();
+    const std::string ref = dir + "/ref_" + variant + ".txt";
+    const std::string tcp = dir + "/tcp_" + variant + ".txt";
+    ASSERT_EQ(run(std::string(DFAMR_SINGLE_SPHERE_BIN) + " --variant " + variant +
+                  " --checksum_out " + ref + " " + kProblem),
+              0);
+    ASSERT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 " + DFAMR_SINGLE_SPHERE_BIN +
+                  " --transport tcp --variant " + variant + " --checksum_out " + tcp + " " +
+                  kProblem),
+              0);
+    const std::string a = read_file(ref), b = read_file(tcp);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "checksums diverged between in-process and multi-process TCP";
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MpirunGolden,
+                         ::testing::Values("mpi", "forkjoin", "tampi"));
+
+TEST(Mpirun, ChaosOverTcpMatchesFaultFreeTwin) {
+    // single_sphere runs its own in-process fault-free twin and exits
+    // non-zero if the chaos checksums diverge; rendezvous forced low so the
+    // faults hit both eager and rendezvous traffic.
+    EXPECT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 " + DFAMR_SINGLE_SPHERE_BIN +
+                  " --transport tcp --rendezvous_threshold 4096 --fault_seed 7"
+                  " --fault_drop_prob 0.02 --fault_delay_prob 0.05 " +
+                  kProblem),
+              0);
+}
+
+TEST(Mpirun, PropagatesRankExitCode) {
+    EXPECT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 sh -c 'exit 3' > /dev/null 2>&1"), 3);
+}
+
+TEST(Mpirun, FailsCleanlyOnUnlaunchableCommand) {
+    EXPECT_NE(run(std::string(DFAMR_MPIRUN_BIN) +
+                  " -n 2 ./definitely-not-a-binary > /dev/null 2>&1"),
+              0);
+}
+
+}  // namespace
+}  // namespace dfamr
