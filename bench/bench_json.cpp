@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "amr/trace.hpp"
 #include "bench_common.hpp"
+#include "core/metrics.hpp"
 #include "core/variants.hpp"
 #include "sched_bench.hpp"
 
@@ -75,8 +77,53 @@ NetMeasurement measure_net() {
     return m;
 }
 
+/// Traced vs untraced wall time of the same small real run, plus the
+/// unified metrics snapshot of the traced one. Tracks both the tracing
+/// overhead contract (record() must stay cheap enough to leave on) and the
+/// observability numbers the CI trace-smoke job diffs.
+struct TraceMeasurement {
+    double untraced_s = 0;
+    double traced_s = 0;
+    double overhead_frac = 0;
+    core::MetricsSnapshot snapshot;
+};
+
+TraceMeasurement measure_trace() {
+    amr::Config cfg = amr::single_sphere_input();
+    cfg.npx = 2;
+    cfg.npy = cfg.npz = 1;
+    cfg.init_x = 1;
+    cfg.init_y = cfg.init_z = 2;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 8;
+    cfg.num_tsteps = 5;
+    cfg.stages_per_ts = 6;
+    cfg.num_refine = 2;
+    cfg.workers = 2;
+    cfg.objects[0].move = {0.8 / cfg.num_tsteps, 0.8 / cfg.num_tsteps, 0.8 / cfg.num_tsteps};
+
+    core::RunOptions opts;
+    opts.ignore_launch_env = true;
+
+    // Warm-up run (thread pools, allocator), then the timed pair.
+    core::run_variant(cfg, Variant::TampiOss, nullptr, nullptr, opts);
+    const core::RunResult plain = core::run_variant(cfg, Variant::TampiOss, nullptr, nullptr, opts);
+    amr::Tracer tracer;
+    tracer.enable(true);
+    const core::RunResult traced = core::run_variant(cfg, Variant::TampiOss, &tracer, nullptr, opts);
+
+    TraceMeasurement t;
+    t.untraced_s = plain.times.total;
+    t.traced_s = traced.times.total;
+    t.overhead_frac =
+        plain.times.total > 0 ? (traced.times.total - plain.times.total) / plain.times.total : 0;
+    t.snapshot = core::make_metrics_snapshot(tracer, traced);
+    return t;
+}
+
 void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
-                const SchedMeasurement& sched, const NetMeasurement& netm) {
+                const SchedMeasurement& sched, const NetMeasurement& netm,
+                const TraceMeasurement& tracem) {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
@@ -135,6 +182,14 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
     std::fprintf(f, "    \"total_s\": %.6f,\n", netm.total_s);
     std::fprintf(f, "    \"checksums_match_inproc\": %s\n",
                  netm.checksums_match_inproc ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    // Tracing overhead + the unified metrics snapshot of the traced run
+    // (same dfamr_metrics_v1 structure single_sphere --trace_out writes).
+    std::fprintf(f, "  \"trace\": {\n");
+    std::fprintf(f, "    \"untraced_s\": %.6f,\n", tracem.untraced_s);
+    std::fprintf(f, "    \"traced_s\": %.6f,\n", tracem.traced_s);
+    std::fprintf(f, "    \"overhead_frac\": %.4f,\n", tracem.overhead_frac);
+    std::fprintf(f, "    \"metrics\": %s", core::metrics_to_json(tracem.snapshot).c_str());
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -211,7 +266,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(netm.counters.rendezvous),
                 netm.checksums_match_inproc ? "match inproc" : "DIVERGED");
 
-    write_json(out, rows, max_nodes, sched, netm);
+    std::printf("running tracing overhead measurement...\n");
+    const TraceMeasurement tracem = measure_trace();
+    std::printf("trace: %.3f ms untraced vs %.3f ms traced (overhead %.1f%%), "
+                "%llu events on %d cores\n",
+                tracem.untraced_s * 1e3, tracem.traced_s * 1e3, tracem.overhead_frac * 100,
+                static_cast<unsigned long long>(tracem.snapshot.trace.events),
+                tracem.snapshot.trace.cores);
+
+    write_json(out, rows, max_nodes, sched, netm, tracem);
     std::printf("wrote %s (%zu points)\n", out, rows.size());
     return 0;
 }

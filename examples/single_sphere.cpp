@@ -25,6 +25,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/metrics.hpp"
 #include "core/variants.hpp"
 #include "resilience/fault_plan.hpp"
 
@@ -50,6 +51,11 @@ int main(int argc, char** argv) {
     core::RunOptions::register_cli(cli);
     cli.add_option("--variant", "variant to run: mpi | forkjoin | tampi", "tampi");
     cli.add_option("--trace_csv", "write a per-core trace CSV to this path", "");
+    cli.add_option("--trace_out",
+                   "write <base>.perfetto.json (Chrome-trace timeline, loadable in "
+                   "ui.perfetto.dev) and <base>.metrics.json (unified metrics snapshot "
+                   "for trace_diff) using this base path",
+                   "");
     cli.add_option("--checksum_out",
                    "write the stage checksums (hex doubles, one per line) to this path", "");
 
@@ -79,7 +85,8 @@ int main(int argc, char** argv) {
         const core::RunOptions opts = core::RunOptions::from_cli(cli);
         amr::Tracer tracer;
         const std::string trace_path = cli.get_string("--trace_csv");
-        tracer.enable(!trace_path.empty());
+        const std::string trace_out = cli.get_string("--trace_out");
+        tracer.enable(!trace_path.empty() || !trace_out.empty());
 
         // Under dfamr_mpirun every rank process runs this main; only rank 0
         // talks to the terminal (every process computes the same reduced
@@ -166,11 +173,24 @@ int main(int argc, char** argv) {
         table.print(std::cout);
 
         if (tracer.enabled()) {
-            std::ofstream out(trace_path);
-            out << tracer.to_csv();
+            if (!trace_path.empty()) {
+                std::ofstream out(trace_path);
+                out << tracer.to_csv();
+            }
+            if (!trace_out.empty()) {
+                std::ofstream perfetto(trace_out + ".perfetto.json");
+                perfetto << tracer.to_chrome_json();
+                const core::MetricsSnapshot snap = core::make_metrics_snapshot(tracer, r);
+                std::ofstream metrics(trace_out + ".metrics.json");
+                metrics << core::metrics_to_json(snap);
+            }
             const amr::TraceAnalysis a = tracer.analyze();
-            std::printf("trace: %d cores, utilization %.1f%%, phase overlap %.3f ms -> %s\n",
-                        a.cores, a.utilization * 100, a.overlap_ns * 1e-6, trace_path.c_str());
+            std::printf(
+                "trace: %d cores (+%d progress), utilization %.1f%%, phase overlap %.3f ms, "
+                "largest idle gap %.3f ms -> %s\n",
+                a.cores, a.progress_lanes, a.utilization * 100, a.overlap_ns * 1e-6,
+                a.largest_idle_gap_ns * 1e-6,
+                (!trace_out.empty() ? trace_out + ".{perfetto,metrics}.json" : trace_path).c_str());
         }
         return r.validation_ok && chaos_ok ? 0 : 1;
     } catch (const std::exception& e) {

@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "common/error.hpp"
+
 namespace dfamr::amr {
 
 std::string to_string(PhaseKind k) {
@@ -33,24 +35,116 @@ bool is_refine_phase(PhaseKind k) {
            k == PhaseKind::RefineExchange || k == PhaseKind::LoadBalance;
 }
 
-void Tracer::record(int rank, int worker, std::int64_t t0_ns, std::int64_t t1_ns, PhaseKind kind) {
-    if (!enabled_) return;
+namespace {
+std::uint64_t next_tracer_uid() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Tracer::Tracer() : uid_(next_tracer_uid()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadLog* Tracer::attach_thread_log() {
+    const std::thread::id me = std::this_thread::get_id();
     std::lock_guard lock(mutex_);
-    events_.push_back(TraceEvent{rank, worker, t0_ns, t1_ns, kind});
+    // A thread that lost its fast-path cache (another tracer used in
+    // between, or an epoch bump) re-adopts its existing log. Matching by
+    // thread id is safe: a recycled id implies the old owner is dead, so
+    // single-writer appending is preserved.
+    for (const auto& log : logs_) {
+        if (log->owner == me) return log.get();
+    }
+    logs_.push_back(std::make_unique<ThreadLog>());
+    logs_.back()->owner = me;
+    return logs_.back().get();
+}
+
+Tracer::Chunk* Tracer::grow(ThreadLog& log) {
+    auto chunk = std::make_unique<Chunk>();
+    Chunk* raw = chunk.get();
+    std::lock_guard lock(mutex_);  // readers walk the chunk list
+    log.chunks.push_back(std::move(chunk));
+    log.tail = raw;
+    return raw;
+}
+
+void Tracer::record(int rank, int worker, std::int64_t t0_ns, std::int64_t t1_ns,
+                    PhaseKind kind) {
+    if (!enabled()) return;
+    // Per-thread fast path: one equality check against (uid, epoch), then a
+    // plain array store — no shared state touched while the cache holds.
+    struct Cache {
+        std::uint64_t uid = 0;
+        std::uint64_t epoch = 0;
+        ThreadLog* log = nullptr;
+    };
+    thread_local Cache cache;
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (cache.uid != uid_ || cache.epoch != epoch) {
+        cache = Cache{uid_, epoch, attach_thread_log()};
+    }
+    ThreadLog* log = cache.log;
+    Chunk* chunk = log->tail;
+    std::uint32_t n =
+        chunk != nullptr ? chunk->count.load(std::memory_order_relaxed) : kChunkEvents;
+    if (n == kChunkEvents) {
+        chunk = grow(*log);
+        n = 0;
+    }
+    chunk->events[n] = TraceEvent{rank, worker, t0_ns, t1_ns, kind};
+    // Release-publish so a concurrent snapshot sees a fully written event.
+    chunk->count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::record_counter(int rank, std::int64_t t_ns, const char* name, double value) {
+    if (!enabled()) return;
+    std::lock_guard lock(mutex_);
+    counters_.push_back(CounterSample{rank, t_ns, name, value});
+}
+
+std::vector<TraceEvent> Tracer::snapshot_events() const {
+    std::vector<TraceEvent> events;
+    std::lock_guard lock(mutex_);
+    for (const auto& log : logs_) {
+        for (const auto& chunk : log->chunks) {
+            const std::uint32_t n = chunk->count.load(std::memory_order_acquire);
+            events.insert(events.end(), chunk->events.begin(), chunk->events.begin() + n);
+        }
+    }
+    return events;
 }
 
 std::vector<TraceEvent> Tracer::sorted_events() const {
-    std::vector<TraceEvent> events;
-    {
-        std::lock_guard lock(mutex_);
-        events = events_;
-    }
+    std::vector<TraceEvent> events = snapshot_events();
+    // Total order even when a (rank, worker) lane emits two events with the
+    // same start time (e.g. back-to-back zero-length control events):
+    // without the (t1, kind) tie-break, a non-stable sort makes CSV/golden
+    // output nondeterministic.
     std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
         if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
         if (a.rank != b.rank) return a.rank < b.rank;
-        return a.worker < b.worker;
+        if (a.worker != b.worker) return a.worker < b.worker;
+        if (a.t1_ns != b.t1_ns) return a.t1_ns < b.t1_ns;
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
     });
     return events;
+}
+
+std::vector<CounterSample> Tracer::sorted_counters() const {
+    std::vector<CounterSample> counters;
+    {
+        std::lock_guard lock(mutex_);
+        counters = counters_;
+    }
+    std::sort(counters.begin(), counters.end(),
+              [](const CounterSample& a, const CounterSample& b) {
+                  if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+                  if (a.rank != b.rank) return a.rank < b.rank;
+                  return std::string_view(a.name) < std::string_view(b.name);
+              });
+    return counters;
 }
 
 TraceAnalysis Tracer::analyze() const {
@@ -58,30 +152,44 @@ TraceAnalysis Tracer::analyze() const {
     const std::vector<TraceEvent> events = sorted_events();
     if (events.empty()) return result;
 
-    std::int64_t t_min = events.front().t0_ns, t_max = 0;
+    std::int64_t t_min = events.front().t0_ns, t_max = INT64_MIN;
     std::set<std::pair<int, int>> cores;
+    std::set<std::pair<int, int>> progress_lanes;
     std::int64_t refine_min = INT64_MAX, refine_max = INT64_MIN;
     for (const TraceEvent& e : events) {
         t_min = std::min(t_min, e.t0_ns);
         t_max = std::max(t_max, e.t1_ns);
-        result.busy_ns_by_kind[e.kind] += e.t1_ns - e.t0_ns;
-        result.busy_ns += e.t1_ns - e.t0_ns;
-        cores.emplace(e.rank, e.worker);
+        const std::int64_t dur = e.t1_ns - e.t0_ns;
+        result.busy_ns_by_kind[e.kind] += dur;
+        if (e.worker == kProgressWorker) {
+            result.progress_ns += dur;
+            progress_lanes.emplace(e.rank, e.worker);
+        } else {
+            result.busy_ns += dur;
+            cores.emplace(e.rank, e.worker);
+        }
         if (is_refine_phase(e.kind)) {
             refine_min = std::min(refine_min, e.t0_ns);
             refine_max = std::max(refine_max, e.t1_ns);
         }
     }
+    result.events = events.size();
     result.span_ns = t_max - t_min;
     result.cores = static_cast<int>(cores.size());
+    result.progress_lanes = static_cast<int>(progress_lanes.size());
     if (result.span_ns > 0 && result.cores > 0) {
         result.utilization = static_cast<double>(result.busy_ns) /
                              (static_cast<double>(result.span_ns) * result.cores);
     }
     result.refine_span_ns = refine_max >= refine_min ? refine_max - refine_min : 0;
 
-    // Sweep line: count active events per kind to find (a) intervals where at
-    // least two *distinct* kinds execute concurrently and (b) all-idle gaps.
+    // Sweep line over the compute lanes: count active events per kind to
+    // find (a) intervals where at least two *distinct* kinds execute
+    // concurrently and (b) all-idle gaps. Zero-duration events are excluded
+    // from the sweep state entirely: they occupy no time, so they must not
+    // perturb the counters (the old implementation sorted an event's close
+    // edge before its own open edge at equal timestamps, driving per-kind
+    // counts to -1 and splitting idle gaps around instantaneous markers).
     struct Edge {
         std::int64_t t;
         int delta;  // +1 open, -1 close
@@ -90,35 +198,44 @@ TraceAnalysis Tracer::analyze() const {
     std::vector<Edge> edges;
     edges.reserve(events.size() * 2);
     for (const TraceEvent& e : events) {
+        if (e.worker == kProgressWorker) continue;  // not a compute core
+        if (e.t1_ns <= e.t0_ns) continue;           // zero-duration marker
         edges.push_back(Edge{e.t0_ns, +1, e.kind});
         edges.push_back(Edge{e.t1_ns, -1, e.kind});
     }
+    if (edges.empty()) return result;
     std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
         if (a.t != b.t) return a.t < b.t;
-        return a.delta < b.delta;  // close before open at equal times
+        return a.delta > b.delta;  // opens before closes: counts never dip below 0
     });
     std::map<PhaseKind, int> active;
     int distinct = 0;
     int total_active = 0;
     std::int64_t prev_t = edges.front().t;
+    std::int64_t idle_since = INT64_MIN;  // start of the current all-idle window
     for (const Edge& edge : edges) {
         const std::int64_t dt = edge.t - prev_t;
         if (dt > 0) {
             if (distinct >= 2) result.overlap_ns += dt;
-            if (total_active == 0) {
-                result.largest_idle_gap_ns = std::max(result.largest_idle_gap_ns, dt);
-            }
             prev_t = edge.t;
         }
         int& count = active[edge.kind];
         if (edge.delta > 0) {
+            if (total_active == 0 && idle_since != INT64_MIN) {
+                // An idle window ends only when work actually starts, so an
+                // instantaneous timestamp inside the gap cannot split it.
+                result.largest_idle_gap_ns =
+                    std::max(result.largest_idle_gap_ns, edge.t - idle_since);
+            }
             if (count == 0) ++distinct;
             ++count;
             ++total_active;
         } else {
             --count;
             --total_active;
+            DFAMR_ASSERT(count >= 0 && total_active >= 0);
             if (count == 0) --distinct;
+            if (total_active == 0) idle_since = edge.t;
         }
     }
     return result;
@@ -134,9 +251,93 @@ std::string Tracer::to_csv() const {
     return os.str();
 }
 
+std::string Tracer::to_chrome_json() const {
+    const std::vector<TraceEvent> events = sorted_events();
+    const std::vector<CounterSample> counters = sorted_counters();
+
+    // Shift timestamps so the trace starts near zero (Perfetto renders
+    // steady-clock epochs poorly) and express them in microseconds, the
+    // unit of the Chrome trace-event format.
+    std::int64_t base = INT64_MAX;
+    for (const TraceEvent& e : events) base = std::min(base, e.t0_ns);
+    for (const CounterSample& c : counters) base = std::min(base, c.t_ns);
+    if (base == INT64_MAX) base = 0;
+    const auto us = [base](std::int64_t t_ns) {
+        return static_cast<double>(t_ns - base) * 1e-3;
+    };
+    // Progress lanes render as the last track of their process.
+    constexpr int kProgressTid = 1000000;
+    const auto tid_of = [](int worker) { return worker == kProgressWorker ? kProgressTid : worker; };
+
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first) os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata: one process per rank, one named thread per (rank, worker).
+    std::set<int> ranks;
+    std::set<std::pair<int, int>> lanes;
+    for (const TraceEvent& e : events) {
+        ranks.insert(e.rank);
+        lanes.emplace(e.rank, e.worker);
+    }
+    for (const CounterSample& c : counters) ranks.insert(c.rank);
+    for (int rank : ranks) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << rank
+           << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << rank
+           << ",\"args\":{\"sort_index\":" << rank << "}}";
+    }
+    for (const auto& [rank, worker] : lanes) {
+        const bool progress = worker == kProgressWorker;
+        sep();
+        // Lane 0 is the rank's main thread by project convention; runtime
+        // worker w records under lane w + 1 (see DriverBase::worker_index).
+        const std::string lane_name = progress  ? std::string("net progress")
+                                      : worker == 0 ? std::string("main")
+                                                    : "worker " + std::to_string(worker - 1);
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << rank
+           << ",\"tid\":" << tid_of(worker) << ",\"args\":{\"name\":\"" << lane_name << "\"}}";
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" << rank
+           << ",\"tid\":" << tid_of(worker) << ",\"args\":{\"sort_index\":" << tid_of(worker)
+           << "}}";
+    }
+
+    // Complete ("X") events: one per recorded interval, phase kind as both
+    // the slice name and its category (Perfetto can filter/color by cat).
+    for (const TraceEvent& e : events) {
+        const std::string kind = to_string(e.kind);
+        sep();
+        os << "{\"ph\":\"X\",\"name\":\"" << kind << "\",\"cat\":\"" << kind
+           << "\",\"pid\":" << e.rank << ",\"tid\":" << tid_of(e.worker) << ",\"ts\":" << us(e.t0_ns)
+           << ",\"dur\":" << us(e.t1_ns) - us(e.t0_ns) << "}";
+    }
+
+    // Counter ("C") events: scheduler telemetry interleaved per rank.
+    for (const CounterSample& c : counters) {
+        sep();
+        os << "{\"ph\":\"C\",\"name\":\"" << c.name << "\",\"cat\":\"scheduler\",\"pid\":" << c.rank
+           << ",\"ts\":" << us(c.t_ns) << ",\"args\":{\"value\":" << c.value << "}}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
 void Tracer::clear() {
     std::lock_guard lock(mutex_);
-    events_.clear();
+    logs_.clear();
+    counters_.clear();
+    // Invalidate every thread's fast-path cache: their ThreadLog is gone.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace dfamr::amr

@@ -1,13 +1,25 @@
 // Execution tracing — the Extrae/Paraver substitute used to regenerate the
-// paper's Figures 1-3 quantitatively: per-core timelines of typed intervals,
-// dumped as CSV, plus an analysis pass computing per-phase totals, phase
-// overlap, and idle gaps.
+// paper's Figures 1-3 quantitatively: per-core timelines of typed intervals
+// plus interleaved counter samples, exported as CSV or Chrome-trace/Perfetto
+// JSON, with an analysis pass computing per-phase totals, phase overlap, and
+// idle gaps.
+//
+// Recording is designed to be cheap enough to leave on: record() appends to
+// a per-thread chunked log and takes NO shared lock on the hot path (the
+// only synchronized operations are first-touch registration of a thread and
+// allocation of a fresh chunk, both O(events / 4096)). Merging happens at
+// export/analysis time. clear() and destruction must not race record() —
+// quiesce recorders first (all call sites read the trace after the run).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dfamr::amr {
@@ -36,45 +48,103 @@ std::string to_string(PhaseKind k);
 /// True for intervals belonging to the refinement/load-balancing phase.
 bool is_refine_phase(PhaseKind k);
 
+/// Worker id for transport progress threads: a dedicated lane per rank,
+/// shown in timelines but excluded from the utilization denominator (the
+/// progress thread is not a compute core; counting it understates how busy
+/// the actual workers are).
+inline constexpr int kProgressWorker = -1;
+
 struct TraceEvent {
     int rank = 0;
-    int worker = 0;  // core within the rank (0 for MPI-only)
+    int worker = 0;  // core within the rank (0 = main thread; kProgressWorker)
     std::int64_t t0_ns = 0;
     std::int64_t t1_ns = 0;
     PhaseKind kind = PhaseKind::Control;
 };
 
+/// A sampled counter value (scheduler telemetry at phase boundaries),
+/// interleaved with the intervals in the Chrome-trace export. `name` must
+/// point at storage outliving the tracer (string literals in practice).
+struct CounterSample {
+    int rank = 0;
+    std::int64_t t_ns = 0;
+    const char* name = "";
+    double value = 0;
+};
+
 /// Aggregated view of a trace (the numbers the paper reads off Paraver).
 struct TraceAnalysis {
-    std::int64_t span_ns = 0;  // last end - first start
-    std::map<PhaseKind, std::int64_t> busy_ns_by_kind;
-    std::int64_t busy_ns = 0;               // total across cores
-    double utilization = 0;                 // busy / (span * cores)
-    std::int64_t overlap_ns = 0;            // time where >= 2 distinct kinds run
-    std::int64_t largest_idle_gap_ns = 0;   // longest all-cores-idle interval
-    std::int64_t refine_span_ns = 0;        // time covered by refinement-kind events
-    int cores = 0;
+    std::int64_t span_ns = 0;  // last end - first start, all lanes
+    std::map<PhaseKind, std::int64_t> busy_ns_by_kind;  // all lanes
+    std::int64_t busy_ns = 0;      // total across compute cores
+    std::int64_t progress_ns = 0;  // total across progress lanes
+    double utilization = 0;        // busy / (span * cores), compute cores only
+    std::int64_t overlap_ns = 0;   // time where >= 2 distinct kinds run (compute)
+    std::int64_t largest_idle_gap_ns = 0;  // longest all-compute-cores-idle interval
+    std::int64_t refine_span_ns = 0;       // time covered by refinement-kind events
+    int cores = 0;           // distinct (rank, worker) compute lanes
+    int progress_lanes = 0;  // distinct (rank, kProgressWorker) lanes
+    std::uint64_t events = 0;  // recorded intervals, all lanes
 };
 
 /// Thread-safe event sink. Disabled by default (record() is a no-op) so the
 /// scaling benches pay nothing; enable for the trace experiments.
 class Tracer {
 public:
-    void enable(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_; }
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
 
+    void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Hot path: appends to the calling thread's chunk list, no shared lock.
     void record(int rank, int worker, std::int64_t t0_ns, std::int64_t t1_ns, PhaseKind kind);
+    /// Cold path (phase boundaries): records one counter sample.
+    void record_counter(int rank, std::int64_t t_ns, const char* name, double value);
 
+    /// Merged events in deterministic order: (t0, rank, worker, t1, kind).
     std::vector<TraceEvent> sorted_events() const;
+    /// Counter samples ordered by (t, rank, name).
+    std::vector<CounterSample> sorted_counters() const;
     TraceAnalysis analyze() const;
     /// CSV: rank,worker,start_ns,end_ns,kind
     std::string to_csv() const;
+    /// Chrome-trace / Perfetto JSON: one track per (rank, worker) with phase
+    /// kinds as categories, counter samples as counter tracks. Loadable in
+    /// chrome://tracing and ui.perfetto.dev.
+    std::string to_chrome_json() const;
     void clear();
 
 private:
-    bool enabled_ = false;
+    static constexpr std::size_t kChunkEvents = 4096;
+    struct Chunk {
+        std::atomic<std::uint32_t> count{0};
+        std::array<TraceEvent, kChunkEvents> events;
+    };
+    /// One appender's log. `tail` is touched only by the owning thread; the
+    /// chunk list structure is guarded by mutex_ (readers + chunk growth).
+    struct ThreadLog {
+        std::thread::id owner;
+        std::vector<std::unique_ptr<Chunk>> chunks;
+        Chunk* tail = nullptr;
+    };
+
+    ThreadLog* attach_thread_log();
+    Chunk* grow(ThreadLog& log);
+    std::vector<TraceEvent> snapshot_events() const;
+
+    std::atomic<bool> enabled_{false};
+    /// Process-unique id for the thread-local fast-path cache (never reused,
+    /// so a cache entry can't accidentally match a new Tracer at the same
+    /// address). epoch_ invalidates caches on clear().
+    const std::uint64_t uid_;
+    std::atomic<std::uint64_t> epoch_{1};
+
     mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_;
+    std::vector<CounterSample> counters_;
 };
 
 }  // namespace dfamr::amr

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
@@ -32,26 +31,14 @@ DriverBase::DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* trace
     rebuild_comm_plan();
 }
 
-int DriverBase::worker_index() {
-    thread_local const DriverBase* cached_driver = nullptr;
-    thread_local int cached_index = 0;
-    if (cached_driver == this) return cached_index;
-    const std::uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
-    std::lock_guard lock(worker_ids_mutex_);
-    int idx = -1;
-    for (const auto& [id, known] : worker_ids_) {
-        if (id == tid) {
-            idx = known;
-            break;
-        }
-    }
-    if (idx < 0) {
-        idx = static_cast<int>(worker_ids_.size());
-        worker_ids_.emplace_back(tid, idx);
-    }
-    cached_driver = this;
-    cached_index = idx;
-    return idx;
+void DriverBase::sample_sched_counters() {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    const SchedulerCounters c = scheduler_counters();
+    const std::int64_t t = now_ns();
+    tracer_->record_counter(rank_, t, "tasks_executed", static_cast<double>(c.tasks_executed));
+    tracer_->record_counter(rank_, t, "steals", static_cast<double>(c.steals));
+    tracer_->record_counter(rank_, t, "parks", static_cast<double>(c.parks));
+    tracer_->record_counter(rank_, t, "wakeups", static_cast<double>(c.wakeups));
 }
 
 void DriverBase::rebuild_comm_plan() {
@@ -107,6 +94,7 @@ void DriverBase::main_loop() {
         if (cfg_.checkpoint_every > 0 && ts % cfg_.checkpoint_every == 0) {
             write_state(ts);
         }
+        sample_sched_counters();
     }
 }
 
@@ -170,6 +158,7 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
     // to the compute stages, everything from here to the end of the phase
     // (split/merge copies, exchange pack/unpack) is refinement work.
     const SchedulerCounters sched_at_entry = scheduler_counters();
+    sample_sched_counters();
     Stopwatch sw;
     sw.start();
 
@@ -237,6 +226,7 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
     reset_checksum_reference();
     sw.stop();
     result_.sched_refine += scheduler_counters() - sched_at_entry;
+    sample_sched_counters();
     result_.times.refine += sw.elapsed_s();
 }
 

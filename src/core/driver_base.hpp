@@ -102,8 +102,13 @@ protected:
     void trace(int worker, std::int64_t t0, std::int64_t t1, PhaseKind kind) {
         if (tracer_ != nullptr) tracer_->record(rank_, worker, t0, t1, kind);
     }
-    /// Small helper mapping the calling thread to a stable worker index.
-    int worker_index();
+    /// Lane of the calling thread in per-core timelines: 0 for the rank's
+    /// main thread; variants with a tasking runtime override this so tasks
+    /// record under the worker that EXECUTED them, not the spawner.
+    virtual int worker_index() { return 0; }
+    /// Records scheduler-telemetry counter samples on the tracer's counter
+    /// track (no-op when tracing is off or the variant has no runtime).
+    void sample_sched_counters();
 
     Config cfg_;
     mpi::Communicator& comm_;
@@ -134,9 +139,6 @@ private:
     void write_state(int ts_completed);
     /// Replaces the freshly initialized state with the checkpointed one.
     void restore_state();
-
-    std::mutex worker_ids_mutex_;
-    std::vector<std::pair<std::uint64_t, int>> worker_ids_;
 };
 
 }  // namespace dfamr::core

@@ -180,6 +180,12 @@ SchedulerCounters ForkJoinDriver::scheduler_counters() const {
     return to_scheduler_counters(rt_.stats());
 }
 
+int ForkJoinDriver::worker_index() {
+    // Lane 0 is the master thread; runtime worker w maps to lane w + 1.
+    const int w = rt_.worker_index_of_calling_thread();
+    return w >= 0 ? w + 1 : 0;
+}
+
 void ForkJoinDriver::do_splits(const std::vector<BlockKey>& parents) {
     // The map surgery stays on the master; the 8 data copies per split are
     // workshared (this is the refinement parallelization the paper added to

@@ -30,6 +30,7 @@ protected:
     void do_merges(const std::vector<BlockKey>& parents) override;
     void transfer_block_data(const std::vector<BlockMove>& sends,
                              const std::vector<BlockMove>& recvs) override;
+    int worker_index() override;
 
 private:
     void exchange_direction(int dir, int gb, int ge);

@@ -1,0 +1,35 @@
+// Unified observability snapshot: the trace analysis, scheduler telemetry
+// and wire counters of one run joined into a single JSON blob. This is the
+// machine-readable artifact the CI trace-smoke job and trace_diff consume
+// (schema "dfamr_metrics_v1"); bench_json embeds the same structure under
+// its "trace" key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "amr/trace.hpp"
+#include "core/result.hpp"
+
+namespace dfamr::core {
+
+struct MetricsSnapshot {
+    amr::TraceAnalysis trace;
+    SchedulerCounters sched;         // whole run, summed over ranks
+    SchedulerCounters sched_refine;  // slice attributed to refinement phases
+    net::NetCounters net;            // wire counters (zero for inproc)
+    std::uint64_t messages = 0;      // delivered by the MPI layer
+    std::uint64_t bytes = 0;
+    double total_s = 0;
+    double refine_s = 0;
+    std::int64_t final_blocks = 0;
+    bool validation_ok = true;
+};
+
+/// Joins the tracer's analysis with the run's reduced result.
+MetricsSnapshot make_metrics_snapshot(const amr::Tracer& tracer, const RunResult& result);
+
+/// The snapshot as a self-describing JSON object (schema dfamr_metrics_v1).
+std::string metrics_to_json(const MetricsSnapshot& m);
+
+}  // namespace dfamr::core

@@ -116,11 +116,13 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
     wopts.rendezvous_threshold = opts.rendezvous_threshold;
     wopts.ignore_launch_env = opts.ignore_launch_env;
     if (tracer != nullptr) {
-        // The progress thread gets the worker slot one past the compute
-        // workers, so it shows as its own lane in per-core timelines.
-        wopts.progress_trace = [tracer, workers = cfg.workers](int rank, std::int64_t t0,
-                                                              std::int64_t t1) {
-            tracer->record(rank, workers, t0, t1, amr::PhaseKind::NetProgress);
+        // The progress thread records under the dedicated progress lane: it
+        // shows in per-core timelines but is excluded from the utilization
+        // denominator (it is not a compute core, and cfg.workers would
+        // collide with a real worker lane after the lane-0 = main-thread
+        // shift).
+        wopts.progress_trace = [tracer](int rank, std::int64_t t0, std::int64_t t1) {
+            tracer->record(rank, amr::kProgressWorker, t0, t1, amr::PhaseKind::NetProgress);
         };
     }
     mpi::World world(cfg.num_ranks(), wopts, faults);

@@ -238,6 +238,13 @@ SchedulerCounters TampiOssDriver::scheduler_counters() const {
     return to_scheduler_counters(rt_.stats());
 }
 
+int TampiOssDriver::worker_index() {
+    // Lane 0 is the main thread; runtime worker w maps to lane w + 1, so
+    // tasks record under the worker that executed them, not the spawner.
+    const int w = rt_.worker_index_of_calling_thread();
+    return w >= 0 ? w + 1 : 0;
+}
+
 void TampiOssDriver::final_sync() {
     rt_.taskwait();
     result_.stencil_flops = flops_.load();

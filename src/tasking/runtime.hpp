@@ -145,6 +145,15 @@ public:
     static Task* current_task();
 
     int worker_count() const { return static_cast<int>(workers_.size()); }
+
+    /// Index of the calling thread within THIS runtime's worker pool, or -1
+    /// when the caller is not one of its workers (the owning thread, an
+    /// external event source, or another runtime's worker). Used to
+    /// attribute traced work to the lane that actually executed it.
+    int worker_index_of_calling_thread() const {
+        return tls_worker_ != nullptr && tls_worker_->owner == this ? tls_worker_->index : -1;
+    }
+
     RuntimeStats stats() const;
 
     /// Attaches a verification observer (see tasking/verify_hook.hpp) that

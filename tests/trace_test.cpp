@@ -2,9 +2,11 @@
 // by the Figure 1-3 bench).
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "amr/trace.hpp"
+#include "common/json.hpp"
 
 namespace dfamr::amr {
 namespace {
@@ -98,10 +100,221 @@ TEST(Trace, ThreadSafeRecording) {
 
 TEST(Trace, PhaseKindNamesAreUnique) {
     std::set<std::string> names;
-    for (int k = 0; k <= static_cast<int>(PhaseKind::Control); ++k) {
+    for (int k = 0; k <= static_cast<int>(PhaseKind::NetProgress); ++k) {
         names.insert(to_string(static_cast<PhaseKind>(k)));
     }
-    EXPECT_EQ(names.size(), static_cast<std::size_t>(PhaseKind::Control) + 1);
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(PhaseKind::NetProgress) + 1);
+}
+
+TEST(Trace, EmptyTraceAnalyzesToZeros) {
+    Tracer t;
+    t.enable(true);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.span_ns, 0);
+    EXPECT_EQ(a.busy_ns, 0);
+    EXPECT_EQ(a.cores, 0);
+    EXPECT_EQ(a.progress_lanes, 0);
+    EXPECT_EQ(a.events, 0u);
+    EXPECT_DOUBLE_EQ(a.utilization, 0.0);
+    EXPECT_EQ(a.overlap_ns, 0);
+    EXPECT_EQ(a.largest_idle_gap_ns, 0);
+}
+
+TEST(Trace, SingleEvent) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 100, 250, PhaseKind::Stencil);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.span_ns, 150);
+    EXPECT_EQ(a.busy_ns, 150);
+    EXPECT_EQ(a.cores, 1);
+    EXPECT_EQ(a.events, 1u);
+    EXPECT_DOUBLE_EQ(a.utilization, 1.0);
+    EXPECT_EQ(a.overlap_ns, 0);
+    EXPECT_EQ(a.largest_idle_gap_ns, 0);
+}
+
+TEST(Trace, ExactlyAbuttingEventsLeaveNoGap) {
+    Tracer t;
+    t.enable(true);
+    // [0,100) closes at the same instant [100,200) opens: the close edge
+    // must not be processed before the open edge (that would fabricate a
+    // zero-width idle transition), and no gap or overlap may appear.
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, 1, 100, 200, PhaseKind::Unpack);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.largest_idle_gap_ns, 0);
+    EXPECT_EQ(a.overlap_ns, 0);
+    EXPECT_EQ(a.busy_ns, 200);
+}
+
+// Regression test for the sweep corruption: a zero-duration event landing
+// inside an idle window used to split the largest idle gap (its open/close
+// edges toggled the active count mid-gap), under-reporting the gap — here
+// 6ns instead of the true 9ns. Zero-length markers must not perturb the
+// sweep state at all.
+TEST(Trace, ZeroDurationEventDoesNotSplitIdleGap) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 17, 20, PhaseKind::Stencil);
+    t.record(0, 1, 11, 11, PhaseKind::Pack);  // instantaneous marker, idle window
+    t.record(0, 2, 6, 8, PhaseKind::Pack);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.largest_idle_gap_ns, 9);  // [8, 17), not split at t=11
+    EXPECT_EQ(a.busy_ns, 5);              // zero-length adds no busy time
+    EXPECT_EQ(a.events, 3u);              // but is still a recorded event
+}
+
+TEST(Trace, ZeroDurationEventDoesNotAffectOverlap) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    // Zero-length event of a DIFFERENT kind inside the stencil interval:
+    // must not contribute overlap (there is no duration to overlap).
+    t.record(0, 1, 50, 50, PhaseKind::Unpack);
+    EXPECT_EQ(t.analyze().overlap_ns, 0);
+    // A real overlapping interval still counts.
+    t.record(0, 2, 40, 60, PhaseKind::Pack);
+    EXPECT_EQ(t.analyze().overlap_ns, 20);
+}
+
+TEST(Trace, ProgressLaneExcludedFromUtilization) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 100, PhaseKind::Stencil);
+    t.record(0, kProgressWorker, 0, 80, PhaseKind::NetProgress);
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.cores, 1);
+    EXPECT_EQ(a.progress_lanes, 1);
+    EXPECT_EQ(a.busy_ns, 100);      // compute only
+    EXPECT_EQ(a.progress_ns, 80);   // tracked separately
+    EXPECT_DOUBLE_EQ(a.utilization, 1.0);  // denominator excludes the lane
+    // The by-kind totals still see the progress work.
+    EXPECT_EQ(a.busy_ns_by_kind.at(PhaseKind::NetProgress), 80);
+    // Progress activity is not compute: it neither creates overlap nor
+    // closes compute-idle gaps.
+    EXPECT_EQ(a.overlap_ns, 0);
+}
+
+TEST(Trace, SortedEventsDeterministicForEqualStarts) {
+    // Two lanes record at identical times with different kinds: the
+    // comparator must yield one total order regardless of merge order.
+    std::vector<TraceEvent> first;
+    for (int trial = 0; trial < 2; ++trial) {
+        Tracer t;
+        t.enable(true);
+        if (trial == 0) {
+            t.record(0, 1, 10, 20, PhaseKind::Pack);
+            t.record(0, 0, 10, 20, PhaseKind::Stencil);
+            t.record(0, 0, 10, 15, PhaseKind::Send);
+        } else {  // same events, reversed arrival
+            t.record(0, 0, 10, 15, PhaseKind::Send);
+            t.record(0, 0, 10, 20, PhaseKind::Stencil);
+            t.record(0, 1, 10, 20, PhaseKind::Pack);
+        }
+        const auto events = t.sorted_events();
+        ASSERT_EQ(events.size(), 3u);
+        if (trial == 0) {
+            first = events;
+        } else {
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                EXPECT_EQ(events[i].worker, first[i].worker);
+                EXPECT_EQ(events[i].t1_ns, first[i].t1_ns);
+                EXPECT_EQ(events[i].kind, first[i].kind);
+            }
+        }
+    }
+}
+
+TEST(Trace, CounterSamplesSortedAndExported) {
+    Tracer t;
+    t.enable(true);
+    t.record_counter(0, 200, "steals", 4);
+    t.record_counter(0, 100, "steals", 1);
+    t.record_counter(0, 100, "parks", 2);
+    const auto counters = t.sorted_counters();
+    ASSERT_EQ(counters.size(), 3u);
+    EXPECT_EQ(counters[0].t_ns, 100);
+    EXPECT_STREQ(counters[0].name, "parks");  // (t, rank, name) order
+    EXPECT_EQ(counters[2].value, 4.0);
+    t.clear();
+    EXPECT_TRUE(t.sorted_counters().empty());
+}
+
+TEST(Trace, ChromeJsonSchemaGolden) {
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 1000, 2000, PhaseKind::Stencil);
+    t.record(0, 1, 1500, 2500, PhaseKind::Pack);
+    t.record(1, kProgressWorker, 1200, 1300, PhaseKind::NetProgress);
+    t.record_counter(0, 2000, "steals", 3);
+
+    const json::Value doc = json::parse(t.to_chrome_json());
+    EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+    const auto& events = doc.at("traceEvents").items();
+
+    int meta = 0, complete = 0, counter = 0;
+    std::set<std::string> thread_names;
+    for (const json::Value& e : events) {
+        const std::string ph = e.at("ph").as_string();
+        if (ph == "M") {
+            ++meta;
+            if (e.at("name").as_string() == "thread_name") {
+                thread_names.insert(e.at("args").at("name").as_string());
+            }
+        } else if (ph == "X") {
+            ++complete;
+            // Complete events carry ts + dur and name == category == kind.
+            EXPECT_TRUE(e.contains("ts"));
+            EXPECT_TRUE(e.contains("dur"));
+            EXPECT_EQ(e.at("name").as_string(), e.at("cat").as_string());
+        } else if (ph == "C") {
+            ++counter;
+            EXPECT_EQ(e.at("name").as_string(), "steals");
+            EXPECT_DOUBLE_EQ(e.at("args").at("value").as_double(), 3.0);
+        } else {
+            ADD_FAILURE() << "unexpected ph " << ph;
+        }
+    }
+    EXPECT_EQ(complete, 3);
+    EXPECT_EQ(counter, 1);
+    EXPECT_GE(meta, 6);  // process + thread metadata for 2 pids, 3 lanes
+    EXPECT_TRUE(thread_names.count("main") == 1);
+    EXPECT_TRUE(thread_names.count("net progress") == 1);
+}
+
+TEST(Trace, RecordAcrossClearEpochs) {
+    // clear() must invalidate the thread-local fast-path cache: events
+    // recorded after a clear land in the fresh log, not a stale chunk.
+    Tracer t;
+    t.enable(true);
+    t.record(0, 0, 0, 10, PhaseKind::Stencil);
+    t.clear();
+    t.record(0, 0, 20, 30, PhaseKind::Pack);
+    const auto events = t.sorted_events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, PhaseKind::Pack);
+}
+
+TEST(Trace, ManyEventsCrossChunkBoundaries) {
+    // More events than one 4096-entry chunk holds, from several threads:
+    // chunk growth must lose nothing and totals must be exact.
+    Tracer t;
+    t.enable(true);
+    constexpr int kThreads = 3;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&t, i] {
+            for (int j = 0; j < kPerThread; ++j) {
+                t.record(0, i, 2 * j, 2 * j + 1, PhaseKind::Stencil);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    const TraceAnalysis a = t.analyze();
+    EXPECT_EQ(a.events, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(a.busy_ns, static_cast<std::int64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

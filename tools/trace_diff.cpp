@@ -1,0 +1,154 @@
+// trace_diff — compares two metrics JSON files (dfamr_metrics_v1, as
+// written by `single_sphere --trace_out` or embedded by bench_json) and
+// flags regressions beyond tolerance. Used by the CI trace-smoke job to
+// diff each variant's traced run against a checked-in baseline.
+//
+//   trace_diff baseline.json current.json [--tol_rel R] [--tol_abs A]
+//
+// Comparison rules, applied to every leaf present in the BASELINE (keys
+// only in the current file are ignored, so baselines can pin just the
+// stable fields):
+//   * numbers whose key is structural (cores, progress_lanes) — exact
+//   * other numbers — |cur - base| <= tol_abs + tol_rel * |base|
+//   * bools / strings — exact
+//   * a key missing from the current file — always a failure
+//
+// Exit status: 0 = within tolerance, 1 = regressions found, 2 = bad usage
+// or unreadable/unparsable input.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace {
+
+using dfamr::json::Value;
+
+struct Options {
+    double tol_rel = 0.5;
+    double tol_abs = 0.05;
+};
+
+/// Keys compared exactly regardless of tolerance: lane counts are
+/// structural (a changed worker topology is a wiring bug, not noise).
+bool is_exact_key(const std::string& key) {
+    return key == "cores" || key == "progress_lanes" || key == "schema";
+}
+
+std::string read_file(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "trace_diff: cannot read %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void diff(const Value& base, const Value& cur, const std::string& path, const std::string& key,
+          const Options& opts, std::vector<std::string>& failures) {
+    char buf[512];
+    switch (base.kind()) {
+        case Value::Kind::Object:
+            for (const auto& [k, v] : base.members()) {
+                const std::string child = path.empty() ? k : path + "." + k;
+                if (!cur.is_object() || !cur.contains(k)) {
+                    failures.push_back(child + ": missing from current");
+                    continue;
+                }
+                diff(v, cur.at(k), child, k, opts, failures);
+            }
+            break;
+        case Value::Kind::Array: {
+            if (!cur.is_array() || cur.size() != base.size()) {
+                failures.push_back(path + ": array shape changed");
+                break;
+            }
+            for (std::size_t i = 0; i < base.size(); ++i) {
+                diff(base.at(i), cur.at(i), path + "[" + std::to_string(i) + "]", key, opts,
+                     failures);
+            }
+            break;
+        }
+        case Value::Kind::Number: {
+            if (!cur.is_number()) {
+                failures.push_back(path + ": type changed (expected number)");
+                break;
+            }
+            const double b = base.as_double();
+            const double c = cur.as_double();
+            const double tol = is_exact_key(key) ? 0.0 : opts.tol_abs + opts.tol_rel * std::abs(b);
+            if (std::abs(c - b) > tol) {
+                std::snprintf(buf, sizeof buf, "%s: %g -> %g (tolerance %g)", path.c_str(), b, c,
+                              tol);
+                failures.emplace_back(buf);
+            }
+            break;
+        }
+        case Value::Kind::Bool:
+            if (!cur.is_bool() || cur.as_bool() != base.as_bool()) {
+                failures.push_back(path + ": bool changed");
+            }
+            break;
+        case Value::Kind::String:
+            if (!cur.is_string() || cur.as_string() != base.as_string()) {
+                failures.push_back(path + ": string changed");
+            }
+            break;
+        case Value::Kind::Null:
+            if (!cur.is_null()) failures.push_back(path + ": type changed (expected null)");
+            break;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* base_path = nullptr;
+    const char* cur_path = nullptr;
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tol_rel" && i + 1 < argc) {
+            opts.tol_rel = std::atof(argv[++i]);
+        } else if (arg == "--tol_abs" && i + 1 < argc) {
+            opts.tol_abs = std::atof(argv[++i]);
+        } else if (base_path == nullptr) {
+            base_path = argv[i];
+        } else if (cur_path == nullptr) {
+            cur_path = argv[i];
+        } else {
+            std::fprintf(stderr, "trace_diff: unexpected argument %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (base_path == nullptr || cur_path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: trace_diff baseline.json current.json [--tol_rel R] [--tol_abs A]\n");
+        return 2;
+    }
+
+    try {
+        const Value base = dfamr::json::parse(read_file(base_path));
+        const Value cur = dfamr::json::parse(read_file(cur_path));
+        std::vector<std::string> failures;
+        diff(base, cur, "", "", opts, failures);
+        if (failures.empty()) {
+            std::printf("trace_diff: %s vs %s — within tolerance (rel %g, abs %g)\n", cur_path,
+                        base_path, opts.tol_rel, opts.tol_abs);
+            return 0;
+        }
+        std::printf("trace_diff: %zu regression(s) vs %s:\n", failures.size(), base_path);
+        for (const std::string& f : failures) std::printf("  %s\n", f.c_str());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "trace_diff: %s\n", e.what());
+        return 2;
+    }
+}
