@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hpp"
+
 namespace dfamr::amr {
 
 /// What a traced interval was doing (the "task colors" of Fig. 1/3).
@@ -142,7 +144,7 @@ private:
     const std::uint64_t uid_;
     std::atomic<std::uint64_t> epoch_{1};
 
-    mutable std::mutex mutex_;
+    mutable lockdep::Mutex mutex_{"trace.tracer"};
     std::vector<std::unique_ptr<ThreadLog>> logs_;
     std::vector<CounterSample> counters_;
 };

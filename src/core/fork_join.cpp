@@ -1,6 +1,7 @@
 #include "core/fork_join.hpp"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "common/timing.hpp"
 #include "core/sched_telemetry.hpp"
@@ -14,6 +15,14 @@ ForkJoinDriver::ForkJoinDriver(const Config& cfg, mpi::Communicator& comm, Trace
 #if defined(DFAMR_VERIFY)
     verifier_ = std::make_unique<verify::Verifier>();
     verifier_->attach(rt_);
+#else
+    // Opt-in race prover: see TampiOssDriver — DFAMR_DEPLINT=1 attaches
+    // DepLint in default builds for the multi-process golden tests.
+    if (const char* e = std::getenv("DFAMR_DEPLINT"); e != nullptr && e[0] == '1') {
+        verifier_ = std::make_unique<verify::Verifier>();
+        verifier_->deplint().set_check_on_shutdown(true);
+        verifier_->attach(rt_);
+    }
 #endif
 }
 

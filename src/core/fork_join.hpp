@@ -37,7 +37,8 @@ private:
     /// parallel-for with the implicit barrier of an OpenMP region.
     void pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
-    /// Populated in DFAMR_VERIFY builds; declared before rt_ (shutdown hook).
+    /// Populated in DFAMR_VERIFY builds or under DFAMR_DEPLINT=1; declared
+    /// before rt_ (shutdown hook).
     std::unique_ptr<verify::Verifier> verifier_;
     tasking::Runtime rt_;  // master (this thread) helps at the barrier
 };

@@ -1,5 +1,7 @@
 #include "core/tampi_oss.hpp"
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 #include "common/timing.hpp"
 #include "core/sched_telemetry.hpp"
@@ -21,6 +23,17 @@ TampiOssDriver::TampiOssDriver(const Config& cfg, mpi::Communicator& comm, Trace
 #if defined(DFAMR_VERIFY)
     verifier_ = std::make_unique<verify::Verifier>();
     verifier_->attach(rt_);
+#else
+    // Opt-in race prover for default builds: DFAMR_DEPLINT=1 attaches the
+    // verifier so multi-process golden runs (dfamr_mpirun rank processes)
+    // prove their task graphs free of unordered conflicts — a dirty proof
+    // aborts the rank and the launcher propagates the failure. Costs
+    // nothing unless the variable is set.
+    if (const char* e = std::getenv("DFAMR_DEPLINT"); e != nullptr && e[0] == '1') {
+        verifier_ = std::make_unique<verify::Verifier>();
+        verifier_->deplint().set_check_on_shutdown(true);
+        verifier_->attach(rt_);
+    }
 #endif
 }
 

@@ -54,7 +54,8 @@ private:
     tasking::Dep block_dep_in(const BlockKey& key, int gb, int ge);
     tasking::Dep block_dep_inout(const BlockKey& key, int gb, int ge);
 
-    /// DepLint + access checker, populated in DFAMR_VERIFY builds only.
+    /// DepLint + access checker, populated in DFAMR_VERIFY builds or when
+    /// DFAMR_DEPLINT=1 opts a default build in (multi-process race proofs).
     /// Declared before rt_: the runtime's shutdown fires into the hook.
     std::unique_ptr<verify::Verifier> verifier_;
     tasking::Runtime rt_;

@@ -8,8 +8,17 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "common/lockdep.hpp"
 #include "net/endpoint.hpp"
 #include "net/rendezvous.hpp"
+
+#if defined(DFAMR_VERIFY)
+#include <cstdio>
+
+#include "verify/mc/protocol.hpp"
+#endif
+
+#include "verify/access_check.hpp"  // DFAMR_WIRE_* compile away without DFAMR_VERIFY
 
 namespace dfamr::mpi {
 
@@ -24,8 +33,8 @@ inline std::int64_t steady_now_ns() {
 }
 
 struct RequestState {
-    std::mutex m;
-    std::condition_variable cv;
+    lockdep::Mutex m{"mpisim.request"};
+    std::condition_variable_any cv;
     bool done = false;
     Status status;
     WorldState* world = nullptr;
@@ -64,7 +73,7 @@ struct PostedRecv {
 };
 
 struct Mailbox {
-    std::mutex m;
+    lockdep::Mutex m{"mpisim.mailbox"};
     std::deque<PendingMsg> unexpected;
     std::deque<PostedRecv> posted;
 };
@@ -87,8 +96,8 @@ struct StreamState {
 };
 
 struct CollectiveCtx {
-    std::mutex m;
-    std::condition_variable cv;
+    lockdep::Mutex m{"mpisim.coll"};
+    std::condition_variable_any cv;
     int arrived = 0;
     std::uint64_t generation = 0;
     std::vector<const void*> ins;
@@ -110,8 +119,8 @@ struct WorldState {
     bool wire() const { return !endpoints.empty(); }
 
     // Completion "activity" broadcast used by wait_any and blocking waits.
-    std::mutex activity_m;
-    std::condition_variable activity_cv;
+    lockdep::Mutex activity_m{"mpisim.activity"};
+    std::condition_variable_any activity_cv;
     std::uint64_t activity_seq = 0;
 
     std::atomic<bool> aborted{false};
@@ -120,13 +129,22 @@ struct WorldState {
 
     // Fault injection (null = fault-free fast path, identical to before).
     FaultInjector* faults = nullptr;
-    std::mutex sched_m;
-    std::condition_variable sched_cv;
+    lockdep::Mutex sched_m{"mpisim.sched"};
+    std::condition_variable_any sched_cv;
     std::vector<DelayedMsg> sched_heap;  // min-heap by (release_ns, seq)
     std::map<std::tuple<int, int, int>, StreamState> streams;
     std::uint64_t sched_seq = 0;
     bool sched_shutdown = false;
     std::thread sched_thread;
+
+#if defined(DFAMR_VERIFY)
+    // Live wire-protocol validation (verify/mc/protocol.hpp): one checker
+    // per endpoint, attached as its WireObserver. Declared before the
+    // endpoints so the checkers outlive the reader/writer threads that
+    // report frames into them; the verdict is read in ~World after the
+    // endpoints (and their Bye exchange) are gone.
+    std::vector<std::unique_ptr<verify::mc::WireChecker>> wire_checkers;
+#endif
 
     // Transport. `endpoints` is empty for the in-process transport. On Tcp
     // it holds one endpoint per rank (loopback world) or a single endpoint
@@ -197,8 +215,15 @@ void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
             DFAMR_REQUIRE(msg.payload.size() <= it->capacity,
                           "message truncation: recv buffer too small");
             if (!msg.payload.empty()) {
+                // Wire-path write into a posted buffer: validate against the
+                // in-flight region registry before touching the bytes. This
+                // runs on an endpoint reader thread or the delivery
+                // scheduler — outside any task body, invisible to the
+                // per-thread declared-region table.
+                DFAMR_CHECK_WIRE_WRITE(it->buf, msg.payload.size());
                 std::memcpy(it->buf, msg.payload.data(), msg.payload.size());
             }
+            if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             matched_recv = it->req;
             matched_status = Status{msg.source, msg.tag, msg.payload.size()};
             mbox.posted.erase(it);
@@ -345,6 +370,7 @@ bool Request::cancel() const {
             if (it->req == state_) break;
         }
         if (it == mbox->posted.end()) return false;  // already matched/completed
+        if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
         mbox->posted.erase(it);
     }
     detail::complete_request(state_, Status{kUndefined, kUndefined, 0, /*ok=*/false});
@@ -532,7 +558,11 @@ Request Communicator::isend_impl(const void* buf, std::size_t bytes, int dest, i
         }
         if (it != mbox.posted.end()) {
             DFAMR_REQUIRE(bytes <= it->capacity, "message truncation: recv buffer too small");
-            if (bytes > 0) std::memcpy(it->buf, buf, bytes);
+            if (bytes > 0) {
+                DFAMR_CHECK_WIRE_WRITE(it->buf, bytes);
+                std::memcpy(it->buf, buf, bytes);
+            }
+            if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             matched_recv = it->req;
             matched_status = Status{rank_, tag, bytes};
             mbox.posted.erase(it);
@@ -580,6 +610,10 @@ Request Communicator::irecv_impl(void* buf, std::size_t bytes, int source, int t
             mbox.unexpected.erase(it);
             delivered = true;
         } else {
+            // The buffer is now an in-flight wire landing zone: register it
+            // so delivery-path writes (which run on transport threads, not
+            // under this task's declared regions) are bounds-checked.
+            DFAMR_WIRE_REGISTER(buf, bytes, "mpisim.irecv");
             mbox.posted.push_back(detail::PostedRecv{source, tag, buf, bytes, req});
         }
     }
@@ -775,9 +809,18 @@ World::World(int nranks, const WorldOptions& options, FaultInjector* faults)
             state_->endpoints[static_cast<std::size_t>(rank)] = std::make_unique<net::Endpoint>(
                 rank, nranks, options.rendezvous_threshold,
                 state_->sinks[static_cast<std::size_t>(rank)].get(), std::move(trace));
+#if defined(DFAMR_VERIFY)
+            state_->wire_checkers[static_cast<std::size_t>(rank)] =
+                std::make_unique<verify::mc::WireChecker>(rank);
+            state_->endpoints[static_cast<std::size_t>(rank)]->set_wire_observer(
+                state_->wire_checkers[static_cast<std::size_t>(rank)].get());
+#endif
         };
         state_->endpoints.resize(static_cast<std::size_t>(nranks));
         state_->sinks.resize(static_cast<std::size_t>(nranks));
+#if defined(DFAMR_VERIFY)
+        state_->wire_checkers.resize(static_cast<std::size_t>(nranks));
+#endif
         if (env.has_value()) {
             // Distributed world: one rank in this process; the launcher's
             // exchange server brokers the address table.
@@ -832,6 +875,33 @@ World::~World() {
         state_->sched_cv.notify_all();
         state_->sched_thread.join();
     }
+#if defined(DFAMR_VERIFY)
+    // Tear the transport down now (joins the reader/writer threads and
+    // completes the Bye exchange), then read the wire-protocol verdict.
+    state_->endpoints.clear();
+    const bool clean_world = state_->lost_peer.load(std::memory_order_relaxed) < 0 &&
+                             !state_->aborted.load(std::memory_order_relaxed);
+    bool dirty = false;
+    for (const auto& chk : state_->wire_checkers) {
+        if (!chk) continue;
+        for (const std::string& v : chk->violations()) {
+            std::fprintf(stderr, "mpisim wire-protocol violation: %s\n", v.c_str());
+            dirty = true;
+        }
+        if (clean_world) {
+            // A killed peer legitimately strands its in-flight rendezvous
+            // transfers; a clean world must not.
+            for (const std::string& p : chk->pending()) {
+                std::fprintf(stderr, "mpisim wire-protocol leak: %s\n", p.c_str());
+                dirty = true;
+            }
+        }
+    }
+    if (dirty) {
+        std::fprintf(stderr, "mpisim: wire-protocol verification failed — aborting\n");
+        std::abort();
+    }
+#endif
 }
 
 int World::size() const { return state_->nranks; }

@@ -115,6 +115,7 @@ void Endpoint::connect_mesh(const std::vector<HostPort>& table) {
         std::array<std::byte, kHeaderBytes> buf;
         encode_header(hello, buf.data());
         write_all(s, buf);
+        if (observer_ != nullptr) observer_->on_frame_sent(peer, hello);
         auto& c = *conns_[static_cast<std::size_t>(peer)];
         c.peer = peer;
         c.sock = std::move(s);
@@ -129,6 +130,7 @@ void Endpoint::connect_mesh(const std::vector<HostPort>& table) {
         DFAMR_REQUIRE(hello.magic == kWireMagic && hello.kind == FrameKind::Hello,
                       "net: bad Hello frame");
         DFAMR_REQUIRE(hello.src > rank_ && hello.src < nranks_, "net: Hello from bad rank");
+        if (observer_ != nullptr) observer_->on_frame_received(hello.src, hello);
         auto& c = *conns_[static_cast<std::size_t>(hello.src)];
         DFAMR_REQUIRE(!c.open.load(), "net: duplicate Hello from rank " + std::to_string(hello.src));
         c.peer = hello.src;
@@ -251,6 +253,15 @@ void Endpoint::writer_loop() {
         auto& conn = *conns_[static_cast<std::size_t>(w.dest)];
         bool ok = false;
         if (conn.open.load(std::memory_order_acquire)) {
+            // Observe BEFORE the bytes hit the socket: once write_frame returns,
+            // the peer may already have read the frame and responded, and the
+            // reader thread could deliver that response to the observer first —
+            // a post-write hook would then see e.g. Cts arrive before its Rts
+            // was recorded as sent.
+            if (observer_ != nullptr) {
+                observer_->on_frame_sent(
+                    w.dest, decode_header({w.frame->data(), kHeaderBytes}));
+            }
             ok = write_frame(conn.sock, *w.frame);
             if (!ok) {
                 conn.open.store(false, std::memory_order_release);
@@ -362,6 +373,7 @@ bool Endpoint::drain_connection(Connection& conn) {
         conn.have_header = false;
         conn.payload = nullptr;
         conn.payload_got = 0;
+        if (observer_ != nullptr) observer_->on_frame_received(conn.peer, h);
         handle_frame(conn, h, std::move(payload));
     }
 }

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 
@@ -64,6 +65,22 @@ public:
 /// (amr::PhaseKind::NetProgress); null disables the accounting.
 using ProgressTrace = std::function<void(std::int64_t t0_ns, std::int64_t t1_ns)>;
 
+/// Observer of every frame this endpoint puts on or takes off the wire —
+/// the hook the protocol-table verifier (verify/mc/protocol.hpp) attaches
+/// under DFAMR_VERIFY to validate live traffic against the Rts/Cts state
+/// machine. on_frame_sent fires from the writer thread after the frame is
+/// handed to the kernel (and once per Hello during connect_mesh);
+/// on_frame_received fires from the reader thread on every reassembled
+/// frame, before protocol handling. Implementations must be thread-safe.
+/// Null disables the accounting: one pointer check per frame (the same
+/// zero-cost pattern as tasking::VerifyHook).
+class WireObserver {
+public:
+    virtual ~WireObserver() = default;
+    virtual void on_frame_sent(int dest, const FrameHeader& h) = 0;
+    virtual void on_frame_received(int src, const FrameHeader& h) = 0;
+};
+
 class Endpoint {
 public:
     /// Creates the endpoint and binds its data listener (ephemeral port).
@@ -95,6 +112,10 @@ public:
 
     /// Snapshot of the wire counters.
     NetCounters counters() const;
+
+    /// Attaches a wire observer (nullptr detaches). Must be called before
+    /// connect_mesh; the observer must outlive the endpoint.
+    void set_wire_observer(WireObserver* obs) { observer_ = obs; }
 
 private:
     struct QueuedWrite {
@@ -157,14 +178,14 @@ private:
     std::vector<std::unique_ptr<Connection>> conns_;  // by peer rank (self slot unused)
     int wake_pipe_[2] = {-1, -1};
 
-    std::mutex write_m_;
-    std::condition_variable write_cv_;
+    lockdep::Mutex write_m_{"net.write"};
+    std::condition_variable_any write_cv_;
     std::deque<QueuedWrite> write_q_;
     bool writer_shutdown_ = false;
 
     // Sender-side rendezvous transfers awaiting their Cts.
-    std::mutex rndz_m_;
-    std::condition_variable rndz_cv_;
+    lockdep::Mutex rndz_m_{"net.rndz"};
+    std::condition_variable_any rndz_cv_;
     std::uint32_t next_seq_ = 1;
     std::map<std::pair<int, std::uint32_t>, QueuedWrite> pending_rndz_;
 
@@ -173,8 +194,9 @@ private:
     std::atomic<bool> reader_stop_{false};
     bool mesh_started_ = false;
 
-    mutable std::mutex counters_m_;
+    mutable lockdep::Mutex counters_m_{"net.counters"};
     NetCounters counters_;
+    WireObserver* observer_ = nullptr;
 };
 
 }  // namespace dfamr::net

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/lockdep.hpp"
 #include "common/rng.hpp"
 #include "mpisim/mpi.hpp"
 
@@ -98,7 +99,7 @@ private:
     };
 
     FaultConfig cfg_;
-    mutable std::mutex mutex_;
+    mutable lockdep::Mutex mutex_{"resilience.faultplan"};
     std::map<std::tuple<int, int, int>, Stream> streams_;
     std::map<int, std::uint64_t> sends_per_rank_;
     std::vector<FaultEvent> events_;

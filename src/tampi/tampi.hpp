@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "mpisim/mpi.hpp"
 #include "resilience/hardened_comm.hpp"
 #include "tasking/runtime.hpp"
@@ -94,7 +95,7 @@ private:
     void help_with_deadline(mpi::Request& req, const char* op, int rank, int peer, int tag);
 
     tasking::Runtime& runtime_;
-    mutable std::mutex mutex_;
+    mutable lockdep::Mutex mutex_{"tampi.engine"};
     std::vector<Bound> pending_;
     std::string service_name_;
 

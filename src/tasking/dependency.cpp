@@ -9,7 +9,13 @@ namespace dfamr::tasking {
 
 DependencyRegistry::DependencyRegistry()
     : shards_(new Shard[kShardCount]),
-      edges_elided_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
+      edges_elided_(std::make_unique<std::atomic<std::uint64_t>>(0)) {
+    // Shard index doubles as the lockdep subrank: register_accesses locks
+    // shards in ascending index order and lockdep checks exactly that.
+    for (int s = 0; s < kShardCount; ++s) {
+        shards_[s].mutex.set_subrank(static_cast<std::uint32_t>(s));
+    }
+}
 
 void DependencyRegistry::split_at(IntervalMap& map, std::uintptr_t point) {
     // Find the interval containing `point` (if any) and split it so `point`

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "common/threading.hpp"
 
 namespace dfamr::tasking {
@@ -116,7 +117,9 @@ struct DepNode {
     /// was recorded for. Guarded by node_lock.
     std::uint64_t last_edge_marker = UINT64_MAX;
     /// Guards successors / last_edge_marker / the dep_released transition.
-    SpinLock node_lock;
+    /// Lockdep class "dep.node", Nesting::Never: the runtime never holds two
+    /// node locks at once (release drains successors by atomic decrement).
+    lockdep::SpinLock node_lock{"dep.node"};
 
     virtual ~DepNode() = default;
 };
@@ -195,7 +198,11 @@ private:
     static constexpr std::uint64_t kGcPeriod = 256;
 
     struct Shard {
-        mutable std::mutex mutex;
+        // One lockdep class for all 64 shards, Nesting::Ordered: nested
+        // acquisition is legal only in ascending shard index (the subrank,
+        // assigned in the registry constructor) — exactly the deadlock-free
+        // order register_accesses uses.
+        mutable lockdep::Mutex mutex{"dep.shard", lockdep::Nesting::Ordered};
         IntervalMap intervals;
         std::uint64_t gc_countdown = kGcPeriod;
     };

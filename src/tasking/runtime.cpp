@@ -93,7 +93,7 @@ void Runtime::register_and_release_guard(const TaskPtr& task) {
         p->descendants_live.fetch_add(1, std::memory_order_relaxed);
     }
     {
-        std::unique_lock<std::mutex> vlock(verify_mutex_, std::defer_lock);
+        std::unique_lock vlock(verify_mutex_, std::defer_lock);
         if (verify_ != nullptr) {
             // Serialized mode: the whole registration becomes one atomic
             // step in the total order DepLint's logical clock requires.
@@ -284,7 +284,7 @@ Task* Runtime::finish_body(Task* task) {
 Task* Runtime::complete_if_ready(Task* task, bool allow_immediate) {
     std::vector<DepNode*> released;
     {
-        std::unique_lock<std::mutex> vlock(verify_mutex_, std::defer_lock);
+        std::unique_lock vlock(verify_mutex_, std::defer_lock);
         if (verify_ != nullptr) vlock.lock();
         {
             std::lock_guard lock(task->node_lock);

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "tasking/dependency.hpp"
 #include "tasking/ws_deque.hpp"
 
@@ -240,7 +241,7 @@ private:
     // Injection queue for ready tasks produced by non-worker threads (the
     // owning thread, external event sources). FIFO: with workers == 0 this
     // is the whole scheduler and preserves deterministic submit order.
-    mutable std::mutex inject_mutex_;
+    mutable lockdep::Mutex inject_mutex_{"tasking.inject"};
     std::deque<Task*> inject_queue_;
     std::atomic<std::size_t> inject_size_{0};
 
@@ -253,28 +254,28 @@ private:
     // skip redundant futex wakes while an already-notified worker is still
     // coming up; each parker conservatively resets it before sleeping
     // (stale suppression can only cost an extra notify, never lose one).
-    std::mutex park_mutex_;
-    std::condition_variable ready_cv_;
+    lockdep::Mutex park_mutex_{"tasking.park"};
+    std::condition_variable_any ready_cv_;
     std::atomic<std::uint64_t> work_epoch_{0};
     std::atomic<int> parked_workers_{0};
     std::atomic<int> pending_wakes_{0};
 
     // Completion signal for wait_until (taskwait / help_until waiters).
-    std::mutex idle_mutex_;
-    std::condition_variable idle_cv_;
+    lockdep::Mutex idle_mutex_{"tasking.idle"};
+    std::condition_variable_any idle_cv_;
     std::atomic<std::uint64_t> idle_epoch_{0};
     std::atomic<int> idle_waiters_{0};
 
     std::atomic<bool> shutting_down_{false};
 
-    std::mutex error_mutex_;
+    lockdep::Mutex error_mutex_{"tasking.error"};
     std::exception_ptr first_error_;
 
     struct PollingService {
         std::string name;
         std::function<bool()> poll;
     };
-    std::mutex polling_mutex_;
+    lockdep::Mutex polling_mutex_{"tasking.polling"};
     std::vector<PollingService> polling_services_;
     std::atomic<bool> has_polling_{false};
 
@@ -283,7 +284,7 @@ private:
     // Serializes registrations and releases into one total order while a
     // verify hook is attached (never taken otherwise). Lock order:
     // verify_mutex_ -> registry shard mutexes -> task node locks.
-    std::mutex verify_mutex_;
+    lockdep::Mutex verify_mutex_{"tasking.verify"};
     VerifyHook* verify_ = nullptr;
 };
 

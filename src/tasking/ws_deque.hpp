@@ -39,10 +39,14 @@ public:
     explicit WsDeque(std::int64_t initial_capacity = 64) {
         DFAMR_REQUIRE(initial_capacity > 0 && (initial_capacity & (initial_capacity - 1)) == 0,
                       "deque capacity must be a positive power of two");
+        // relaxed: construction precedes any sharing; whatever mechanism
+        // hands the deque to other threads provides the ordering.
         buffer_.store(new Buffer(initial_capacity, nullptr), std::memory_order_relaxed);
     }
 
     ~WsDeque() {
+        // relaxed: destruction requires external quiescence (no concurrent
+        // owner or thieves) by contract, so there is nothing to order.
         Buffer* b = buffer_.load(std::memory_order_relaxed);
         while (b != nullptr) {
             Buffer* prev = b->prev;
@@ -56,37 +60,69 @@ public:
 
     /// Owner only: push one element at the bottom (LIFO end).
     void push(T* item) {
+        // relaxed: bottom is only ever written by the owner, so the owner's
+        // own program order is the only order that matters for reading it.
         const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        // acquire: pairs with the thieves' seq_cst (⊇ release) CAS on top.
+        // Reading an advanced top here must also make the thief's slot read
+        // visible-before, so the capacity check (b - t) never under-counts
+        // free space while a thief is still inside a slot we would reuse.
         const std::int64_t t = top_.load(std::memory_order_acquire);
+        // relaxed: buffer_ is only replaced by the owner (in grow), so the
+        // owner always sees its own latest store without synchronization.
         Buffer* a = buffer_.load(std::memory_order_relaxed);
         if (b - t > a->capacity - 1) {
             a = grow(a, t, b);
         }
+        // relaxed: the slot write itself needs no ordering — the release
+        // store to bottom below is what publishes it. A thief that observes
+        // bottom > b acquired that store and therefore sees this write.
         a->slot(b).store(item, std::memory_order_relaxed);
-        // The release store publishes the slot write to thieves that
-        // acquire-load bottom.
+        // release: publishes the slot write (and, after grow, the buffer_
+        // store) to any thief whose seq_cst load of bottom reads b + 1.
         bottom_.store(b + 1, std::memory_order_release);
     }
 
     /// Owner only: pop the most recently pushed element (LIFO end).
     /// Returns nullptr when the deque is empty.
     T* pop() {
+        // relaxed: owner-only value, same as in push.
         const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        // relaxed: owner-only value, same as in push.
         Buffer* a = buffer_.load(std::memory_order_relaxed);
+        // seq_cst store + seq_cst load: this pair is the paper's
+        // fence(seq_cst) between "reserve the bottom slot" and "observe
+        // top". It must be a single total order with the thief's
+        // top-load / bottom-load pair in steal(): either the thief sees the
+        // decremented bottom (and gives up on the last element) or the
+        // owner sees the thief's advanced top (and takes the CAS path).
+        // Weaker orders allow both to read stale values and hand the same
+        // element out twice.
         bottom_.store(b, std::memory_order_seq_cst);
         std::int64_t t = top_.load(std::memory_order_seq_cst);
         if (t <= b) {
+            // relaxed: the owner wrote this slot itself (push), or took the
+            // buffer over from its own grow; no inter-thread edge needed.
             T* item = a->slot(b).load(std::memory_order_relaxed);
             if (t == b) {
                 // Last element: race the thieves for it through top.
+                // seq_cst success: participates in the same total order as
+                // the steal CAS — exactly one of the two racers advances
+                // top from t. relaxed failure: losing means a thief already
+                // took the element; we only return nullptr, no data is read
+                // under the failed CAS.
                 if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                                   std::memory_order_relaxed)) {
                     item = nullptr;  // a thief won
                 }
+                // relaxed: restoring bottom to the canonical empty position
+                // (b + 1 == t + 1) publishes nothing — thieves decide
+                // through top, and the next push's release store covers it.
                 bottom_.store(b + 1, std::memory_order_relaxed);
             }
             return item;
         }
+        // relaxed: deque was empty; same reasoning as the restore above.
         bottom_.store(b + 1, std::memory_order_relaxed);
         return nullptr;
     }
@@ -96,11 +132,31 @@ public:
     /// to the next victim; distinguishing the two is not worth a retry loop
     /// in the scan).
     T* steal() {
+        // seq_cst load + seq_cst load: the thief's half of the total order
+        // described in pop(). Reading top before bottom (in that order)
+        // under seq_cst guarantees that if this thief and a popping owner
+        // both think they own the last element, at least one of them
+        // observed the other's index update and backs off via the CAS.
         std::int64_t t = top_.load(std::memory_order_seq_cst);
         const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
         if (t < b) {
+            // acquire: pairs with the release store in grow(). Having
+            // observed (through bottom, seq_cst ⊇ acquire) a push that went
+            // into a grown buffer, this load must see the new buffer
+            // pointer WITH its copied slots — reading the new pointer but
+            // stale slot contents would hand out garbage. A stale (old)
+            // buffer pointer is benign: retired buffers stay alive and
+            // slot t was copied, not moved.
             Buffer* a = buffer_.load(std::memory_order_acquire);
+            // relaxed: the release/acquire edge push→(bottom)→here already
+            // ordered the slot write before this read; the CAS below
+            // validates that slot t was not recycled in between.
             T* item = a->slot(t).load(std::memory_order_relaxed);
+            // seq_cst success: claims element t in the same total order as
+            // the owner's last-element CAS and every other thief — one
+            // winner per index. It is also the release that lets push's
+            // acquire-load of top reuse the slot. relaxed failure: lost the
+            // race, `item` is discarded unread.
             if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                               std::memory_order_relaxed)) {
                 return nullptr;
@@ -112,6 +168,10 @@ public:
 
     /// Racy size estimate (monitoring / wake heuristics only).
     std::int64_t size_estimate() const {
+        // relaxed ×2: the result is advisory by contract — callers use it
+        // to pick a steal victim or decide whether to wake a sleeper, and
+        // both tolerate arbitrarily stale answers. No ordering buys
+        // anything here.
         const std::int64_t b = bottom_.load(std::memory_order_relaxed);
         const std::int64_t t = top_.load(std::memory_order_relaxed);
         return b > t ? b - t : 0;
@@ -137,9 +197,18 @@ private:
     Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
         auto* bigger = new Buffer(old->capacity * 2, old);
         for (std::int64_t i = t; i < b; ++i) {
+            // relaxed ×2: the owner wrote every live slot itself and is the
+            // only writer of either buffer during the copy (thieves read
+            // slots, never write them), so plain atomic copies suffice; the
+            // release below publishes the whole range at once.
             bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
                                   std::memory_order_relaxed);
         }
+        // release: pairs with the acquire load in steal(). A thief that
+        // reads `bigger` from buffer_ is guaranteed to also see the copied
+        // slot values above. Thieves that still hold `old` are safe too:
+        // retirement is deferred to ~WsDeque via the prev chain, and a
+        // successful CAS on top revalidates whichever slot they read.
         buffer_.store(bigger, std::memory_order_release);
         return bigger;
     }

@@ -1,8 +1,11 @@
 #include "verify/access_check.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <vector>
+
+#include "common/lockdep.hpp"
 
 namespace dfamr::verify {
 
@@ -80,6 +83,92 @@ void check_access(const void* p, std::size_t n, bool is_write) {
 
 bool access_checking_active() {
     return !tls_frames.empty() && tls_frames.back().constrained;
+}
+
+// ---- wire-region registry -------------------------------------------------
+
+namespace {
+
+struct WireRegion {
+    std::uintptr_t end = 0;
+    const char* tag = "";
+};
+
+struct WireRegistry {
+    // Leaf lock: nothing is acquired while held, so it can be taken from
+    // any delivery thread regardless of what that thread already holds.
+    lockdep::Mutex m{"verify.wirereg"};
+    std::map<std::uintptr_t, WireRegion> regions;  // keyed by base address
+};
+
+WireRegistry& wire_registry() {
+    static WireRegistry* r = new WireRegistry;  // immortal, like lockdep's
+    return *r;
+}
+
+}  // namespace
+
+void register_wire_region(const void* base, std::size_t size, const char* tag) {
+    if (size == 0) return;  // zero-byte receives have no landing zone
+    const auto lo = reinterpret_cast<std::uintptr_t>(base);
+    WireRegistry& reg = wire_registry();
+    std::lock_guard lock(reg.m);
+    // Overlap check against the neighbors in address order is sufficient
+    // because the invariant holds before the insert.
+    auto next = reg.regions.lower_bound(lo);
+    if (next != reg.regions.end()) {
+        DFAMR_REQUIRE(lo + size <= next->first,
+                      std::string("wire-region overlap: '") + tag + "' collides with '" +
+                          next->second.tag + "'");
+    }
+    if (next != reg.regions.begin()) {
+        auto prev = std::prev(next);
+        DFAMR_REQUIRE(prev->second.end <= lo,
+                      std::string("wire-region overlap: '") + tag + "' collides with '" +
+                          prev->second.tag + "'");
+    }
+    reg.regions.emplace(lo, WireRegion{lo + size, (tag != nullptr) ? tag : ""});
+}
+
+void unregister_wire_region(const void* base) {
+    if (base == nullptr) return;
+    WireRegistry& reg = wire_registry();
+    std::lock_guard lock(reg.m);
+    const auto it = reg.regions.find(reinterpret_cast<std::uintptr_t>(base));
+    DFAMR_REQUIRE(it != reg.regions.end(), "unregister of unknown wire region");
+    reg.regions.erase(it);
+}
+
+void check_wire_write(const void* p, std::size_t n) {
+    if (n == 0) return;
+    const auto lo = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t hi = lo + n;
+    WireRegistry& reg = wire_registry();
+    std::lock_guard lock(reg.m);
+    // The covering region, if any, is the one with the greatest base <= lo.
+    auto it = reg.regions.upper_bound(lo);
+    if (it != reg.regions.begin()) {
+        it = std::prev(it);
+        if (it->first <= lo && hi <= it->second.end) return;
+        if (lo < it->second.end) {
+            std::ostringstream os;
+            os << "verify: wire-path write of " << n << " byte(s) at 0x" << std::hex << lo
+               << std::dec << " overruns registered buffer '" << it->second.tag << "' [0x"
+               << std::hex << it->first << ", 0x" << it->second.end << std::dec << ")";
+            throw AccessViolation(os.str());
+        }
+    }
+    std::ostringstream os;
+    os << "verify: wire-path write of " << n << " byte(s) at 0x" << std::hex << lo << std::dec
+       << " targets no registered in-flight receive buffer (" << reg.regions.size()
+       << " registered)";
+    throw AccessViolation(os.str());
+}
+
+std::size_t wire_regions_registered() {
+    WireRegistry& reg = wire_registry();
+    std::lock_guard lock(reg.m);
+    return reg.regions.size();
 }
 
 ScopedDeclaredRegions::ScopedDeclaredRegions(const char* label, std::uint64_t task_id,

@@ -60,6 +60,39 @@ void check_write(std::span<T> s) {
 /// access list (i.e. checks are actually enforced right now).
 bool access_checking_active();
 
+// ---- wire-region registry -------------------------------------------------
+//
+// The per-thread declared-region table above cannot see the transport: a
+// net::Endpoint reader thread (or the delivery scheduler) memcpy-ing an
+// incoming payload into a posted receive buffer runs outside any task body,
+// so those writes — including every ghost-exchange landing zone — passed
+// unchecked. The wire-region registry closes that blind spot: posting a
+// receive registers its buffer [base, base+size) process-globally, the
+// delivery paths validate each payload write against the registry, and
+// matching/cancelling the receive unregisters it. A wire-path write that
+// is not fully inside one registered in-flight buffer throws
+// AccessViolation (on the sender/scheduler thread, where the bug is).
+//
+// The functions are always compiled so tests can drive them in any build;
+// production call sites go through the DFAMR_WIRE_* macros below, which
+// compile to nothing unless DFAMR_VERIFY is defined.
+
+/// Registers an in-flight receive buffer. Overlapping or duplicate-base
+/// registrations are an error (two posted receives may not share bytes).
+void register_wire_region(const void* base, std::size_t size, const char* tag);
+
+/// Drops a registration by its base pointer. Unknown base is an error
+/// (catches double-unregister / unregister-before-register bugs).
+void unregister_wire_region(const void* base);
+
+/// Validates a wire-path write of [p, p+n): it must fall entirely inside
+/// one registered region. Throws AccessViolation otherwise. n == 0 is a
+/// no-op (empty payloads write nothing).
+void check_wire_write(const void* p, std::size_t n);
+
+/// Number of currently registered wire regions (leak checks in tests).
+std::size_t wire_regions_registered();
+
 /// RAII: constrains the calling thread to `deps` for the current scope.
 /// Used by AccessChecker around task bodies and by tests directly. Nests.
 class ScopedDeclaredRegions {
@@ -138,8 +171,14 @@ public:
 /// call sites may use only the interface common to both: operator[], size(),
 /// empty().
 #define DFAMR_CHECKED_SPAN(s) ::dfamr::verify::checked(s)
+#define DFAMR_WIRE_REGISTER(p, n, tag) ::dfamr::verify::register_wire_region((p), (n), (tag))
+#define DFAMR_WIRE_UNREGISTER(p) ::dfamr::verify::unregister_wire_region(p)
+#define DFAMR_CHECK_WIRE_WRITE(p, n) ::dfamr::verify::check_wire_write((p), (n))
 #else
 #define DFAMR_CHECK_READ(p, n) ((void)0)
 #define DFAMR_CHECK_WRITE(p, n) ((void)0)
 #define DFAMR_CHECKED_SPAN(s) (s)
+#define DFAMR_WIRE_REGISTER(p, n, tag) ((void)0)
+#define DFAMR_WIRE_UNREGISTER(p) ((void)0)
+#define DFAMR_CHECK_WIRE_WRITE(p, n) ((void)0)
 #endif

@@ -1,0 +1,343 @@
+#include "verify/mc/controlled_runtime.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "tasking/verify_hook.hpp"
+#include "verify/deplint.hpp"
+
+namespace dfamr::verify::mc {
+
+namespace {
+
+/// DepNode subclass carrying the task index, so edge capture can map the
+/// registry's node ids back to graph positions.
+struct GraphNode final : tasking::DepNode {
+    int task = -1;
+};
+
+/// Captures every edge the registry wires, as task-index pairs.
+struct EdgeCapture final : tasking::VerifyHook {
+    std::vector<std::pair<int, int>>* out = nullptr;
+    void on_edge_added(const tasking::DepNode& pred, const tasking::DepNode& succ) override {
+        out->emplace_back(static_cast<const GraphNode&>(pred).task,
+                          static_cast<const GraphNode&>(succ).task);
+    }
+};
+
+bool regions_conflict(const McTask& a, const McTask& b) {
+    for (const tasking::Dep& da : a.deps) {
+        for (const tasking::Dep& db : b.deps) {
+            if (da.kind == tasking::DepKind::In && db.kind == tasking::DepKind::In) continue;
+            if (da.region.overlaps(db.region)) return true;
+        }
+    }
+    return false;
+}
+
+constexpr int kInjectQueue = -1;  // pseudo queue id for the shared inject FIFO
+
+/// The queues an action reads or writes: the executing worker's deque (it
+/// receives the released successors), plus the queue the task is drawn from.
+void touched_queues(const ControlledRuntime::State& s, const Action& a, int out[2]) {
+    switch (a.kind) {
+        case Action::Kind::PopLocal:
+            out[0] = a.worker;
+            out[1] = a.worker;
+            return;
+        case Action::Kind::Inject:
+            out[0] = a.worker;
+            out[1] = kInjectQueue;
+            return;
+        case Action::Kind::Steal:
+            out[0] = a.worker;
+            out[1] = a.victim;
+            return;
+        case Action::Kind::Event:
+            // Release pushes successors into the deque of the worker that
+            // ran the task's body.
+            out[0] = s.ran_on[static_cast<std::size_t>(a.task)];
+            out[1] = out[0];
+            return;
+    }
+    out[0] = out[1] = kInjectQueue;
+}
+
+}  // namespace
+
+ControlledRuntime::ControlledRuntime(const TaskGraph& graph, int dropped_edge)
+    : graph_(graph), dropped_edge_(dropped_edge) {
+    const std::size_t n = graph_.tasks.size();
+    DFAMR_REQUIRE(graph_.workers >= 1, "mc: need at least one worker");
+    DFAMR_REQUIRE(n > 0, "mc: empty task graph");
+
+    // Wire the graph through the production registry, capturing every edge.
+    EdgeCapture capture;
+    capture.out = &edges_;
+    tasking::DependencyRegistry registry;
+    registry.set_verify_hook(&capture);
+    std::vector<std::shared_ptr<GraphNode>> nodes(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        nodes[t] = std::make_shared<GraphNode>();
+        nodes[t]->node_id = t;
+        nodes[t]->task = static_cast<int>(t);
+        registry.register_accesses(nodes[t], graph_.tasks[t].deps);
+    }
+    registry.set_verify_hook(nullptr);
+    DFAMR_REQUIRE(dropped_edge_ < static_cast<int>(edges_.size()),
+                  "mc: dropped_edge out of range");
+
+    succs_.assign(n, {});
+    initial_pred_count_.assign(n, 0);
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        if (static_cast<int>(e) == dropped_edge_) continue;
+        const auto [pred, succ] = edges_[e];
+        succs_[static_cast<std::size_t>(pred)].push_back(succ);
+        ++initial_pred_count_[static_cast<std::size_t>(succ)];
+    }
+
+    conflict_.assign(n, std::vector<signed char>(n, 0));
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const bool c = regions_conflict(graph_.tasks[a], graph_.tasks[b]);
+            conflict_[a][b] = conflict_[b][a] = c ? 1 : 0;
+        }
+    }
+}
+
+ControlledRuntime::State ControlledRuntime::initial() const {
+    State s;
+    const std::size_t n = graph_.tasks.size();
+    s.deques.assign(static_cast<std::size_t>(graph_.workers), {});
+    s.pred_count = initial_pred_count_;
+    s.awaiting_event.assign(n, 0);
+    s.ran_on.assign(n, -1);
+    s.cells.assign(graph_.cells, 0);
+    // Submission order: the main thread pushes each initially-ready task
+    // onto the shared inject queue, exactly like Runtime::submit from a
+    // non-worker thread.
+    for (std::size_t t = 0; t < n; ++t) {
+        if (s.pred_count[t] == 0) s.inject.push_back(static_cast<int>(t));
+    }
+    return s;
+}
+
+std::vector<Action> ControlledRuntime::enabled(const State& s) const {
+    std::vector<Action> out;
+    const int w_count = graph_.workers;
+    for (int w = 0; w < w_count; ++w) {
+        if (!s.deques[static_cast<std::size_t>(w)].empty()) {
+            out.push_back(Action{Action::Kind::PopLocal, w, -1, -1});
+        }
+    }
+    if (!s.inject.empty()) {
+        for (int w = 0; w < w_count; ++w) {
+            out.push_back(Action{Action::Kind::Inject, w, -1, -1});
+        }
+    }
+    for (int w = 0; w < w_count; ++w) {
+        if (!s.deques[static_cast<std::size_t>(w)].empty()) continue;  // own work first
+        for (int v = 0; v < w_count; ++v) {
+            if (v != w && !s.deques[static_cast<std::size_t>(v)].empty()) {
+                out.push_back(Action{Action::Kind::Steal, w, v, -1});
+            }
+        }
+    }
+    for (std::size_t t = 0; t < s.awaiting_event.size(); ++t) {
+        if (s.awaiting_event[t] != 0) {
+            out.push_back(Action{Action::Kind::Event, -1, -1, static_cast<int>(t)});
+        }
+    }
+    return out;
+}
+
+int ControlledRuntime::resolve_task(const State& s, const Action& a) const {
+    switch (a.kind) {
+        case Action::Kind::PopLocal:
+            return s.deques[static_cast<std::size_t>(a.worker)].back();
+        case Action::Kind::Inject:
+            return s.inject.front();
+        case Action::Kind::Steal:
+            return s.deques[static_cast<std::size_t>(a.victim)].front();
+        case Action::Kind::Event:
+            return a.task;
+    }
+    return -1;
+}
+
+void ControlledRuntime::release(State& s, int task, int worker) const {
+    for (int succ : succs_[static_cast<std::size_t>(task)]) {
+        if (--s.pred_count[static_cast<std::size_t>(succ)] == 0) {
+            // Released successors go to the releasing worker's deque (LIFO
+            // end) — the locality policy of the real scheduler.
+            s.deques[static_cast<std::size_t>(worker)].push_back(succ);
+        }
+    }
+    ++s.released;
+}
+
+void ControlledRuntime::run_task(State& s, int task, int worker) const {
+    const McTask& t = graph_.tasks[static_cast<std::size_t>(task)];
+    if (t.body) t.body(s.cells);
+    s.order.push_back(task);
+    s.ran_on[static_cast<std::size_t>(task)] = worker;
+    if (t.external_event) {
+        s.awaiting_event[static_cast<std::size_t>(task)] = 1;  // release deferred
+    } else {
+        release(s, task, worker);
+    }
+}
+
+void ControlledRuntime::apply(State& s, const Action& a) const {
+    switch (a.kind) {
+        case Action::Kind::PopLocal: {
+            auto& dq = s.deques[static_cast<std::size_t>(a.worker)];
+            const int task = dq.back();
+            dq.pop_back();
+            run_task(s, task, a.worker);
+            return;
+        }
+        case Action::Kind::Inject: {
+            const int task = s.inject.front();
+            s.inject.erase(s.inject.begin());
+            run_task(s, task, a.worker);
+            return;
+        }
+        case Action::Kind::Steal: {
+            auto& dq = s.deques[static_cast<std::size_t>(a.victim)];
+            const int task = dq.front();
+            dq.erase(dq.begin());
+            run_task(s, task, a.worker);
+            return;
+        }
+        case Action::Kind::Event: {
+            s.awaiting_event[static_cast<std::size_t>(a.task)] = 0;
+            release(s, a.task, s.ran_on[static_cast<std::size_t>(a.task)]);
+            return;
+        }
+    }
+}
+
+std::uint64_t ControlledRuntime::checksum(const State& s) const {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::int64_t v : s.cells) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= static_cast<std::uint64_t>(v >> (byte * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+bool ControlledRuntime::dependent(const State& s, const Action& a, const Action& b) const {
+    int qa[2];
+    int qb[2];
+    touched_queues(s, a, qa);
+    touched_queues(s, b, qb);
+    for (int x : qa) {
+        for (int y : qb) {
+            if (x == y) return true;
+        }
+    }
+    // Event actions run no body; only body-running pairs can conflict on
+    // cells.
+    if (a.kind == Action::Kind::Event || b.kind == Action::Kind::Event) return false;
+    const int ta = resolve_task(s, a);
+    const int tb = resolve_task(s, b);
+    if (ta == tb) return true;
+    return conflict_[static_cast<std::size_t>(ta)][static_cast<std::size_t>(tb)] != 0;
+}
+
+ControlledRuntime::RunResult ControlledRuntime::run(std::span<const std::size_t> choices) const {
+    RunResult out;
+
+    // DepLint feed: every task registered up front (submission order), with
+    // fresh nodes so the lint sees the same graph the scheduler model uses;
+    // edges minus any dropped one; releases in execution order.
+    DepLint lint;
+    lint.set_check_on_shutdown(false);
+    const std::size_t n = graph_.tasks.size();
+    std::vector<std::shared_ptr<GraphNode>> nodes(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        nodes[t] = std::make_shared<GraphNode>();
+        nodes[t]->node_id = t;
+        nodes[t]->task = static_cast<int>(t);
+        lint.on_node_registered(*nodes[t], graph_.tasks[t].label.c_str(), graph_.tasks[t].deps);
+    }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        if (static_cast<int>(e) == dropped_edge_) continue;
+        lint.on_edge_added(*nodes[static_cast<std::size_t>(edges_[e].first)],
+                           *nodes[static_cast<std::size_t>(edges_[e].second)]);
+    }
+
+    State s = initial();
+    std::size_t step = 0;
+    while (!done(s)) {
+        const std::vector<Action> acts = enabled(s);
+        DFAMR_REQUIRE(!acts.empty(), "mc: schedule stuck before completion (graph cycle?)");
+        std::size_t pick = step < choices.size() ? choices[step] : 0;
+        if (pick >= acts.size()) pick = acts.size() - 1;
+        const Action a = acts[pick];
+        const std::size_t before = s.order.size();
+        apply(s, a);
+        // Feed releases to DepLint in completion order.
+        if (a.kind == Action::Kind::Event) {
+            lint.on_node_released(*nodes[static_cast<std::size_t>(a.task)]);
+        } else if (s.order.size() > before) {
+            const int task = s.order.back();
+            if (!graph_.tasks[static_cast<std::size_t>(task)].external_event) {
+                lint.on_node_released(*nodes[static_cast<std::size_t>(task)]);
+            }
+        }
+        out.actions.push_back(a);
+        out.choices.push_back(pick);
+        ++step;
+    }
+    out.checksum = checksum(s);
+    out.order = s.order;
+    const Report lint_report = lint.check();
+    out.deplint_clean = lint_report.clean();
+    out.deplint_report = lint_report.to_string();
+    return out;
+}
+
+std::string ControlledRuntime::describe(const State& s, const Action& a) const {
+    const int task = resolve_task(s, a);
+    const std::string& label = graph_.tasks[static_cast<std::size_t>(task)].label;
+    std::ostringstream os;
+    switch (a.kind) {
+        case Action::Kind::PopLocal:
+            os << "w" << a.worker << " pop " << label << "#" << task;
+            break;
+        case Action::Kind::Inject:
+            os << "w" << a.worker << " inject " << label << "#" << task;
+            break;
+        case Action::Kind::Steal:
+            os << "w" << a.worker << " steal<-w" << a.victim << " " << label << "#" << task;
+            break;
+        case Action::Kind::Event:
+            os << "event " << label << "#" << task;
+            break;
+    }
+    return os.str();
+}
+
+std::string ControlledRuntime::render_schedule(std::span<const std::size_t> choices) const {
+    std::ostringstream os;
+    State s = initial();
+    std::size_t step = 0;
+    while (!done(s)) {
+        const std::vector<Action> acts = enabled(s);
+        if (acts.empty()) break;
+        std::size_t pick = step < choices.size() ? choices[step] : 0;
+        if (pick >= acts.size()) pick = acts.size() - 1;
+        os << "  step " << step << ": choice " << pick << "/" << acts.size() << "  "
+           << describe(s, acts[pick]) << "\n";
+        apply(s, acts[pick]);
+        ++step;
+    }
+    return os.str();
+}
+
+}  // namespace dfamr::verify::mc

@@ -1,0 +1,170 @@
+// ControlledRuntime — the schedule-space model of the work-stealing tasking
+// layer that the DPOR explorer (explorer.hpp) drives.
+//
+// The real tasking::Runtime makes its nondeterministic decisions in four
+// places: a worker pops its own deque, takes from the shared inject queue,
+// steals the oldest entry of a victim's deque, or an external completion
+// event (the TAMPI polling service) releases a task's dependencies. The
+// ControlledRuntime reifies exactly those decision points as explicit
+// Actions and serializes them behind a replayable choice oracle: a schedule
+// is a digit string, digit k selecting one action from the deterministic
+// enabled-action list of step k. Same digits, same execution — bitwise.
+//
+// The dependency structure is NOT re-modelled: the constructor runs every
+// declared access list through a real (single-threaded) DependencyRegistry
+// and captures the wired edges through the production VerifyHook interface.
+// What the explorer checks is therefore the actual edge-wiring logic of
+// dependency.cpp, composed with a faithful abstraction of the scheduler.
+//
+// Seeded mutation: drop_edge(k) deletes the k-th captured happens-before
+// edge from the scheduling adjacency AND from the DepLint feed — modelling
+// a registry bug that loses one edge. The explorer must then find both the
+// dynamic symptom (a schedule whose checksum diverges) and the static one
+// (DepLint reports an unordered conflict).
+//
+// Task bodies are plain functions over a shared cell vector and must touch
+// only the cells their declared regions cover (graphs.cpp honors this);
+// bodies are deliberately non-commutative (affine updates), so any illegal
+// reorder the scheduler model can express changes the final checksum.
+//
+// Granularity: dequeue + body run as ONE atomic action. For clean graphs
+// this loses nothing — the dependency invariant guarantees conflicting
+// tasks are never simultaneously ready, so their order is fixed by edges,
+// not by how body execution interleaves. For mutated graphs it means a
+// dropped edge whose two tasks end up adjacent in the same FIFO is
+// serialized by the queue and caught only statically (by the DepLint
+// feed); mutations expressible as scheduler choices are caught dynamically
+// with a minimal counterexample schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tasking/dependency.hpp"
+
+namespace dfamr::verify::mc {
+
+/// Shared mutable state the task bodies operate on.
+using Cells = std::vector<std::int64_t>;
+
+struct McTask {
+    std::string label;
+    /// Declared accesses, over Region::synthetic(cell_index, 1) regions. The
+    /// body must touch only cells covered by these regions.
+    std::vector<tasking::Dep> deps;
+    std::function<void(Cells&)> body;
+    /// True for tasks that model TAMPI-style communication: the body runs
+    /// when scheduled (posting the operation), but dependency release waits
+    /// for a separate Event action (the poll service observing completion).
+    bool external_event = false;
+};
+
+struct TaskGraph {
+    std::string name;
+    int workers = 2;
+    std::size_t cells = 8;
+    std::vector<McTask> tasks;
+};
+
+/// One scheduler decision. PopLocal/Inject/Steal run the task they resolve
+/// to in the current state; Event releases the dependencies of a task that
+/// already ran its body and was waiting for external completion.
+struct Action {
+    enum class Kind : std::uint8_t { PopLocal, Inject, Steal, Event };
+
+    Kind kind = Kind::PopLocal;
+    int worker = -1;  ///< executing worker (PopLocal / Inject / Steal)
+    int victim = -1;  ///< Steal: whose deque loses its oldest entry
+    int task = -1;    ///< Event: which task's completion fires
+
+    bool operator==(const Action&) const = default;
+};
+
+class ControlledRuntime {
+public:
+    /// Builds the dependency graph of `graph` through a real
+    /// DependencyRegistry. `dropped_edge` >= 0 deletes that edge (by index
+    /// into edges()) from the adjacency — the seeded-mutation mode.
+    explicit ControlledRuntime(const TaskGraph& graph, int dropped_edge = -1);
+
+    const TaskGraph& graph() const { return graph_; }
+    /// The happens-before edges the registry wired, as (pred, succ) task
+    /// indices, in wiring order. Mutation indexes into this list (the
+    /// pre-drop list: edges() always reports what the registry produced).
+    const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+    int dropped_edge() const { return dropped_edge_; }
+
+    // ----- explicit state-space interface (used by the DPOR explorer) -----
+
+    struct State {
+        std::vector<std::vector<int>> deques;  // per worker; back = LIFO end
+        std::vector<int> inject;               // shared FIFO; front = oldest
+        std::vector<int> pred_count;           // per task
+        std::vector<signed char> awaiting_event;  // body ran, release pending
+        std::vector<int> ran_on;               // worker that ran each task, -1
+        Cells cells;
+        std::vector<int> order;                // task execution order
+        int released = 0;                      // fully completed tasks
+    };
+
+    State initial() const;
+    /// Deterministic enabled-action list: PopLocal by worker, Inject by
+    /// worker, Steal by (thief, victim) — thieves only steal when their own
+    /// deque is empty, like the real scheduler — then Event by task index.
+    std::vector<Action> enabled(const State& s) const;
+    void apply(State& s, const Action& a) const;
+    bool done(const State& s) const { return s.released == static_cast<int>(graph_.tasks.size()); }
+    /// FNV-1a over the cell vector.
+    std::uint64_t checksum(const State& s) const;
+
+    /// Conservative dependence relation for sleep-set pruning: two enabled
+    /// actions are dependent when they touch a common queue (same executing
+    /// worker, same steal victim, or both draw from the inject queue) or
+    /// when the tasks they would run declare conflicting regions. Anything
+    /// else commutes: disjoint queues and conflict-free bodies.
+    bool dependent(const State& s, const Action& a, const Action& b) const;
+
+    // ----- replay interface (used by the CLI and the minimizer) -----
+
+    struct RunResult {
+        std::uint64_t checksum = 0;
+        std::vector<int> order;         // task execution order
+        std::vector<Action> actions;    // the resolved schedule
+        std::vector<std::size_t> choices;  // effective digits (defaults applied)
+        bool deplint_clean = true;
+        std::string deplint_report;
+    };
+
+    /// Replays a digit string: digit k picks enabled()[digit] at step k
+    /// (clamped to the list; missing digits default to 0). Also feeds the
+    /// schedule through DepLint — registrations up front in submission
+    /// order, releases in execution order, minus any dropped edge — and
+    /// records its verdict.
+    RunResult run(std::span<const std::size_t> choices) const;
+
+    /// Human-readable rendering of an action ("steal w1<-w0: stencil#3").
+    std::string describe(const State& s, const Action& a) const;
+    /// Renders a full schedule by replaying `choices`.
+    std::string render_schedule(std::span<const std::size_t> choices) const;
+
+private:
+    void release(State& s, int task, int worker) const;
+    void run_task(State& s, int task, int worker) const;
+    int resolve_task(const State& s, const Action& a) const;
+
+    TaskGraph graph_;
+    std::vector<std::pair<int, int>> edges_;  // as wired by the registry
+    int dropped_edge_ = -1;
+    std::vector<std::vector<int>> succs_;     // adjacency minus dropped edge
+    std::vector<int> initial_pred_count_;
+    /// conflict_[a][b]: declared regions of tasks a and b overlap with at
+    /// least one writer (the DepLint conflict predicate).
+    std::vector<std::vector<signed char>> conflict_;
+};
+
+}  // namespace dfamr::verify::mc

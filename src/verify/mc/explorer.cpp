@@ -1,0 +1,160 @@
+#include "verify/mc/explorer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dfamr::verify::mc {
+
+namespace {
+
+struct Ctx {
+    const ControlledRuntime& rt;
+    const ExploreOptions& opts;
+    ExploreResult res;
+    std::set<std::uint64_t> checksums;
+    std::vector<std::size_t> path;  // digit string of the current DFS branch
+    bool have_reference = false;
+    bool stop = false;
+    std::vector<std::size_t> violating_path;
+    std::uint64_t violating_checksum = 0;
+    bool violation_is_mismatch = false;
+};
+
+bool contains(const std::vector<Action>& set, const Action& a) {
+    return std::find(set.begin(), set.end(), a) != set.end();
+}
+
+void terminal(Ctx& c, const ControlledRuntime::State& s) {
+    ++c.res.stats.schedules;
+    const std::uint64_t sum = c.rt.checksum(s);
+    c.checksums.insert(sum);
+    if (!c.have_reference) {
+        c.have_reference = true;
+        c.res.reference_checksum = sum;
+        // The DepLint verdict is schedule-invariant in this model (every
+        // registration is stamped before any release, so ordering can only
+        // come from explicit edges — which don't depend on the schedule):
+        // one replay of the canonical schedule settles it for the whole
+        // space.
+        const ControlledRuntime::RunResult canonical = c.rt.run(c.path);
+        c.res.deplint_clean = canonical.deplint_clean;
+        if (!canonical.deplint_clean) {
+            // Record the static witness but keep exploring: a schedule whose
+            // checksum actually diverges is the stronger, dynamic witness,
+            // and minimizing it gives the counterexample worth reading.
+            c.violating_path = c.path;
+            c.violating_checksum = sum;
+            c.violation_is_mismatch = false;
+        }
+    } else if (sum != c.res.reference_checksum) {
+        c.res.deterministic = false;
+        if (c.violating_path.empty() || !c.violation_is_mismatch) {
+            c.violating_path = c.path;
+            c.violating_checksum = sum;
+            c.violation_is_mismatch = true;
+        }
+        if (c.opts.stop_on_violation) c.stop = true;
+    }
+    if (c.opts.max_schedules != 0 && c.res.stats.schedules >= c.opts.max_schedules) {
+        c.res.stats.hit_cap = true;
+        c.stop = true;
+    }
+}
+
+void dfs(Ctx& c, const ControlledRuntime::State& s, std::vector<Action> sleep) {
+    if (c.stop) return;
+    const std::vector<Action> acts = c.rt.enabled(s);
+    if (acts.empty()) {
+        terminal(c, s);
+        return;
+    }
+    for (std::size_t i = 0; i < acts.size() && !c.stop; ++i) {
+        const Action& a = acts[i];
+        if (contains(sleep, a)) {
+            ++c.res.stats.sleep_pruned;
+            continue;
+        }
+        ControlledRuntime::State child = s;
+        c.rt.apply(child, a);
+        ++c.res.stats.transitions;
+        // A sibling already explored from this state stays asleep in the
+        // child iff it is independent of `a` (its effect there is covered
+        // by the sibling's own subtree).
+        std::vector<Action> child_sleep;
+        child_sleep.reserve(sleep.size());
+        for (const Action& b : sleep) {
+            if (!c.rt.dependent(s, a, b)) child_sleep.push_back(b);
+        }
+        c.path.push_back(i);
+        dfs(c, child, std::move(child_sleep));
+        c.path.pop_back();
+        sleep.push_back(a);
+    }
+}
+
+/// True when replaying `digits` still exhibits the violation being
+/// minimized (checksum mismatch against the reference, or a dirty DepLint
+/// feed, matching the kind of the original violation).
+bool still_violates(const ControlledRuntime& rt, const std::vector<std::size_t>& digits,
+                    std::uint64_t reference, bool want_mismatch) {
+    const ControlledRuntime::RunResult r = rt.run(digits);
+    return want_mismatch ? r.checksum != reference : !r.deplint_clean;
+}
+
+/// Greedy schedule minimization: shortest violating prefix first (run()
+/// completes missing digits with choice 0), then lower every digit as far
+/// as it goes, iterated to a fixpoint.
+std::vector<std::size_t> minimize(const ControlledRuntime& rt, std::vector<std::size_t> digits,
+                                  std::uint64_t reference, bool want_mismatch) {
+    // Strip trailing zeros — they are the default completion already.
+    while (!digits.empty() && digits.back() == 0) digits.pop_back();
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t len = 0; len < digits.size(); ++len) {
+            std::vector<std::size_t> prefix(digits.begin(),
+                                            digits.begin() + static_cast<std::ptrdiff_t>(len));
+            if (still_violates(rt, prefix, reference, want_mismatch)) {
+                digits = std::move(prefix);
+                improved = true;
+                break;
+            }
+        }
+        for (std::size_t pos = 0; pos < digits.size(); ++pos) {
+            while (digits[pos] > 0) {
+                std::vector<std::size_t> lowered = digits;
+                --lowered[pos];
+                if (!still_violates(rt, lowered, reference, want_mismatch)) break;
+                digits = std::move(lowered);
+                improved = true;
+            }
+        }
+        while (!digits.empty() && digits.back() == 0) digits.pop_back();
+    }
+    return digits;
+}
+
+}  // namespace
+
+ExploreResult explore(const ControlledRuntime& rt, const ExploreOptions& opts) {
+    Ctx c{rt, opts, {}, {}, {}, false, false, {}, 0, false};
+    dfs(c, rt.initial(), {});
+    c.res.stats.distinct_checksums = c.checksums.size();
+    if (!c.violating_path.empty() ||
+        (!c.res.deplint_clean && c.res.stats.schedules > 0)) {
+        const std::vector<std::size_t> minimal = minimize(
+            rt, c.violating_path, c.res.reference_checksum, c.violation_is_mismatch);
+        const ControlledRuntime::RunResult replay = rt.run(minimal);
+        Counterexample ce;
+        ce.choices = minimal;
+        ce.checksum = replay.checksum;
+        ce.expected = c.res.reference_checksum;
+        ce.deplint_clean = replay.deplint_clean;
+        ce.deplint_report = replay.deplint_report;
+        ce.rendered = rt.render_schedule(minimal);
+        c.res.counterexample = std::move(ce);
+    }
+    return c.res;
+}
+
+}  // namespace dfamr::verify::mc

@@ -1,0 +1,71 @@
+// Schedule-space explorer: stateless-in-spirit DFS over the
+// ControlledRuntime's decision tree, reduced with sleep sets.
+//
+// Soundness of the reduction: sleep sets only prune transitions that are
+// guaranteed (by the independence relation) to lead to states reachable via
+// an already-explored equivalent interleaving, so every reachable TERMINAL
+// state of the schedule space is still visited — which is exactly what the
+// two properties under test quantify over (final checksum, DepLint verdict
+// of the completed history). The independence relation is the conservative
+// one of ControlledRuntime::dependent (disjoint queues, conflict-free
+// bodies); over-approximating dependence only costs schedules, never
+// soundness.
+//
+// Violations: a terminal state whose checksum differs from the first
+// terminal's, or whose DepLint feed is dirty. On the first violation the
+// explorer stops and greedily minimizes the offending digit string — for
+// each prefix position it tries smaller digits (completing the suffix with
+// zeros) and keeps any variant that still violates, yielding a
+// lexicographically minimal-ish counterexample that is short to read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/mc/controlled_runtime.hpp"
+
+namespace dfamr::verify::mc {
+
+struct Counterexample {
+    std::vector<std::size_t> choices;  // minimized digit string
+    std::uint64_t checksum = 0;        // what this schedule produced
+    std::uint64_t expected = 0;        // the reference checksum
+    bool deplint_clean = true;
+    std::string deplint_report;
+    std::string rendered;  // human-readable step-by-step schedule
+};
+
+struct ExploreStats {
+    std::uint64_t schedules = 0;    // terminal states visited
+    std::uint64_t transitions = 0;  // actions applied
+    std::uint64_t sleep_pruned = 0; // branches skipped by sleep sets
+    std::uint64_t distinct_checksums = 0;
+    bool hit_cap = false;           // stopped at max_schedules
+};
+
+struct ExploreResult {
+    ExploreStats stats;
+    std::uint64_t reference_checksum = 0;
+    bool deterministic = true;   // single checksum across all schedules
+    bool deplint_clean = true;   // canonical schedule's DepLint verdict
+    std::optional<Counterexample> counterexample;
+
+    bool clean() const { return deterministic && deplint_clean && !counterexample; }
+};
+
+struct ExploreOptions {
+    /// Stop after this many terminal schedules (0 = unlimited). The cap
+    /// guards mutated graphs whose schedule space explodes; hitting it is
+    /// reported, never silent.
+    std::uint64_t max_schedules = 250000;
+    /// Stop at the first violation and minimize it (default). When false,
+    /// keeps exploring and reports the first violation found anyway.
+    bool stop_on_violation = true;
+};
+
+/// Exhaustively explores the sleep-set-reduced schedule space of `rt`.
+ExploreResult explore(const ControlledRuntime& rt, const ExploreOptions& opts = {});
+
+}  // namespace dfamr::verify::mc

@@ -1,0 +1,141 @@
+#include "verify/mc/graphs.hpp"
+
+#include "common/error.hpp"
+
+namespace dfamr::verify::mc {
+
+namespace {
+
+using tasking::in_id;
+using tasking::inout_id;
+using tasking::out_id;
+
+/// c[cell] = 3*c[cell] + add — the basic non-commutative update.
+std::function<void(Cells&)> bump(std::size_t cell, std::int64_t add) {
+    return [cell, add](Cells& c) { c[cell] = 3 * c[cell] + add; };
+}
+
+/// c[dst] = 3*c[dst] + mul*c[src] + add.
+std::function<void(Cells&)> mix(std::size_t dst, std::size_t src, std::int64_t mul,
+                                std::int64_t add) {
+    return [dst, src, mul, add](Cells& c) { c[dst] = 3 * c[dst] + mul * c[src] + add; };
+}
+
+}  // namespace
+
+TaskGraph diamond() {
+    TaskGraph g;
+    g.name = "diamond";
+    g.workers = 2;
+    g.cells = 4;
+    g.tasks.push_back({"A", {out_id(0)}, bump(0, 1), false});
+    g.tasks.push_back({"B", {in_id(0), out_id(1)}, mix(1, 0, 7, 2), false});
+    g.tasks.push_back({"C", {in_id(0), out_id(2)}, mix(2, 0, 11, 3), false});
+    g.tasks.push_back({"D",
+                       {in_id(1), in_id(2), out_id(3)},
+                       [](Cells& c) { c[3] = 3 * c[3] + 13 * c[1] + 17 * c[2] + 4; },
+                       false});
+    return g;
+}
+
+TaskGraph chain(int length) {
+    DFAMR_REQUIRE(length >= 2, "mc: chain needs >= 2 tasks");
+    TaskGraph g;
+    g.name = "chain";
+    g.workers = 2;
+    g.cells = 1;
+    for (int i = 0; i < length; ++i) {
+        g.tasks.push_back({"link" + std::to_string(i), {inout_id(0)}, bump(0, i + 1), false});
+    }
+    return g;
+}
+
+TaskGraph fan(int width) {
+    DFAMR_REQUIRE(width >= 2, "mc: fan needs >= 2 readers");
+    TaskGraph g;
+    g.name = "fan";
+    g.workers = width >= 4 ? 3 : 2;
+    g.cells = static_cast<std::size_t>(width) + 2;
+    g.tasks.push_back({"src", {out_id(0)}, bump(0, 1), false});
+    for (int i = 0; i < width; ++i) {
+        const std::size_t dst = static_cast<std::size_t>(i) + 1;
+        g.tasks.push_back({"reader" + std::to_string(i),
+                           {in_id(0), out_id(dst)},
+                           mix(dst, 0, i + 2, i),
+                           false});
+    }
+    const std::size_t join_cell = static_cast<std::size_t>(width) + 1;
+    McTask join;
+    join.label = "join";
+    for (int i = 0; i < width; ++i) join.deps.push_back(in_id(static_cast<std::uint64_t>(i) + 1));
+    join.deps.push_back(out_id(join_cell));
+    join.body = [join_cell, width](Cells& c) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < width; ++i) acc = 3 * acc + c[static_cast<std::size_t>(i) + 1];
+        c[join_cell] = 3 * c[join_cell] + acc + 5;
+    };
+    g.tasks.push_back(std::move(join));
+    return g;
+}
+
+TaskGraph reader_pool() {
+    TaskGraph g;
+    g.name = "reader_pool";
+    g.workers = 2;
+    g.cells = 5;
+    g.tasks.push_back({"w1", {out_id(0)}, bump(0, 1), false});
+    for (int i = 0; i < 3; ++i) {
+        const std::size_t dst = static_cast<std::size_t>(i) + 1;
+        g.tasks.push_back(
+            {"r" + std::to_string(i), {in_id(0), out_id(dst)}, mix(dst, 0, i + 3, i), false});
+    }
+    // WAR edges: w2 must wait for every reader of the first write.
+    g.tasks.push_back({"w2", {inout_id(0)}, bump(0, 9), false});
+    g.tasks.push_back({"final", {in_id(0), out_id(4)}, mix(4, 0, 7, 5), false});
+    return g;
+}
+
+TaskGraph amr_timestep() {
+    // Cell layout: block interiors 0..1, ghost cells 2..3, send buffers
+    // 4..5, checksum accumulator 6.
+    TaskGraph g;
+    g.name = "amr_timestep";
+    g.workers = 2;
+    g.cells = 7;
+    for (std::uint64_t b = 0; b < 2; ++b) {
+        const auto interior = b;
+        const auto ghost = 2 + b;
+        const auto buf = 4 + b;
+        const std::string sfx = std::to_string(b);
+        g.tasks.push_back({"stencil" + sfx,
+                           {inout_id(interior)},
+                           bump(interior, static_cast<std::int64_t>(b) + 1),
+                           false});
+        g.tasks.push_back({"pack" + sfx,
+                           {in_id(interior), out_id(buf)},
+                           mix(buf, interior, 5, static_cast<std::int64_t>(b)),
+                           false});
+        // TAMPI-style tasks: the body posts the operation; the dependency
+        // release waits for the poll service's completion Event.
+        g.tasks.push_back({"send" + sfx, {in_id(buf)}, nullptr, true});
+        g.tasks.push_back({"recv" + sfx,
+                           {out_id(ghost)},
+                           bump(ghost, 11 + static_cast<std::int64_t>(b)),
+                           true});
+        g.tasks.push_back({"unpack" + sfx,
+                           {in_id(ghost), inout_id(interior)},
+                           mix(interior, ghost, 13, static_cast<std::int64_t>(b)),
+                           false});
+    }
+    g.tasks.push_back({"checksum",
+                       {in_id(0), in_id(1), inout_id(6)},
+                       [](Cells& c) { c[6] = 3 * c[6] + 17 * c[0] + 19 * c[1]; },
+                       false});
+    return g;
+}
+
+std::vector<TaskGraph> all_graphs() {
+    return {diamond(), chain(), fan(), reader_pool(), amr_timestep()};
+}
+
+}  // namespace dfamr::verify::mc

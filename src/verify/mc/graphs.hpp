@@ -1,0 +1,41 @@
+// Fixed task graphs for the schedule-space explorer: the classical shapes
+// (diamond, chain, fan-out/fan-in, reader pool) plus a miniature AMR
+// timestep with TAMPI-style external-event communication tasks — the same
+// stencil/pack/send/recv/unpack/checksum structure core/tampi_oss.cpp
+// builds per block, shrunk to a size whose schedule space is exhaustively
+// explorable.
+//
+// Every body is a non-commutative affine update (x = a*x + b with distinct
+// constants per task) touching only the cells its declared regions cover,
+// so any dependency-violating reorder the scheduler model can express
+// changes the final checksum — schedule bugs cannot hide.
+#pragma once
+
+#include <vector>
+
+#include "verify/mc/controlled_runtime.hpp"
+
+namespace dfamr::verify::mc {
+
+/// A out(0); B,C read 0, write 1/2; D joins 1,2 into 3. Two workers.
+TaskGraph diamond();
+
+/// `length` tasks chained by inout on one cell. Two workers.
+TaskGraph chain(int length = 5);
+
+/// A out(0); `width` independent readers write their own cell; join reads
+/// them all. Two workers (three when width >= 4).
+TaskGraph fan(int width = 3);
+
+/// writer -> three parallel readers -> writer (WAR edges) -> final reader.
+TaskGraph reader_pool();
+
+/// One AMR timestep over two blocks: stencil_b -> pack_b -> send_b (event),
+/// recv_b (event) -> unpack_b -> checksum. Send/recv model TAMPI tasks:
+/// bodies run when scheduled, dependencies release on their poll event.
+TaskGraph amr_timestep();
+
+/// The full catalog, in a stable order (used by dfamr_mc and the CI smoke).
+std::vector<TaskGraph> all_graphs();
+
+}  // namespace dfamr::verify::mc

@@ -5,6 +5,7 @@
 // Verifier attached.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -429,6 +430,74 @@ TEST(AccessCheck, ViolationInTaskBodySurfacesAtTaskwait) {
     EXPECT_THROW(rt.taskwait(), AccessViolation);
     EXPECT_EQ(declared, 1.0);
     EXPECT_EQ(undeclared, 0.0);  // the write never executed
+}
+
+// ---------------------------------------------------------------------------
+// Wire-region registry: the delivery-path counterpart of the per-thread
+// table. These drive the always-compiled functions directly; the mpisim
+// integration (register at irecv post, check before the delivery memcpy,
+// unregister on match/cancel) is macro-gated and exercised live by the
+// DFAMR_VERIFY CI configuration.
+// ---------------------------------------------------------------------------
+
+TEST(WireRegions, DeliveryWriteMustHitRegisteredBuffer) {
+    ASSERT_EQ(wire_regions_registered(), 0u);
+    std::vector<std::byte> ghost(64);
+    register_wire_region(ghost.data(), ghost.size(), "ghost.recv");
+    EXPECT_EQ(wire_regions_registered(), 1u);
+
+    // In-bounds delivery writes pass: full buffer, prefix, interior slice.
+    EXPECT_NO_THROW(check_wire_write(ghost.data(), ghost.size()));
+    EXPECT_NO_THROW(check_wire_write(ghost.data(), 16));
+    EXPECT_NO_THROW(check_wire_write(ghost.data() + 8, 32));
+    // Empty payloads write nothing.
+    EXPECT_NO_THROW(check_wire_write(ghost.data(), 0));
+
+    // Overrun past the registered end: flagged with the buffer's tag.
+    try {
+        check_wire_write(ghost.data() + 32, 64);
+        FAIL() << "overrun was not flagged";
+    } catch (const AccessViolation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("overruns"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("ghost.recv"), std::string::npos) << msg;
+    }
+
+    // A write into memory nobody posted a receive for: the original blind
+    // spot — an endpoint thread scribbling outside every landing zone.
+    std::vector<std::byte> unrelated(64);
+    EXPECT_THROW(check_wire_write(unrelated.data(), unrelated.size()), AccessViolation);
+
+    unregister_wire_region(ghost.data());
+    EXPECT_EQ(wire_regions_registered(), 0u);
+    // Once the receive matched, its buffer is no longer a legal target.
+    EXPECT_THROW(check_wire_write(ghost.data(), 1), AccessViolation);
+}
+
+TEST(WireRegions, OverlappingPostsAreRejected) {
+    std::vector<std::byte> buf(128);
+    register_wire_region(buf.data(), 64, "first");
+    // Same base, straddling the start, and nested inside: all overlap.
+    EXPECT_THROW(register_wire_region(buf.data(), 32, "dup"), Error);
+    EXPECT_THROW(register_wire_region(buf.data() + 32, 64, "straddle"), Error);
+    EXPECT_THROW(register_wire_region(buf.data() + 8, 8, "nested"), Error);
+    // Adjacent (end == next base) is fine: distinct receives, distinct bytes.
+    EXPECT_NO_THROW(register_wire_region(buf.data() + 64, 64, "second"));
+    unregister_wire_region(buf.data());
+    unregister_wire_region(buf.data() + 64);
+    EXPECT_EQ(wire_regions_registered(), 0u);
+}
+
+TEST(WireRegions, UnbalancedUnregisterIsAnError) {
+    std::vector<std::byte> buf(16);
+    // Cancel/match bookkeeping bugs show up as unknown-base unregisters.
+    EXPECT_THROW(unregister_wire_region(buf.data()), Error);
+    register_wire_region(buf.data(), buf.size(), "once");
+    unregister_wire_region(buf.data());
+    EXPECT_THROW(unregister_wire_region(buf.data()), Error);
+    // Zero-size posts have no landing zone: no registration, no unregister.
+    register_wire_region(buf.data(), 0, "empty");
+    EXPECT_EQ(wire_regions_registered(), 0u);
 }
 
 // ---------------------------------------------------------------------------

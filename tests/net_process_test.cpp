@@ -66,6 +66,24 @@ TEST(Mpirun, ChaosOverTcpMatchesFaultFreeTwin) {
               0);
 }
 
+// DepLint as a cross-process race prover: DFAMR_DEPLINT=1 attaches the
+// verifier inside every rank process, so each rank's full task history —
+// including the TAMPI communication tasks driven by real TCP traffic — must
+// pass the happens-before proof at shutdown. A dirty proof aborts the rank
+// and dfamr_mpirun propagates the non-zero exit.
+class MpirunDepLint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpirunDepLint, TwoRankTaskGraphProvedRaceFree) {
+    const std::string variant = GetParam();
+    EXPECT_EQ(run(std::string("DFAMR_DEPLINT=1 ") + DFAMR_MPIRUN_BIN + " -n 2 " +
+                  DFAMR_SINGLE_SPHERE_BIN + " --transport tcp --variant " + variant + " " +
+                  kProblem),
+              0)
+        << "DepLint reported an unordered conflict in a rank's task graph";
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskVariants, MpirunDepLint, ::testing::Values("forkjoin", "tampi"));
+
 TEST(Mpirun, PropagatesRankExitCode) {
     EXPECT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 sh -c 'exit 3' > /dev/null 2>&1"), 3);
 }
