@@ -15,6 +15,8 @@
 #include "core/metrics.hpp"
 #include "core/variants.hpp"
 #include "sched_bench.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 
 using namespace dfamr;
 using namespace dfamr::bench;
@@ -121,9 +123,53 @@ TraceMeasurement measure_trace() {
     return t;
 }
 
+/// Serving throughput: an in-process dfamr_serve server driven by the
+/// loadgen at two tenant counts on the same pool. The 1-tenant point is the
+/// uncontended baseline; the 8-tenant point exercises DRR fair-share
+/// arbitration plus slice-based suspend/resume, so the latency tail tracks
+/// the cost of multi-tenancy (every job still checksum-verified solo).
+struct ServePoint {
+    int tenants = 0;
+    serve::LoadGenReport report;
+};
+
+struct ServeMeasurement {
+    int pool_workers = 0;
+    int jobs = 0;
+    std::vector<ServePoint> points;
+};
+
+ServeMeasurement measure_serving() {
+    ServeMeasurement m;
+    m.pool_workers = 4;
+    m.jobs = 40;
+    for (const int tenants : {1, 8}) {
+        serve::ServerOptions sopts;
+        sopts.manager.pool_workers = m.pool_workers;
+        sopts.manager.max_queue = 512;
+        sopts.manager.max_inflight_cost = m.pool_workers;
+        sopts.manager.slice_tsteps = 2;  // contended jobs round-robin via suspend
+        serve::Server server(sopts);
+
+        serve::LoadGenOptions lopts;
+        lopts.jobs = m.jobs;
+        lopts.tenants = tenants;
+        lopts.interarrival_ms = 0.5;  // arrivals outpace service: queue forms
+        lopts.distinct_specs = 4;
+        lopts.base.num_tsteps = 4;
+
+        ServePoint p;
+        p.tenants = tenants;
+        p.report = serve::run_loadgen({sopts.host, server.port()}, lopts);
+        m.points.push_back(std::move(p));
+        server.stop();
+    }
+    return m;
+}
+
 void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
                 const SchedMeasurement& sched, const NetMeasurement& netm,
-                const TraceMeasurement& tracem) {
+                const TraceMeasurement& tracem, const ServeMeasurement& servem) {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
@@ -190,6 +236,20 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
     std::fprintf(f, "    \"traced_s\": %.6f,\n", tracem.traced_s);
     std::fprintf(f, "    \"overhead_frac\": %.4f,\n", tracem.overhead_frac);
     std::fprintf(f, "    \"metrics\": %s", core::metrics_to_json(tracem.snapshot).c_str());
+    std::fprintf(f, "  },\n");
+    // Multi-tenant serving throughput over the DFS1 wire (see
+    // measure_serving): same pool, 1 tenant vs 8 tenants, each point a full
+    // loadgen report (throughput, p50/p99 latency, suspend + verify counts).
+    std::fprintf(f, "  \"serving\": {\n");
+    std::fprintf(f, "    \"pool_workers\": %d,\n", servem.pool_workers);
+    std::fprintf(f, "    \"jobs_per_point\": %d,\n", servem.jobs);
+    std::fprintf(f, "    \"points\": [\n");
+    for (std::size_t i = 0; i < servem.points.size(); ++i) {
+        const ServePoint& p = servem.points[i];
+        std::fprintf(f, "      {\"tenants\": %d, \"report\": %s}%s\n", p.tenants,
+                     p.report.to_json().c_str(), i + 1 < servem.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -274,7 +334,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tracem.snapshot.trace.events),
                 tracem.snapshot.trace.cores);
 
-    write_json(out, rows, max_nodes, sched, netm, tracem);
+    std::printf("running serving throughput measurement...\n");
+    const ServeMeasurement servem = measure_serving();
+    for (const ServePoint& p : servem.points) {
+        std::printf("serving: %d tenant%s: %.1f jobs/s, p50 %.0f ms, p99 %.0f ms, "
+                    "%d suspended, %d mismatches\n",
+                    p.tenants, p.tenants == 1 ? "" : "s", p.report.jobs_per_s, p.report.p50_ms,
+                    p.report.p99_ms, p.report.suspended_jobs, p.report.checksum_mismatches);
+    }
+
+    write_json(out, rows, max_nodes, sched, netm, tracem, servem);
     std::printf("wrote %s (%zu points)\n", out, rows.size());
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
@@ -53,7 +54,9 @@ RankResult DriverBase::run() {
     comm_.barrier();
     Stopwatch total;
     total.start();
-    if (!cfg_.restore_path.empty()) {
+    if (control_ != nullptr && control_->restore_image != nullptr) {
+        restore_state();
+    } else if (!cfg_.restore_path.empty()) {
         // The checkpoint already contains the fully refined, balanced mesh;
         // skip the initial refinement and resume the timestep loop.
         restore_state();
@@ -95,10 +98,38 @@ void DriverBase::main_loop() {
             write_state(ts);
         }
         sample_sched_counters();
+        if (control_ != nullptr) {
+            const RunAction action = consult_control(ts);
+            if (action == RunAction::Suspend) {
+                write_state(ts, /*suspending=*/true);
+                result_.stop = StopKind::Suspended;
+                result_.stop_ts = ts;
+                return;
+            }
+            if (action == RunAction::Cancel) {
+                // Quiesce like a checkpoint would, but drop the state.
+                sync_before_refine();
+                comm_.barrier();
+                result_.stop = StopKind::Cancelled;
+                result_.stop_ts = ts;
+                return;
+            }
+        }
     }
 }
 
-void DriverBase::write_state(int ts_completed) {
+RunAction DriverBase::consult_control(int ts_completed) {
+    int decision = static_cast<int>(RunAction::Continue);
+    if (rank_ == 0 && control_->on_timestep) {
+        decision = static_cast<int>(control_->on_timestep(ts_completed, cfg_.num_tsteps));
+    }
+    // Collective agreement: every rank must take the same branch, so the
+    // rank-0 decision is broadcast before anyone acts on it.
+    comm_.bcast(&decision, sizeof decision, 0);
+    return static_cast<RunAction>(decision);
+}
+
+void DriverBase::write_state(int ts_completed, bool suspending) {
     // Quiesce: drain in-flight tasks and resolve any deferred checksum so
     // the serialized state equals what a fresh run would hold at this point.
     sync_before_refine();
@@ -115,17 +146,42 @@ void DriverBase::write_state(int ts_completed) {
     state.checksum_reference = checksum_reference_;
     state.validation_ok = result_.validation_ok;
     state.owners = mesh_.structure().leaves();
-    resilience::write_checkpoint(hcomm_, cfg_.checkpoint_path, state,
-                                 resilience::serialize_rank_blocks(mesh_));
+
+    // Route the assembled image: a suspension always goes to the host's
+    // in-memory sink; a periodic checkpoint goes in-memory when the host
+    // asked for it (on_checkpoint_image) and to disk otherwise. The image
+    // bytes are identical either way.
+    const bool to_memory =
+        control_ != nullptr &&
+        ((suspending && control_->on_suspend_image) || (!suspending && control_->on_checkpoint_image));
+    if (to_memory) {
+        std::vector<std::byte> image =
+            resilience::build_checkpoint(hcomm_, state, resilience::serialize_rank_blocks(mesh_));
+        if (rank_ == 0) {
+            if (suspending) {
+                control_->on_suspend_image(std::move(image));
+            } else {
+                control_->on_checkpoint_image(ts_completed, std::move(image));
+            }
+        }
+    } else {
+        resilience::write_checkpoint(hcomm_, cfg_.checkpoint_path, state,
+                                     resilience::serialize_rank_blocks(mesh_));
+    }
 
     trace(0, t0, now_ns(), PhaseKind::Control);
-    comm_.barrier();  // nobody resumes until the file is durably in place
+    comm_.barrier();  // nobody resumes until the image is durably in place
 }
 
 void DriverBase::restore_state() {
     const std::int64_t t0 = now_ns();
+    const bool from_memory = control_ != nullptr && control_->restore_image != nullptr;
+    const std::span<const std::byte> image =
+        from_memory ? std::span<const std::byte>(*control_->restore_image)
+                    : std::span<const std::byte>{};
     const resilience::CheckpointState state =
-        resilience::read_checkpoint_state(cfg_.restore_path);
+        from_memory ? resilience::read_checkpoint_state(image)
+                    : resilience::read_checkpoint_state(cfg_.restore_path);
     DFAMR_REQUIRE(state.config_fingerprint == resilience::config_fingerprint(cfg_),
                   "checkpoint was written by an incompatible configuration");
     DFAMR_REQUIRE(state.nranks == cfg_.num_ranks(), "checkpoint rank count mismatch");
@@ -139,7 +195,9 @@ void DriverBase::restore_state() {
 
     mesh_.structure().restore_leaves(state.owners);
     mesh_.clear_blocks();
-    for (auto& [key, data] : resilience::read_rank_blocks(cfg_.restore_path, rank_)) {
+    for (auto& [key, data] : from_memory
+                                 ? resilience::read_rank_blocks(image, rank_)
+                                 : resilience::read_rank_blocks(cfg_.restore_path, rank_)) {
         auto block = mesh_.make_block(key);
         DFAMR_REQUIRE(data.size() == block->data_size(), "checkpoint block size mismatch");
         std::copy(data.begin(), data.end(), block->data());

@@ -49,6 +49,12 @@ public:
     DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* tracer);
     virtual ~DriverBase() = default;
 
+    /// Attaches cooperative run control (suspend/cancel hooks, in-memory
+    /// checkpoint routing). Must be set before run(); the same pointer must
+    /// be passed on every rank of the world (the hooks themselves fire on
+    /// rank 0 only, decisions are broadcast).
+    void set_control(const RunControl* control) { control_ = control; }
+
     /// Executes the full mini-app on this rank and returns its result.
     RankResult run();
 
@@ -135,10 +141,18 @@ protected:
 
 private:
     void main_loop();
-    /// Collective checkpoint write after timestep `ts_completed`.
-    void write_state(int ts_completed);
-    /// Replaces the freshly initialized state with the checkpointed one.
+    /// Collective checkpoint after timestep `ts_completed`: builds the
+    /// image and routes it to disk or, under run control, to the host's
+    /// callback. `suspending` selects the RunControl sink to deliver to.
+    void write_state(int ts_completed, bool suspending = false);
+    /// Replaces the freshly initialized state with the checkpointed one
+    /// (from control_->restore_image when set, else cfg.restore_path).
     void restore_state();
+    /// Rank 0 consults the control hook, the decision is broadcast. Returns
+    /// the collective action for this timestep boundary.
+    RunAction consult_control(int ts_completed);
+
+    const RunControl* control_ = nullptr;
 };
 
 }  // namespace dfamr::core

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/run_control.hpp"
 #include "net/wire.hpp"
 
 namespace dfamr::core {
@@ -88,6 +89,12 @@ struct RankResult {
     RunCounters counters;
     SchedulerCounters sched;         // whole run (cumulative runtime stats)
     SchedulerCounters sched_refine;  // slice attributed to refinement phases
+    /// Why the run left the timestep loop early (RunControl decision); None
+    /// for a run that completed all cfg.num_tsteps timesteps.
+    StopKind stop = StopKind::None;
+    /// Last completed timestep when stop != None (every rank agrees: the
+    /// decision is broadcast).
+    int stop_ts = -1;
 };
 
 /// Global result (reduced across ranks; the numbers a bench prints).
@@ -105,6 +112,12 @@ struct RunResult {
     RunCounters counters;
     SchedulerCounters sched;         // summed over ranks
     SchedulerCounters sched_refine;  // summed over ranks
+    /// RunControl outcome (all ranks agree; None when no control attached
+    /// or the run completed). checksums hold the history up to stop_ts.
+    StopKind stop = StopKind::None;
+    int stop_ts = -1;
+
+    bool completed() const { return stop == StopKind::None; }
 
     double gflops() const {
         return times.total > 0 ? static_cast<double>(total_flops) / times.total * 1e-9 : 0.0;

@@ -126,6 +126,8 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
         };
     }
     mpi::World world(cfg.num_ranks(), wopts, faults);
+    DFAMR_REQUIRE(opts.control == nullptr || !world.distributed(),
+                  "run control (suspend/resume) requires an in-process world");
 
     std::mutex results_mutex;
     std::vector<RankResult> results(static_cast<std::size_t>(cfg.num_ranks()));
@@ -147,7 +149,19 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
                 driver = std::make_unique<TampiOssDriver>(cfg, comm, tracer);
                 break;
         }
-        RankResult r = driver->run();
+        driver->set_control(opts.control);
+        RankResult r;
+        try {
+            r = driver->run();
+        } catch (...) {
+            // This rank is unwinding (its own fault or a sibling's abort
+            // observed mid-wait) and the driver is about to free the buffers
+            // its posted receives point into. Unpost them first: a sibling
+            // that has not yet noticed the abort may still be sending, and a
+            // matched delivery would memcpy into freed memory.
+            comm.abandon_posted_recvs();
+            throw;
+        }
         if (world.distributed()) {
             // Reduce across processes while every rank is still inside
             // rank_main (the reduction is collective). Wire counters are
@@ -166,7 +180,11 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
 
     RunResult total;
     total.checksums = results[0].checksums;
+    total.stop = results[0].stop;
+    total.stop_ts = results[0].stop_ts;
     for (const RankResult& r : results) {
+        DFAMR_REQUIRE(r.stop == total.stop && r.stop_ts == total.stop_ts,
+                      "ranks disagree on the run-control stop decision");
         total.times.total = std::max(total.times.total, r.times.total);
         total.times.refine = std::max(total.times.refine, r.times.refine);
         total.times.comm = std::max(total.times.comm, r.times.comm);

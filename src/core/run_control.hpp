@@ -1,0 +1,57 @@
+// Cooperative run control: the hook set a long-running host (the serve
+// layer's JobManager) uses to observe and steer a simulation while it runs.
+//
+// The contract is collective and deterministic: the hook is consulted on
+// rank 0 only, once per completed timestep, and its decision is broadcast
+// to every rank of the world before anyone acts on it — all ranks suspend
+// (or cancel) together at the same timestep boundary, after any periodic
+// checkpoint for that timestep was written. Suspension serializes the full
+// simulation state through the resilience checkpoint layer into an
+// in-memory image (bit-identical to what a checkpoint file would hold);
+// resuming a run from that image continues the timestep loop, checksum
+// history included, exactly like a file restore.
+//
+// Run control requires an in-process world (every rank in this process):
+// the image lives in this process's memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dfamr::core {
+
+/// Decision returned by the per-timestep hook.
+enum class RunAction : int {
+    Continue = 0,  // keep stepping
+    Suspend = 1,   // quiesce, serialize to an in-memory image, leave the loop
+    Cancel = 2,    // quiesce and leave the loop without building an image
+};
+
+/// Why a run returned before completing cfg.num_tsteps.
+enum class StopKind : int { None = 0, Suspended = 1, Cancelled = 2 };
+
+struct RunControl {
+    /// Consulted on rank 0 after each completed timestep (refinement and
+    /// periodic checkpointing for that timestep included). May be called
+    /// from a rank thread of the running world — keep it cheap and never
+    /// block on the world's own progress.
+    std::function<RunAction(int ts_completed, int num_tsteps)> on_timestep;
+
+    /// Receives the in-memory checkpoint image on suspension (rank 0's
+    /// thread). The image is the complete, self-contained state — feeding
+    /// it back through `restore_image` resumes the run.
+    std::function<void(std::vector<std::byte> image)> on_suspend_image;
+
+    /// When non-null, initial state is restored from this image instead of
+    /// a fresh initialization (takes precedence over cfg.restore_path).
+    const std::vector<std::byte>* restore_image = nullptr;
+
+    /// When set, periodic checkpoints (cfg.checkpoint_every) are delivered
+    /// here (rank 0's thread) instead of being written to
+    /// cfg.checkpoint_path — crash recovery without disk.
+    std::function<void(int ts_completed, std::vector<std::byte> image)> on_checkpoint_image;
+};
+
+}  // namespace dfamr::core

@@ -20,6 +20,11 @@ TampiOssDriver::TampiOssDriver(const Config& cfg, mpi::Communicator& comm, Trace
     // driver-level hardened operations; a timed-out request surfaces as a
     // CommTimeout at the next taskwait instead of hanging the worker pool.
     tampi_.configure_resilience(hcomm_.policy(), tracer);
+    // Fast-fail on sibling-rank crashes: once the world aborts, the
+    // progress engine flushes every bound request and blocking waits bail
+    // out, so the rank unwinds in milliseconds instead of riding out a
+    // full comm_timeout per in-flight transfer.
+    tampi_.set_abort_probe([&comm] { return comm.aborted(); });
 #if defined(DFAMR_VERIFY)
     verifier_ = std::make_unique<verify::Verifier>();
     verifier_->attach(rt_);

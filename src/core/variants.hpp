@@ -18,6 +18,10 @@ struct RunOptions {
     /// Build a fully local world even when DFAMR_RANK is set (used for the
     /// in-process reference run of a chaos comparison under dfamr_mpirun).
     bool ignore_launch_env = false;
+    /// Cooperative run control (suspend/resume/cancel + in-memory
+    /// checkpoints; see core/run_control.hpp). Not a CLI option. Requires
+    /// an in-process world — incompatible with a distributed launch.
+    const RunControl* control = nullptr;
 
     static void register_cli(CliParser& cli);
     static RunOptions from_cli(const CliParser& cli);

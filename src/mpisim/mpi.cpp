@@ -464,6 +464,10 @@ int wait_any(std::span<Request> reqs, Status* status) {
 
 // ---- Communicator: point-to-point -----------------------------------------
 
+bool Communicator::aborted() const {
+    return world_->aborted.load(std::memory_order_relaxed);
+}
+
 Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int tag) {
     DFAMR_REQUIRE(tag >= 0 && tag < kReservedTagBase,
                   "isend: tag must be in [0, kReservedTagBase)");
@@ -643,6 +647,22 @@ bool Communicator::iprobe(int source, int tag, Status* status) {
         }
     }
     return false;
+}
+
+void Communicator::abandon_posted_recvs() {
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+    std::deque<detail::PostedRecv> orphans;
+    {
+        std::lock_guard lock(mbox.m);
+        orphans.swap(mbox.posted);
+        for (const detail::PostedRecv& p : orphans) {
+            if (p.capacity > 0) DFAMR_WIRE_UNREGISTER(p.buf);
+        }
+    }
+    // Complete outside the mailbox lock (waiters take the request lock).
+    for (const detail::PostedRecv& p : orphans) {
+        detail::complete_request(p.req, Status{kUndefined, kUndefined, 0, /*ok=*/false});
+    }
 }
 
 // ---- Communicator: collectives ---------------------------------------------

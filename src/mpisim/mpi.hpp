@@ -167,6 +167,11 @@ class Communicator {
 public:
     int rank() const { return rank_; }
     int size() const { return size_; }
+    /// True once any rank of this world has failed (the abort flag every
+    /// blocking call polls). Lets layers with their own wait loops — the
+    /// TAMPI progress engine — observe the failure promptly instead of
+    /// riding out their full completion deadlines.
+    bool aborted() const;
 
     // --- point-to-point ------------------------------------------------
     /// `tag` must be in [0, kReservedTagBase).
@@ -176,6 +181,12 @@ public:
     void recv(void* buf, std::size_t bytes, int source, int tag, Status* status = nullptr);
     /// Non-blocking probe for a matching incoming message (MPI_Iprobe).
     bool iprobe(int source, int tag, Status* status = nullptr);
+    /// Unposts every receive this rank still has in its mailbox, completing
+    /// the requests with status.ok == false. A driver that unwinds on an
+    /// error MUST call this before freeing its receive buffers: the mailbox
+    /// holds raw pointers into them, and a sibling rank that has not yet
+    /// observed the abort would otherwise deliver into freed memory.
+    void abandon_posted_recvs();
 
     // --- collectives (all ranks must call in the same order) ------------
     void barrier();

@@ -5,11 +5,15 @@
 #include <fstream>
 
 #include "amr/comm_plan.hpp"
+#include "common/bytecodec.hpp"
 #include "common/error.hpp"
 
 namespace dfamr::resilience {
 
 namespace {
+
+using bytes::Reader;
+using bytes::Writer;
 
 constexpr char kMagic[8] = {'D', 'F', 'A', 'M', 'R', 'C', 'K', 'P'};
 
@@ -23,82 +27,35 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
     return h;
 }
 
-struct Writer {
-    std::vector<std::byte> bytes;
+void put_vec3d(Writer& w, const Vec3d& v) {
+    w.f64(v.x);
+    w.f64(v.y);
+    w.f64(v.z);
+}
 
-    void raw(const void* p, std::size_t n) {
-        const auto* b = static_cast<const std::byte*>(p);
-        bytes.insert(bytes.end(), b, b + n);
-    }
-    void u32(std::uint32_t v) { raw(&v, sizeof v); }
-    void u64(std::uint64_t v) { raw(&v, sizeof v); }
-    void i32(std::int32_t v) { raw(&v, sizeof v); }
-    void i64(std::int64_t v) { raw(&v, sizeof v); }
-    void f64(double v) { raw(&v, sizeof v); }
-    void vec3d(const Vec3d& v) {
-        f64(v.x);
-        f64(v.y);
-        f64(v.z);
-    }
-    void key(const amr::BlockKey& k) {
-        i32(k.level);
-        i64(k.anchor.x);
-        i64(k.anchor.y);
-        i64(k.anchor.z);
-    }
-};
+Vec3d get_vec3d(Reader& r) {
+    Vec3d v;
+    v.x = r.f64();
+    v.y = r.f64();
+    v.z = r.f64();
+    return v;
+}
 
-struct Reader {
-    const std::byte* p = nullptr;
-    std::size_t left = 0;
+void put_key(Writer& w, const amr::BlockKey& k) {
+    w.i32(k.level);
+    w.i64(k.anchor.x);
+    w.i64(k.anchor.y);
+    w.i64(k.anchor.z);
+}
 
-    void raw(void* out, std::size_t n) {
-        DFAMR_REQUIRE(n <= left, "checkpoint: truncated file");
-        std::memcpy(out, p, n);
-        p += n;
-        left -= n;
-    }
-    std::uint32_t u32() {
-        std::uint32_t v;
-        raw(&v, sizeof v);
-        return v;
-    }
-    std::uint64_t u64() {
-        std::uint64_t v;
-        raw(&v, sizeof v);
-        return v;
-    }
-    std::int32_t i32() {
-        std::int32_t v;
-        raw(&v, sizeof v);
-        return v;
-    }
-    std::int64_t i64() {
-        std::int64_t v;
-        raw(&v, sizeof v);
-        return v;
-    }
-    double f64() {
-        double v;
-        raw(&v, sizeof v);
-        return v;
-    }
-    Vec3d vec3d() {
-        Vec3d v;
-        v.x = f64();
-        v.y = f64();
-        v.z = f64();
-        return v;
-    }
-    amr::BlockKey key() {
-        amr::BlockKey k;
-        k.level = i32();
-        k.anchor.x = i64();
-        k.anchor.y = i64();
-        k.anchor.z = i64();
-        return k;
-    }
-};
+amr::BlockKey get_key(Reader& r) {
+    amr::BlockKey k;
+    k.level = r.i32();
+    k.anchor.x = r.i64();
+    k.anchor.y = r.i64();
+    k.anchor.z = r.i64();
+    return k;
+}
 
 std::vector<std::byte> read_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -133,10 +90,10 @@ CheckpointState parse_header(Reader& r) {
     for (amr::ObjectSpec& obj : st.objects) {
         obj.type = static_cast<amr::ObjectType>(r.i32());
         obj.bounce = r.u32() != 0;
-        obj.center = r.vec3d();
-        obj.move = r.vec3d();
-        obj.size = r.vec3d();
-        obj.inc = r.vec3d();
+        obj.center = get_vec3d(r);
+        obj.move = get_vec3d(r);
+        obj.size = get_vec3d(r);
+        obj.inc = get_vec3d(r);
     }
 
     const std::uint32_t nsums = r.u32();
@@ -149,7 +106,7 @@ CheckpointState parse_header(Reader& r) {
 
     const std::uint32_t nleaves = r.u32();
     for (std::uint32_t i = 0; i < nleaves; ++i) {
-        const amr::BlockKey key = r.key();
+        const amr::BlockKey key = get_key(r);
         st.owners[key] = r.i32();
     }
     return st;
@@ -174,22 +131,22 @@ std::vector<std::byte> serialize_rank_blocks(const amr::Mesh& mesh) {
     w.u32(static_cast<std::uint32_t>(keys.size()));
     for (const amr::BlockKey& key : keys) {
         const amr::Block& blk = mesh.block(key);
-        w.key(key);
+        put_key(w, key);
         w.u64(blk.data_size());
         w.raw(blk.data(), blk.data_size() * sizeof(double));
     }
     return std::move(w.bytes);
 }
 
-void write_checkpoint(HardenedComm& comm, const std::string& path, const CheckpointState& state,
-                      const std::vector<std::byte>& rank_blob) {
+std::vector<std::byte> build_checkpoint(HardenedComm& comm, const CheckpointState& state,
+                                        const std::vector<std::byte>& rank_blob) {
     const int rank = comm.rank();
     const int nranks = comm.raw().size();
     if (rank != 0) {
         const std::uint64_t size = rank_blob.size();
         comm.send(&size, sizeof size, 0, kSizeTag);
         if (size > 0) comm.send(rank_blob.data(), rank_blob.size(), 0, kBlobTag);
-        return;
+        return {};
     }
 
     std::vector<std::vector<std::byte>> sections(static_cast<std::size_t>(nranks));
@@ -214,10 +171,10 @@ void write_checkpoint(HardenedComm& comm, const std::string& path, const Checkpo
     for (const amr::ObjectSpec& obj : state.objects) {
         w.i32(static_cast<std::int32_t>(obj.type));
         w.u32(obj.bounce ? 1 : 0);
-        w.vec3d(obj.center);
-        w.vec3d(obj.move);
-        w.vec3d(obj.size);
-        w.vec3d(obj.inc);
+        put_vec3d(w, obj.center);
+        put_vec3d(w, obj.move);
+        put_vec3d(w, obj.size);
+        put_vec3d(w, obj.inc);
     }
     w.u32(static_cast<std::uint32_t>(state.checksums.size()));
     for (const double v : state.checksums) w.f64(v);
@@ -226,7 +183,7 @@ void write_checkpoint(HardenedComm& comm, const std::string& path, const Checkpo
     w.u32(state.validation_ok ? 1 : 0);
     w.u32(static_cast<std::uint32_t>(state.owners.size()));
     for (const auto& [key, owner] : state.owners) {
-        w.key(key);
+        put_key(w, key);
         w.i32(owner);
     }
 
@@ -241,29 +198,41 @@ void write_checkpoint(HardenedComm& comm, const std::string& path, const Checkpo
     for (const auto& section : sections) {
         w.raw(section.data(), section.size());
     }
+    return std::move(w.bytes);
+}
 
+void write_checkpoint_file(const std::string& path, std::span<const std::byte> image) {
     const std::string tmp = path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         DFAMR_REQUIRE(out.good(), "checkpoint: cannot write '" + tmp + "'");
-        out.write(reinterpret_cast<const char*>(w.bytes.data()),
-                  static_cast<std::streamsize>(w.bytes.size()));
+        out.write(reinterpret_cast<const char*>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
         DFAMR_REQUIRE(out.good(), "checkpoint: write failed for '" + tmp + "'");
     }
     DFAMR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                   "checkpoint: cannot move '" + tmp + "' into place");
 }
 
-CheckpointState read_checkpoint_state(const std::string& path) {
-    const std::vector<std::byte> bytes = read_file(path);
-    Reader r{bytes.data(), bytes.size()};
+void write_checkpoint(HardenedComm& comm, const std::string& path, const CheckpointState& state,
+                      const std::vector<std::byte>& rank_blob) {
+    const std::vector<std::byte> image = build_checkpoint(comm, state, rank_blob);
+    if (comm.rank() == 0) write_checkpoint_file(path, image);
+}
+
+CheckpointState read_checkpoint_state(std::span<const std::byte> image) {
+    Reader r{image.data(), image.size()};
     return parse_header(r);
 }
 
-std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
-    const std::string& path, int rank) {
+CheckpointState read_checkpoint_state(const std::string& path) {
     const std::vector<std::byte> bytes = read_file(path);
-    Reader r{bytes.data(), bytes.size()};
+    return read_checkpoint_state(std::span<const std::byte>(bytes));
+}
+
+std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
+    std::span<const std::byte> image, int rank) {
+    Reader r{image.data(), image.size()};
     const CheckpointState st = parse_header(r);
     DFAMR_REQUIRE(0 <= rank && rank < st.nranks, "checkpoint: rank out of range");
 
@@ -273,20 +242,26 @@ std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
         offset = r.u64();
         size = r.u64();
     }
-    DFAMR_REQUIRE(offset + size <= bytes.size(), "checkpoint: section out of bounds");
+    DFAMR_REQUIRE(offset + size <= image.size(), "checkpoint: section out of bounds");
 
-    Reader section{bytes.data() + offset, static_cast<std::size_t>(size)};
+    Reader section{image.data() + offset, static_cast<std::size_t>(size)};
     const std::uint32_t nblocks = section.u32();
     std::vector<std::pair<amr::BlockKey, std::vector<double>>> out;
     out.reserve(nblocks);
     for (std::uint32_t i = 0; i < nblocks; ++i) {
-        const amr::BlockKey key = section.key();
+        const amr::BlockKey key = get_key(section);
         const std::uint64_t count = section.u64();
         std::vector<double> data(static_cast<std::size_t>(count));
         section.raw(data.data(), data.size() * sizeof(double));
         out.emplace_back(key, std::move(data));
     }
     return out;
+}
+
+std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
+    const std::string& path, int rank) {
+    const std::vector<std::byte> bytes = read_file(path);
+    return read_rank_blocks(std::span<const std::byte>(bytes), rank);
 }
 
 }  // namespace dfamr::resilience

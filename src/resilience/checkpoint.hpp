@@ -11,12 +11,16 @@
 //
 // Writing is collective: every rank serializes its own blocks, ranks != 0
 // ship their blob to rank 0 over hardened point-to-point on dedicated tags,
-// and rank 0 writes the file atomically (tmp + rename). Restoring needs no
+// and rank 0 assembles the complete checkpoint image in memory. The image
+// can then be written to a file atomically (tmp + rename) or kept in memory
+// — job suspend/resume in the serve layer round-trips state without ever
+// touching disk, through byte-identical images. Restoring needs no
 // communication: ranks share the process, so each reads its own section.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,16 +53,32 @@ std::uint64_t config_fingerprint(const amr::Config& cfg);
 /// Serializes this rank's owned blocks (keys + raw cell data).
 std::vector<std::byte> serialize_rank_blocks(const amr::Mesh& mesh);
 
-/// Collective write: every rank passes its blob; rank 0 gathers and writes
-/// `path`. All ranks must pass an identical `state` (it is written once).
+/// Collective assembly: every rank passes its blob; rank 0 gathers them and
+/// returns the complete checkpoint image (the exact byte sequence a
+/// checkpoint file holds). Ranks != 0 return an empty vector. All ranks
+/// must pass an identical `state` (it is serialized once, by rank 0).
+std::vector<std::byte> build_checkpoint(HardenedComm& comm, const CheckpointState& state,
+                                        const std::vector<std::byte>& rank_blob);
+
+/// Atomically writes an assembled image to `path` (tmp + rename). Only the
+/// rank holding the image (rank 0 after build_checkpoint) should call this.
+void write_checkpoint_file(const std::string& path, std::span<const std::byte> image);
+
+/// Collective write: build_checkpoint + write_checkpoint_file on rank 0.
 void write_checkpoint(HardenedComm& comm, const std::string& path, const CheckpointState& state,
                       const std::vector<std::byte>& rank_blob);
 
-/// Reads and validates the header + global state. Throws dfamr::Error on a
-/// bad magic, unsupported version, or truncated file.
+/// Validates the header + global state of an in-memory image. Throws
+/// dfamr::Error on a bad magic, unsupported version, or truncated input.
+CheckpointState read_checkpoint_state(std::span<const std::byte> image);
+/// Same, reading the image from a file.
 CheckpointState read_checkpoint_state(const std::string& path);
 
-/// Reads one rank's block section: (key, cell data) pairs.
+/// Reads one rank's block section of an in-memory image: (key, cell data)
+/// pairs.
+std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
+    std::span<const std::byte> image, int rank);
+/// Same, reading the image from a file.
 std::vector<std::pair<amr::BlockKey, std::vector<double>>> read_rank_blocks(
     const std::string& path, int rank);
 

@@ -1,0 +1,92 @@
+// Client side of the DFS1 protocol: one TCP connection, asynchronous
+// submits, and a demux reader thread that routes server frames to per-job
+// slots. Safe for concurrent use from many submitter threads — the load
+// generator drives hundreds of in-flight jobs over a single Client.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lockdep.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+
+namespace dfamr::serve {
+
+/// Final outcome of one submitted job, as seen over the wire.
+struct ClientJobResult {
+    bool accepted = false;
+    bool done = false;      // Done frame (vs Rejected / Failed / connection loss)
+    std::string error;      // rejection reason or failure message
+    std::vector<double> checksums;
+    double elapsed_s = 0;   // server-side service time
+    double latency_s = 0;   // client-side submit → terminal frame
+    int suspends = 0;
+    int retries = 0;
+    int progress_frames = 0;
+};
+
+class Client {
+public:
+    /// Dials the server (bounded retry while it comes up).
+    explicit Client(const net::HostPort& addr);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Sends a Submit and returns the connection-unique job reference
+    /// immediately; completion is collected with wait().
+    std::uint64_t submit(const JobSpec& spec);
+
+    /// Blocks until the job's terminal frame (Rejected/Done/Failed) or
+    /// connection loss.
+    ClientJobResult wait(std::uint64_t ref);
+
+    void cancel(std::uint64_t ref);
+
+    /// Synchronous server stats round-trip.
+    ServerStats stats();
+
+    /// Jobs submitted and not yet terminal (tracked by the reader thread).
+    int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+    /// High-water mark of inflight().
+    int peak_inflight() const { return peak_inflight_.load(std::memory_order_relaxed); }
+
+    /// Sends Bye and closes. Called by the destructor if needed.
+    void close();
+
+private:
+    struct Slot {
+        ClientJobResult result;
+        bool terminal = false;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    void reader_loop();
+    void send_frame(FrameKind kind, std::uint64_t ref,
+                    const std::vector<std::byte>& payload);
+    Slot& slot_locked(std::uint64_t ref);
+
+    net::Socket sock_;
+    std::thread reader_;
+
+    mutable lockdep::Mutex mutex_{"serve.client"};
+    std::condition_variable_any cv_;
+    std::map<std::uint64_t, Slot> slots_;
+    ServerStats last_stats_;
+    std::uint64_t stats_generation_ = 0;   // bumped on every Stats frame
+    std::uint64_t next_ref_ = 1;
+    bool closed_ = false;
+
+    std::atomic<int> inflight_{0};
+    std::atomic<int> peak_inflight_{0};
+};
+
+}  // namespace dfamr::serve

@@ -1,0 +1,62 @@
+// Job lifecycle of the serve plane. States and the event snapshot the
+// JobManager publishes to its host (the server forwards events as wire
+// frames; tests subscribe directly).
+//
+// State machine:
+//
+//   Queued ──dispatch──▶ Running ──complete──▶ Done
+//     │                    │  ▲                Failed (error, retries spent)
+//     │                    │  └─resume──┐
+//     │                 suspend         │
+//     │                    ▼            │
+//     │                 Suspended ──requeue──▶ Queued
+//     └────────────────cancel─────────────────▶ Cancelled
+//
+// Suspend parks the run as an in-memory checkpoint image (the same byte
+// format the resilience layer writes to disk); resume re-enters the
+// timestep loop from that image with the full checksum history intact, so
+// a job that was suspended N times still reports checksums bit-identical
+// to an uninterrupted solo run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dfamr::serve {
+
+enum class JobState : std::uint32_t {
+    Queued = 0,
+    Running = 1,
+    Suspended = 2,
+    Done = 3,
+    Failed = 4,
+    Cancelled = 5,
+};
+
+const char* to_string(JobState s);
+
+inline bool is_terminal(JobState s) {
+    return s == JobState::Done || s == JobState::Failed || s == JobState::Cancelled;
+}
+
+/// Snapshot published on every state change and on per-timestep progress.
+/// Terminal payload fields are only meaningful in the matching state.
+struct JobEvent {
+    std::uint64_t id = 0;  // manager-assigned job id
+    JobState state = JobState::Queued;
+    int ts = 0;        // last completed timestep
+    int total_ts = 0;  // cfg.num_tsteps
+    // Done:
+    std::vector<double> checksums;
+    double elapsed_s = 0;  // first dispatch → terminal
+    int suspends = 0;
+    int retries = 0;
+    // Failed:
+    std::string error;
+};
+
+using JobEventFn = std::function<void(const JobEvent&)>;
+
+}  // namespace dfamr::serve

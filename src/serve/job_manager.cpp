@@ -1,0 +1,558 @@
+#include "serve/job_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dfamr::serve {
+
+const char* to_string(JobState s) {
+    switch (s) {
+        case JobState::Queued: return "queued";
+        case JobState::Running: return "running";
+        case JobState::Suspended: return "suspended";
+        case JobState::Done: return "done";
+        case JobState::Failed: return "failed";
+        case JobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+JobManager::JobManager(const JobManagerOptions& opts)
+    : opts_(opts), epoch_(std::chrono::steady_clock::now()) {
+    DFAMR_REQUIRE(opts_.pool_workers >= 1, "serve: pool needs at least one worker");
+    DFAMR_REQUIRE(opts_.max_inflight_cost >= 1, "serve: inflight budget must be positive");
+    DFAMR_REQUIRE(opts_.quantum >= 1, "serve: DRR quantum must be positive");
+    paused_ = opts_.start_paused;
+    pool_ = std::make_unique<tasking::Runtime>(opts_.pool_workers);
+}
+
+JobManager::~JobManager() {
+    std::vector<JobEvent> events;
+    {
+        std::unique_lock<lockdep::Mutex> lock(mutex_);
+        stopping_ = true;
+        for (auto& [id, job] : jobs_) {
+            if (is_terminal(job->state)) continue;
+            if (job->state == JobState::Running) {
+                job->requested.store(core::RunAction::Cancel, std::memory_order_relaxed);
+            } else {  // Queued or Suspended: no segment in flight
+                if (job->state == JobState::Queued) remove_from_queue_locked(job.get());
+                finish_locked(job.get(), JobState::Cancelled, events);
+            }
+        }
+        cv_.wait(lock, [&] { return non_terminal_ == 0; });
+    }
+    // jobs_ is stable now: stopping_ rejects submits, every segment returned.
+    for (const JobEvent& e : events) {
+        const auto it = jobs_.find(e.id);
+        if (it != jobs_.end() && it->second->on_event) it->second->on_event(e);
+    }
+    pool_.reset();  // quiescent: no segment task outstanding
+}
+
+double JobManager::now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void JobManager::emit(std::vector<JobEvent>& out, const Job& job, JobState state) const {
+    JobEvent e;
+    e.id = job.id;
+    e.state = state;
+    e.ts = job.tsteps_done.load(std::memory_order_relaxed);
+    e.total_ts = job.cfg.num_tsteps;
+    e.suspends = job.suspends;
+    e.retries = job.retries;
+    if (job.dispatched_once) {
+        e.elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                    job.first_dispatch)
+                          .count();
+    }
+    out.push_back(std::move(e));
+}
+
+SubmitResult JobManager::submit(const JobSpec& spec, JobEventFn on_event,
+                                std::uint64_t conn_tag) {
+    SubmitResult res;
+    amr::Config cfg;
+    try {
+        DFAMR_REQUIRE(spec.ranks >= 1 && spec.workers >= 1, "ranks and workers must be >= 1");
+        DFAMR_REQUIRE(spec.num_tsteps >= 1, "num_tsteps must be >= 1");
+        DFAMR_REQUIRE(spec.weight >= 1, "weight must be >= 1");
+        cfg = job_config(spec);
+    } catch (const std::exception& e) {
+        std::lock_guard<lockdep::Mutex> lock(mutex_);
+        ++stats_.submitted;
+        ++stats_.rejected;
+        res.reason = std::string("invalid job spec: ") + e.what();
+        return res;
+    }
+
+    std::unique_lock<lockdep::Mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (stopping_) {
+        ++stats_.rejected;
+        res.reason = "server is shutting down";
+        return res;
+    }
+    if (queued_ >= opts_.max_queue) {
+        ++stats_.rejected;
+        res.reason = "queue full";
+        return res;
+    }
+    if (spec.cost() > opts_.max_inflight_cost) {
+        ++stats_.rejected;
+        res.reason = "job cost exceeds server capacity";
+        return res;
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = next_id_++;
+    job->conn_tag = conn_tag;
+    job->spec = spec;
+    job->cfg = cfg;
+    if (opts_.checkpoint_every > 0) job->cfg.checkpoint_every = opts_.checkpoint_every;
+    job->cost = spec.cost();
+    job->on_event = std::move(on_event);
+    if (spec.deadline_s > 0) {
+        job->has_deadline = true;
+        job->deadline_abs = now_s() + spec.deadline_s;
+    }
+
+    Tenant& tenant = tenants_[spec.tenant];
+    tenant.weight = spec.weight;
+    if (tenant.queue.empty()) activate_tenant_locked(spec.tenant);
+    tenant.queue.push_back(job.get());
+    ++queued_;
+    ++non_terminal_;
+    ++stats_.accepted;
+    stats_.peak_queue = std::max<std::int32_t>(stats_.peak_queue, queued_);
+
+    res.accepted = true;
+    res.id = job->id;
+    jobs_.emplace(job->id, std::move(job));
+    dispatch_and_run(lock);
+    return res;
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+    std::vector<JobEvent> events;
+    JobEventFn fn;
+    {
+        std::unique_lock<lockdep::Mutex> lock(mutex_);
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end() || is_terminal(it->second->state)) return false;
+        Job* job = it->second.get();
+        if (job->state == JobState::Running) {
+            job->requested.store(core::RunAction::Cancel, std::memory_order_relaxed);
+            return true;  // terminal event arrives from segment_finished
+        }
+        if (job->state == JobState::Queued) {
+            remove_from_queue_locked(job);
+        } else {  // Suspended
+            --suspended_;
+        }
+        finish_locked(job, JobState::Cancelled, events);
+        fn = job->on_event;
+        dispatch_and_run(lock);
+    }
+    if (fn) {
+        for (const JobEvent& e : events) fn(e);
+    }
+    return true;
+}
+
+int JobManager::cancel_conn(std::uint64_t conn_tag) {
+    std::vector<std::uint64_t> ids;
+    {
+        std::lock_guard<lockdep::Mutex> lock(mutex_);
+        for (const auto& [id, job] : jobs_) {
+            if (job->conn_tag == conn_tag && !is_terminal(job->state)) ids.push_back(id);
+        }
+    }
+    int n = 0;
+    for (std::uint64_t id : ids) {
+        if (cancel(id)) ++n;
+    }
+    return n;
+}
+
+bool JobManager::suspend(std::uint64_t id) {
+    std::lock_guard<lockdep::Mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->state != JobState::Running) return false;
+    it->second->manual_suspend = true;
+    it->second->requested.store(core::RunAction::Suspend, std::memory_order_relaxed);
+    return true;
+}
+
+bool JobManager::resume(std::uint64_t id) {
+    std::unique_lock<lockdep::Mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->state != JobState::Suspended) return false;
+    Job* job = it->second.get();
+    job->manual_suspend = false;
+    job->state = JobState::Queued;
+    job->pending_resume = true;
+    --suspended_;
+    requeue_front_locked(job);
+    dispatch_and_run(lock);
+    return true;
+}
+
+void JobManager::pause() {
+    std::lock_guard<lockdep::Mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void JobManager::unpause() {
+    std::unique_lock<lockdep::Mutex> lock(mutex_);
+    paused_ = false;
+    dispatch_and_run(lock);
+}
+
+void JobManager::drain() {
+    std::unique_lock<lockdep::Mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return queued_ == 0 && running_segments_ == 0; });
+}
+
+JobEvent JobManager::wait(std::uint64_t id) {
+    std::unique_lock<lockdep::Mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    DFAMR_REQUIRE(it != jobs_.end(), "serve: wait on unknown job");
+    Job* job = it->second.get();
+    cv_.wait(lock, [&] { return is_terminal(job->state); });
+    return job->final_event;
+}
+
+JobState JobManager::state(std::uint64_t id) const {
+    std::lock_guard<lockdep::Mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    DFAMR_REQUIRE(it != jobs_.end(), "serve: state of unknown job");
+    return it->second->state;
+}
+
+ServerStats JobManager::stats() const {
+    std::lock_guard<lockdep::Mutex> lock(mutex_);
+    ServerStats s = stats_;
+    s.queued = queued_;
+    s.running = running_segments_;  // Running jobs and in-flight segments are 1:1
+    s.suspended = suspended_;
+    s.inflight_cost = inflight_cost_;
+    return s;
+}
+
+// ---- scheduling --------------------------------------------------------
+
+bool JobManager::fits_budget_locked(const Job& job) const {
+    return running_segments_ < opts_.pool_workers &&
+           inflight_cost_ + job.cost <= opts_.max_inflight_cost;
+}
+
+void JobManager::activate_tenant_locked(const std::string& name) {
+    if (std::find(active_tenants_.begin(), active_tenants_.end(), name) ==
+        active_tenants_.end()) {
+        active_tenants_.push_back(name);
+    }
+}
+
+void JobManager::remove_from_queue_locked(Job* job) {
+    Tenant& tenant = tenants_.at(job->spec.tenant);
+    const auto it = std::find(tenant.queue.begin(), tenant.queue.end(), job);
+    DFAMR_REQUIRE(it != tenant.queue.end(), "serve: job missing from tenant queue");
+    tenant.queue.erase(it);
+    --queued_;
+    if (tenant.queue.empty()) {
+        tenant.deficit = 0;
+        const auto at =
+            std::find(active_tenants_.begin(), active_tenants_.end(), job->spec.tenant);
+        if (at != active_tenants_.end()) {
+            const std::size_t idx = static_cast<std::size_t>(at - active_tenants_.begin());
+            active_tenants_.erase(at);
+            if (drr_cursor_ > idx) --drr_cursor_;
+        }
+    }
+}
+
+void JobManager::requeue_front_locked(Job* job) {
+    Tenant& tenant = tenants_.at(job->spec.tenant);
+    if (tenant.queue.empty()) activate_tenant_locked(job->spec.tenant);
+    tenant.queue.push_front(job);
+    ++queued_;
+    stats_.peak_queue = std::max<std::int32_t>(stats_.peak_queue, queued_);
+}
+
+JobManager::Job* JobManager::earliest_deadline_locked() const {
+    Job* best = nullptr;
+    for (const auto& name : active_tenants_) {
+        for (Job* job : tenants_.at(name).queue) {
+            if (!job->has_deadline) continue;
+            if (best == nullptr || job->deadline_abs < best->deadline_abs) best = job;
+        }
+    }
+    return best;
+}
+
+JobManager::Job* JobManager::pick_drr_locked() {
+    // Deficit round robin over the active tenants: a visited tenant earns
+    // quantum × weight credit; its head job dispatches once the credit
+    // covers the job's cost, and the cursor stays put so remaining credit
+    // can be spent before the rotation moves on (that is what weight
+    // buys). The scan is bounded by the visits needed for any head to earn
+    // full credit; the deficit cap keeps budget-blocked tenants from
+    // banking unbounded credit.
+    if (active_tenants_.empty()) return nullptr;
+    const std::size_t max_visits =
+        active_tenants_.size() *
+        (static_cast<std::size_t>(opts_.max_inflight_cost / opts_.quantum) + 2);
+    for (std::size_t i = 0; i < max_visits && !active_tenants_.empty(); ++i) {
+        if (drr_cursor_ >= active_tenants_.size()) drr_cursor_ = 0;
+        Tenant& tenant = tenants_.at(active_tenants_[drr_cursor_]);
+        DFAMR_REQUIRE(!tenant.queue.empty(), "serve: empty tenant in DRR rotation");
+        Job* head = tenant.queue.front();
+        if (tenant.deficit < head->cost) {
+            const std::int64_t credit =
+                static_cast<std::int64_t>(opts_.quantum) * tenant.weight;
+            tenant.deficit = std::min(tenant.deficit + credit, head->cost + credit);
+            ++drr_cursor_;
+            continue;
+        }
+        if (!fits_budget_locked(*head)) return nullptr;  // head-of-line: no bypass
+        tenant.deficit -= head->cost;
+        return head;
+    }
+    return nullptr;
+}
+
+void JobManager::maybe_preempt_locked() {
+    // An urgent deadline job that cannot start may suspend the running job
+    // with the latest deadline (best-effort counts as infinitely late).
+    // Any deadline job still queued here was blocked by the dispatch loop.
+    const Job* urgent = earliest_deadline_locked();
+    if (urgent == nullptr) return;
+    Job* victim = nullptr;
+    double victim_deadline = -1;
+    for (const auto& [id, job] : jobs_) {
+        if (job->state != JobState::Running || job->preempt_requested) continue;
+        if (job->requested.load(std::memory_order_relaxed) != core::RunAction::Continue)
+            continue;
+        const double deadline = job->has_deadline ? job->deadline_abs
+                                                  : std::numeric_limits<double>::infinity();
+        if (deadline <= urgent->deadline_abs) continue;  // victim is more urgent
+        if (victim == nullptr || deadline > victim_deadline) {
+            victim = job.get();
+            victim_deadline = deadline;
+        }
+    }
+    if (victim == nullptr) return;
+    victim->preempt_requested = true;
+    victim->requested.store(core::RunAction::Suspend, std::memory_order_relaxed);
+}
+
+std::vector<JobManager::Job*> JobManager::dispatch_locked() {
+    std::vector<Job*> to_start;
+    if (paused_ || stopping_) return to_start;
+    while (running_segments_ < opts_.pool_workers &&
+           inflight_cost_ < opts_.max_inflight_cost) {
+        // Deadline lane first, with strict priority: while an urgent job is
+        // blocked on budget, best-effort work must not slip past it.
+        Job* job = earliest_deadline_locked();
+        if (job != nullptr && !fits_budget_locked(*job)) break;
+        if (job == nullptr) job = pick_drr_locked();
+        if (job == nullptr) break;
+        remove_from_queue_locked(job);
+        job->state = JobState::Running;
+        job->requested.store(core::RunAction::Continue, std::memory_order_relaxed);
+        job->segment_start_ts = job->tsteps_done.load(std::memory_order_relaxed);
+        if (!job->dispatched_once) {
+            job->dispatched_once = true;
+            job->first_dispatch = std::chrono::steady_clock::now();
+        }
+        if (job->pending_resume) {
+            job->pending_resume = false;
+            ++stats_.resumes;
+        }
+        inflight_cost_ += job->cost;
+        ++running_segments_;
+        stats_.peak_running = std::max<std::int32_t>(stats_.peak_running, running_segments_);
+        to_start.push_back(job);
+    }
+    maybe_preempt_locked();
+    return to_start;
+}
+
+void JobManager::dispatch_and_run(std::unique_lock<lockdep::Mutex>& lock) {
+    const std::vector<Job*> to_start = dispatch_locked();
+    if (to_start.empty()) return;
+    // The pool may start (and even finish) a segment before we re-lock;
+    // the started jobs are fully accounted above, so that is safe.
+    lock.unlock();
+    for (Job* job : to_start) {
+        pool_->submit([this, job] { run_segment(job); }, {}, "serve.segment");
+    }
+    lock.lock();
+}
+
+// ---- segment execution -------------------------------------------------
+
+void JobManager::run_segment(Job* job) {
+    core::RunControl control;
+    const int slice = opts_.slice_tsteps;
+    const int segment_start = job->segment_start_ts;
+    control.on_timestep = [this, job, slice, segment_start](int ts,
+                                                            int total) -> core::RunAction {
+        job->tsteps_done.store(ts, std::memory_order_relaxed);
+        if (job->on_event) {
+            JobEvent e;
+            e.id = job->id;
+            e.state = JobState::Running;
+            e.ts = ts;
+            e.total_ts = total;
+            job->on_event(e);
+        }
+        const core::RunAction req = job->requested.load(std::memory_order_relaxed);
+        if (req == core::RunAction::Cancel) return core::RunAction::Cancel;
+        if (ts >= total) return core::RunAction::Continue;  // finishing anyway
+        if (req == core::RunAction::Suspend) return core::RunAction::Suspend;
+        if (slice > 0 && ts - segment_start >= slice) return core::RunAction::Suspend;
+        return core::RunAction::Continue;
+    };
+    control.on_suspend_image = [job](std::vector<std::byte> image) {
+        job->image = std::move(image);
+    };
+    control.on_checkpoint_image = [job](int /*ts*/, std::vector<std::byte> image) {
+        job->image = std::move(image);
+    };
+    if (!job->image.empty()) control.restore_image = &job->image;
+
+    std::unique_ptr<resilience::FaultPlan> faults;
+    if (opts_.faults.enabled()) {
+        resilience::FaultConfig fc = opts_.faults;
+        // Per-job deterministic stream; splitmix-style remix of the id.
+        fc.seed = opts_.faults.seed ^ (job->id * 0x9e3779b97f4a7c15ull);
+        // A deterministic plan would re-kill the same send forever: crash
+        // injection is one-shot per job, disabled on the recovery retry.
+        if (job->retries > 0) fc.crash_rank = -1;
+        faults = std::make_unique<resilience::FaultPlan>(fc);
+    }
+
+    core::RunOptions ropts;
+    ropts.ignore_launch_env = true;
+    ropts.control = &control;
+    try {
+        const core::RunResult result =
+            core::run_variant(job->cfg, job->spec.variant, nullptr, faults.get(), ropts);
+        segment_finished(job, result);
+    } catch (const std::exception& e) {
+        segment_crashed(job, e.what());
+    }
+}
+
+void JobManager::finish_locked(Job* job, JobState state, std::vector<JobEvent>& events) {
+    job->state = state;
+    job->image.clear();
+    job->image.shrink_to_fit();
+    switch (state) {
+        case JobState::Done: ++stats_.done; break;
+        case JobState::Failed: ++stats_.failed; break;
+        case JobState::Cancelled: ++stats_.cancelled; break;
+        default: DFAMR_REQUIRE(false, "serve: finish with non-terminal state");
+    }
+    --non_terminal_;
+    emit(events, *job, state);
+    job->final_event = events.back();
+    cv_.notify_all();
+}
+
+void JobManager::segment_finished(Job* job, const core::RunResult& result) {
+    std::vector<JobEvent> events;
+    JobEventFn fn = job->on_event;
+    {
+        std::unique_lock<lockdep::Mutex> lock(mutex_);
+        --running_segments_;
+        inflight_cost_ -= job->cost;
+        job->tsteps_done.store(
+            result.stop == core::StopKind::None ? job->cfg.num_tsteps : result.stop_ts,
+            std::memory_order_relaxed);
+
+        switch (result.stop) {
+            case core::StopKind::None: {
+                finish_locked(job, JobState::Done, events);
+                events.back().checksums = result.checksums;
+                job->final_event = events.back();
+                break;
+            }
+            case core::StopKind::Suspended: {
+                ++job->suspends;
+                ++stats_.suspends;
+                if (job->preempt_requested) {
+                    ++stats_.preemptions;
+                    job->preempt_requested = false;
+                }
+                job->requested.store(core::RunAction::Continue, std::memory_order_relaxed);
+                if (stopping_) {
+                    finish_locked(job, JobState::Cancelled, events);
+                } else if (job->manual_suspend) {
+                    job->state = JobState::Suspended;
+                    ++suspended_;
+                    emit(events, *job, JobState::Suspended);
+                    cv_.notify_all();
+                } else {
+                    job->state = JobState::Queued;
+                    job->pending_resume = true;
+                    requeue_front_locked(job);
+                    emit(events, *job, JobState::Suspended);
+                }
+                break;
+            }
+            case core::StopKind::Cancelled: {
+                finish_locked(job, JobState::Cancelled, events);
+                break;
+            }
+        }
+        dispatch_and_run(lock);
+        cv_.notify_all();
+    }
+    if (fn) {
+        for (const JobEvent& e : events) fn(e);
+    }
+}
+
+void JobManager::segment_crashed(Job* job, const std::string& what) {
+    std::vector<JobEvent> events;
+    JobEventFn fn = job->on_event;
+    {
+        std::unique_lock<lockdep::Mutex> lock(mutex_);
+        --running_segments_;
+        inflight_cost_ -= job->cost;
+        const core::RunAction req = job->requested.load(std::memory_order_relaxed);
+        if (stopping_ || req == core::RunAction::Cancel) {
+            finish_locked(job, JobState::Cancelled, events);
+        } else if (job->retries < opts_.retry_limit) {
+            ++job->retries;
+            ++stats_.crash_retries;
+            // Retry from the latest in-memory image (or from scratch when
+            // the crash hit before the first snapshot). The rank threads of
+            // the dead world are already joined: run_variant only returns
+            // after World::run reaped every rank.
+            job->requested.store(core::RunAction::Continue, std::memory_order_relaxed);
+            job->manual_suspend = false;
+            job->preempt_requested = false;
+            job->state = JobState::Queued;
+            if (job->image.empty()) job->tsteps_done.store(0, std::memory_order_relaxed);
+            requeue_front_locked(job);
+        } else {
+            finish_locked(job, JobState::Failed, events);
+            events.back().error = what;
+            job->final_event = events.back();
+        }
+        dispatch_and_run(lock);
+        cv_.notify_all();
+    }
+    if (fn) {
+        for (const JobEvent& e : events) fn(e);
+    }
+}
+
+}  // namespace dfamr::serve

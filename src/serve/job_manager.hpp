@@ -1,0 +1,209 @@
+// Multi-tenant job execution engine of the serve plane.
+//
+// One JobManager owns one shared work pool (a tasking::Runtime) and runs
+// every admitted simulation job on it. A job executes as a sequence of
+// *segments*: each segment is one task on the pool that drives
+// core::run_variant with an in-process world until the job completes, is
+// cancelled, or is suspended at a timestep boundary into an in-memory
+// checkpoint image (core/run_control.hpp). A suspended job's next segment
+// resumes from that image with the full checksum history intact, so its
+// final checksums are bit-identical to an uninterrupted run.
+//
+// Scheduling policy (DESIGN.md §15):
+//   * Admission control — a Submit is rejected when the queue is at
+//     max_queue, or when the job's cost (ranks × workers, i.e. the thread
+//     budget a running segment occupies) can never fit max_inflight_cost.
+//   * Two lanes — jobs with deadlines dispatch earliest-deadline-first,
+//     ahead of the fair-share pool; best-effort jobs dispatch by
+//     deficit-weighted round robin across tenants (quantum × weight credit
+//     per visit), so each tenant's share of pool slots tracks its weight
+//     regardless of how many jobs it floods in.
+//   * Preemption — when an urgent deadline job cannot fit, the running job
+//     with the latest deadline (best-effort = latest of all) is asked to
+//     suspend; it parks at its next timestep boundary and requeues at the
+//     front of its tenant queue.
+//   * Time slicing — slice_tsteps > 0 bounds any segment to that many
+//     timesteps, forcing long jobs through suspend/resume cycles instead
+//     of monopolizing pool slots.
+//   * Crash recovery — with chaos enabled (FaultConfig), a segment that
+//     dies from an injected rank crash is retried from the latest
+//     in-memory image (or from scratch), with crash injection disabled on
+//     the retry so the deterministic plan cannot re-kill it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/lockdep.hpp"
+#include "core/variants.hpp"
+#include "resilience/fault_plan.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "tasking/runtime.hpp"
+
+namespace dfamr::serve {
+
+struct JobManagerOptions {
+    /// Workers of the shared pool = max concurrently running segments.
+    int pool_workers = 4;
+    /// Admission: queued jobs beyond this are rejected.
+    int max_queue = 256;
+    /// Admission + dispatch: total cost (ranks × workers) of concurrently
+    /// running segments stays within this thread budget.
+    int max_inflight_cost = 8;
+    /// DRR credit granted per tenant visit (multiplied by tenant weight).
+    int quantum = 1;
+    /// Max timesteps per segment; 0 = run to completion unless preempted.
+    int slice_tsteps = 0;
+    /// Timesteps between in-memory checkpoints inside a segment (crash
+    /// recovery granularity); 0 = only suspend points produce images.
+    int checkpoint_every = 0;
+    /// Chaos template applied to every job (seed is remixed per job). All
+    /// faults off by default.
+    resilience::FaultConfig faults;
+    /// Crash-recovery restarts per job before it is Failed.
+    int retry_limit = 2;
+    /// Construct with dispatch paused (tests build queue states first).
+    bool start_paused = false;
+};
+
+struct SubmitResult {
+    bool accepted = false;
+    std::uint64_t id = 0;
+    std::string reason;  // on rejection
+};
+
+class JobManager {
+public:
+    explicit JobManager(const JobManagerOptions& opts);
+    /// Cancels everything still in flight and drains the pool.
+    ~JobManager();
+
+    JobManager(const JobManager&) = delete;
+    JobManager& operator=(const JobManager&) = delete;
+
+    /// Admission decision + enqueue. `on_event` (may be empty) receives
+    /// Progress/Suspended/terminal snapshots; it is called from pool and
+    /// rank threads and must be thread-safe and non-blocking-ish.
+    /// `conn_tag` groups jobs for cancel_conn (server disconnect cleanup).
+    SubmitResult submit(const JobSpec& spec, JobEventFn on_event,
+                        std::uint64_t conn_tag = 0);
+
+    /// Requests cancellation; terminal shortly after (running jobs stop at
+    /// the next timestep boundary). False if unknown or already terminal.
+    bool cancel(std::uint64_t id);
+    /// Cancels every non-terminal job submitted with this conn_tag.
+    int cancel_conn(std::uint64_t conn_tag);
+
+    /// Asks a running job to park as Suspended (it stays parked until
+    /// resume()); queued jobs cannot be manually suspended.
+    bool suspend(std::uint64_t id);
+    /// Requeues a Suspended job at the front of its tenant queue.
+    bool resume(std::uint64_t id);
+
+    /// Dispatch gate for deterministic tests: while paused, accepted jobs
+    /// only queue up.
+    void pause();
+    void unpause();
+
+    /// Blocks until no job is Queued or Running (manually Suspended jobs
+    /// do not count — they are parked by request).
+    void drain();
+
+    /// Blocks until the job is terminal; returns its final event snapshot.
+    JobEvent wait(std::uint64_t id);
+
+    JobState state(std::uint64_t id) const;
+    ServerStats stats() const;
+
+private:
+    struct Job {
+        std::uint64_t id = 0;
+        std::uint64_t conn_tag = 0;
+        JobSpec spec;
+        amr::Config cfg;
+        int cost = 1;
+        JobEventFn on_event;
+
+        JobState state = JobState::Queued;  // guarded by mutex_
+        /// Polled by the rank-0 control hook at timestep boundaries.
+        std::atomic<core::RunAction> requested{core::RunAction::Continue};
+        std::atomic<int> tsteps_done{0};
+        bool manual_suspend = false;    // park instead of requeue
+        bool preempt_requested = false;
+        bool pending_resume = false;    // next dispatch is a resume
+        /// Latest suspend/periodic checkpoint image. Written by the rank-0
+        /// callback inside a segment; the segment's thread join makes it
+        /// visible to the pool thread that finishes the segment.
+        std::vector<std::byte> image;
+        int segment_start_ts = 0;
+        int suspends = 0;
+        int retries = 0;
+        double deadline_abs = 0;  // seconds since manager epoch; <=0: none
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point first_dispatch{};
+        bool dispatched_once = false;
+        JobEvent final_event;  // valid once terminal
+    };
+
+    struct Tenant {
+        std::deque<Job*> queue;
+        int weight = 1;
+        std::int64_t deficit = 0;
+    };
+
+    double now_s() const;
+    void emit(std::vector<JobEvent>& out, const Job& job, JobState state) const;
+
+    /// Scheduling pass: fills free slots (EDF lane, then DRR), requests a
+    /// preemption if an urgent job is blocked, and returns the jobs to
+    /// start. Caller submits them to the pool after unlocking.
+    std::vector<Job*> dispatch_locked();
+    Job* earliest_deadline_locked() const;
+    Job* pick_drr_locked();
+    void maybe_preempt_locked();
+    bool fits_budget_locked(const Job& job) const;
+    void activate_tenant_locked(const std::string& name);
+    void remove_from_queue_locked(Job* job);
+    void requeue_front_locked(Job* job);
+    void finish_locked(Job* job, JobState state, std::vector<JobEvent>& events);
+    void dispatch_and_run(std::unique_lock<lockdep::Mutex>& lock);
+
+    void run_segment(Job* job);
+    void segment_finished(Job* job, const core::RunResult& result);
+    void segment_crashed(Job* job, const std::string& what);
+
+    JobManagerOptions opts_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable lockdep::Mutex mutex_{"serve.jobs"};
+    std::condition_variable_any cv_;
+
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::map<std::string, Tenant> tenants_;
+    std::vector<std::string> active_tenants_;  // DRR rotation
+    std::size_t drr_cursor_ = 0;
+
+    std::uint64_t next_id_ = 1;
+    int queued_ = 0;
+    int suspended_ = 0;
+    int running_segments_ = 0;  // == jobs in Running state (1:1 with segments)
+    int inflight_cost_ = 0;
+    int non_terminal_ = 0;
+    bool paused_ = false;
+    bool stopping_ = false;
+    ServerStats stats_;
+
+    /// The shared pool. Reset explicitly in ~JobManager once every
+    /// segment has returned.
+    std::unique_ptr<tasking::Runtime> pool_;
+};
+
+}  // namespace dfamr::serve

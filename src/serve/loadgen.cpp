@@ -1,0 +1,165 @@
+#include "serve/loadgen.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/variants.hpp"
+#include "serve/client.hpp"
+
+namespace dfamr::serve {
+
+namespace {
+
+int count_proc_entries(const char* path) {
+    DIR* dir = ::opendir(path);
+    if (dir == nullptr) return -1;
+    int n = 0;
+    while (const dirent* e = ::readdir(dir)) {
+        if (e->d_name[0] == '.') continue;
+        ++n;
+    }
+    ::closedir(dir);
+    return n;
+}
+
+/// The job mix: deterministic function of the job index.
+JobSpec make_spec(const LoadGenOptions& opts, int i) {
+    JobSpec spec = opts.base;
+    spec.tenant = "tenant-" + std::to_string(i % std::max(1, opts.tenants));
+    const int d = i % std::max(1, opts.distinct_specs);
+    spec.seed = opts.base.seed + static_cast<std::uint64_t>(d);
+    // Alternate the two hybrid variants across the distinct specs so the
+    // server interleaves different drivers on one pool.
+    spec.variant = (d % 2 == 0) ? amr::Variant::TampiOss : amr::Variant::ForkJoin;
+    if (opts.deadline_every > 0 && i % opts.deadline_every == opts.deadline_every - 1) {
+        spec.deadline_s = opts.deadline_s;
+    } else {
+        spec.deadline_s = 0;
+    }
+    return spec;
+}
+
+std::string spec_key(const JobSpec& s) {
+    std::ostringstream key;
+    key << s.scenario << '/' << amr::to_string(s.variant) << "/seed" << s.seed << "/r"
+        << s.ranks << "w" << s.workers << "/nx" << s.nx << "v" << s.num_vars << "t"
+        << s.num_tsteps << "rf" << s.num_refine;
+    return key.str();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+    if (sorted.empty()) return 0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int count_open_fds() { return count_proc_entries("/proc/self/fd"); }
+int count_threads() { return count_proc_entries("/proc/self/task"); }
+
+std::string LoadGenReport::to_json() const {
+    std::ostringstream os;
+    os << "{";
+    os << "\"submitted\":" << submitted << ",\"accepted\":" << accepted
+       << ",\"rejected\":" << rejected << ",\"done\":" << done << ",\"failed\":" << failed
+       << ",\"checksum_mismatches\":" << checksum_mismatches
+       << ",\"suspended_jobs\":" << suspended_jobs << ",\"retried_jobs\":" << retried_jobs
+       << ",\"peak_inflight\":" << peak_inflight << ",\"wall_s\":" << wall_s
+       << ",\"jobs_per_s\":" << jobs_per_s << ",\"p50_ms\":" << p50_ms
+       << ",\"p99_ms\":" << p99_ms;
+    os << ",\"server\":{\"queued_peak\":" << server.peak_queue
+       << ",\"running_peak\":" << server.peak_running << ",\"suspends\":" << server.suspends
+       << ",\"resumes\":" << server.resumes << ",\"preemptions\":" << server.preemptions
+       << ",\"crash_retries\":" << server.crash_retries << ",\"done\":" << server.done
+       << ",\"failed\":" << server.failed << ",\"cancelled\":" << server.cancelled
+       << ",\"rejected\":" << server.rejected << "}";
+    os << "}";
+    return os.str();
+}
+
+LoadGenReport run_loadgen(const net::HostPort& addr, const LoadGenOptions& opts) {
+    LoadGenReport report;
+
+    // Solo references first: one fault-free, uncontrolled local run per
+    // distinct spec. job_config() guarantees the identical problem.
+    std::map<std::string, std::vector<double>> reference;
+    if (opts.verify) {
+        for (int d = 0; d < std::max(1, opts.distinct_specs); ++d) {
+            const JobSpec spec = make_spec(opts, d);
+            const std::string key = spec_key(spec);
+            if (reference.count(key) != 0) continue;
+            core::RunOptions ropts;
+            ropts.ignore_launch_env = true;
+            const core::RunResult solo =
+                core::run_variant(job_config(spec), spec.variant, nullptr, nullptr, ropts);
+            reference.emplace(key, solo.checksums);
+        }
+    }
+
+    Client client(addr);
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed_s = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    std::vector<std::pair<std::uint64_t, int>> refs;  // (client ref, job index)
+    int i = 0;
+    while (i < opts.jobs || elapsed_s() < opts.min_duration_s) {
+        refs.emplace_back(client.submit(make_spec(opts, i)), i);
+        ++i;
+        if (opts.interarrival_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(opts.interarrival_ms));
+        }
+    }
+    report.submitted = i;
+
+    std::vector<double> latencies;
+    latencies.reserve(refs.size());
+    for (const auto& [ref, index] : refs) {
+        const ClientJobResult r = client.wait(ref);
+        if (!r.accepted) {
+            ++report.rejected;
+            continue;
+        }
+        latencies.push_back(r.latency_s * 1e3);
+        if (!r.done) {
+            ++report.failed;
+            continue;
+        }
+        ++report.done;
+        if (r.suspends > 0) ++report.suspended_jobs;
+        if (r.retries > 0) ++report.retried_jobs;
+        if (opts.verify) {
+            const std::string key = spec_key(make_spec(opts, index));
+            const auto it = reference.find(key);
+            DFAMR_REQUIRE(it != reference.end(), "loadgen: missing solo reference");
+            if (r.checksums != it->second) ++report.checksum_mismatches;
+        }
+    }
+    report.wall_s = elapsed_s();
+    report.accepted = report.submitted - report.rejected;
+    report.peak_inflight = client.peak_inflight();
+    report.jobs_per_s = report.wall_s > 0 ? report.done / report.wall_s : 0;
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_ms = percentile(latencies, 0.50);
+    report.p99_ms = percentile(latencies, 0.99);
+    report.server = client.stats();
+    client.close();
+    return report;
+}
+
+}  // namespace dfamr::serve

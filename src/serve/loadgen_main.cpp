@@ -1,0 +1,180 @@
+// dfamr_loadgen — open-loop load generator and correctness checker for
+// dfamr-serve.
+//
+// Two modes:
+//   --server host:port   drive an already-running dfamr_serve
+//   --spawn              start an in-process Server first (default). This
+//                        mode also proves resource hygiene: fd and thread
+//                        counts of the whole process (server included) must
+//                        return to baseline after the run.
+//
+// Every completed job's checksum history is compared bit-for-bit against a
+// solo run of the same spec; --min_concurrent / --min_suspended /
+// --check_leaks turn soak expectations into a nonzero exit code.
+//
+//   dfamr_loadgen --spawn --jobs 150 --min_duration 60 --chaos
+//                 --min_concurrent 100 --min_suspended 10 --json soak.json
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "resilience/fault_plan.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dfamr;
+    CliParser cli("dfamr_loadgen — load generator for dfamr_serve");
+    cli.add_option("--server", "host:port of a running dfamr_serve (empty = --spawn)", "");
+    cli.add_flag("--spawn", "run an in-process server (default when --server is empty)");
+    cli.add_option("--jobs", "minimum jobs to submit", "100");
+    cli.add_option("--min_duration", "keep submitting for at least this many seconds", "0");
+    cli.add_option("--interarrival_ms", "open-loop arrival spacing", "2");
+    cli.add_option("--tenants", "distinct tenants in the mix", "4");
+    cli.add_option("--distinct_specs", "distinct (seed,variant) specs in the mix", "6");
+    cli.add_option("--deadline_every", "every Nth job gets a deadline (0 = none)", "0");
+    cli.add_option("--deadline_s", "relative deadline for deadline jobs", "30");
+    cli.add_option("--ranks", "ranks per job", "1");
+    cli.add_option("--workers", "workers per rank per job", "1");
+    cli.add_option("--nx", "cells per block per dim", "8");
+    cli.add_option("--num_vars", "variables per cell", "8");
+    cli.add_option("--num_tsteps", "timesteps per job", "4");
+    cli.add_option("--scenario", "single_sphere | four_spheres", "single_sphere");
+    cli.add_flag("--no_verify", "skip solo-reference checksum comparison");
+    // In-process server knobs (--spawn mode):
+    cli.add_option("--pool_workers", "server pool workers", "4");
+    cli.add_option("--max_queue", "server admission queue cap", "512");
+    cli.add_option("--max_inflight", "server inflight cost budget", "8");
+    cli.add_option("--slice_tsteps", "server time-slice (forces suspend/resume)", "0");
+    cli.add_flag("--chaos", "enable the default chaos mix (drops+delays+crashes)");
+    resilience::FaultConfig::register_cli(cli);
+    // Soak assertions:
+    cli.add_option("--min_concurrent", "require peak in-flight jobs >= N", "0");
+    cli.add_option("--min_suspended", "require >= N jobs went through suspend/resume", "0");
+    cli.add_flag("--check_leaks", "require fd/thread counts back at baseline (--spawn)");
+    cli.add_option("--json", "write the report JSON to this file", "");
+
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        serve::LoadGenOptions opts;
+        opts.jobs = static_cast<int>(cli.get_int("--jobs"));
+        opts.min_duration_s = cli.get_double("--min_duration");
+        opts.interarrival_ms = cli.get_double("--interarrival_ms");
+        opts.tenants = static_cast<int>(cli.get_int("--tenants"));
+        opts.distinct_specs = static_cast<int>(cli.get_int("--distinct_specs"));
+        opts.deadline_every = static_cast<int>(cli.get_int("--deadline_every"));
+        opts.deadline_s = cli.get_double("--deadline_s");
+        opts.verify = !cli.get_flag("--no_verify");
+        opts.base.scenario = cli.get_string("--scenario");
+        opts.base.ranks = static_cast<int>(cli.get_int("--ranks"));
+        opts.base.workers = static_cast<int>(cli.get_int("--workers"));
+        opts.base.nx = static_cast<int>(cli.get_int("--nx"));
+        opts.base.num_vars = static_cast<int>(cli.get_int("--num_vars"));
+        opts.base.num_tsteps = static_cast<int>(cli.get_int("--num_tsteps"));
+
+        const std::string server_addr = cli.get_string("--server");
+        const int fds_before = serve::count_open_fds();
+        const int threads_before = serve::count_threads();
+
+        std::optional<serve::Server> server;
+        net::HostPort addr;
+        if (server_addr.empty()) {
+            serve::ServerOptions sopts;
+            sopts.manager.pool_workers = static_cast<int>(cli.get_int("--pool_workers"));
+            sopts.manager.max_queue = static_cast<int>(cli.get_int("--max_queue"));
+            sopts.manager.max_inflight_cost =
+                static_cast<int>(cli.get_int("--max_inflight"));
+            sopts.manager.slice_tsteps = static_cast<int>(cli.get_int("--slice_tsteps"));
+            sopts.manager.faults = resilience::FaultConfig::from_cli(cli);
+            if (cli.get_flag("--chaos")) {
+                sopts.manager.faults.drop_prob = 0.02;
+                sopts.manager.faults.delay_prob = 0.05;
+                sopts.manager.faults.max_delay_ns = 100'000;
+                sopts.manager.faults.crash_rank = 0;
+                // Low enough that the soak's small multi-rank jobs actually
+                // reach it, so crash recovery is exercised, not just armed.
+                sopts.manager.faults.crash_after_sends = 60;
+                if (sopts.manager.faults.seed == 1) sopts.manager.faults.seed = 7;
+            }
+            server.emplace(sopts);
+            addr = {"127.0.0.1", server->port()};
+        } else {
+            const auto colon = server_addr.rfind(':');
+            DFAMR_REQUIRE(colon != std::string::npos, "--server must be host:port");
+            addr.host = server_addr.substr(0, colon);
+            addr.port = static_cast<std::uint16_t>(std::stoi(server_addr.substr(colon + 1)));
+        }
+
+        serve::LoadGenReport report = serve::run_loadgen(addr, opts);
+        if (server) {
+            server->stop();
+            report.server = server->stats();
+            server.reset();
+        }
+
+        bool ok = true;
+        const int min_concurrent = static_cast<int>(cli.get_int("--min_concurrent"));
+        const int min_suspended = static_cast<int>(cli.get_int("--min_suspended"));
+        if (report.checksum_mismatches != 0) {
+            std::fprintf(stderr, "FAIL: %d checksum mismatches\n",
+                         report.checksum_mismatches);
+            ok = false;
+        }
+        if (report.failed != 0) {
+            std::fprintf(stderr, "FAIL: %d failed jobs\n", report.failed);
+            ok = false;
+        }
+        if (report.peak_inflight < min_concurrent) {
+            std::fprintf(stderr, "FAIL: peak concurrency %d < required %d\n",
+                         report.peak_inflight, min_concurrent);
+            ok = false;
+        }
+        if (report.suspended_jobs < min_suspended) {
+            std::fprintf(stderr, "FAIL: only %d jobs suspended/resumed (need %d)\n",
+                         report.suspended_jobs, min_suspended);
+            ok = false;
+        }
+        if (cli.get_flag("--check_leaks")) {
+            // Let reaped threads/fds settle before probing.
+            int fds_after = 0;
+            int threads_after = 0;
+            for (int attempt = 0; attempt < 50; ++attempt) {
+                fds_after = serve::count_open_fds();
+                threads_after = serve::count_threads();
+                if (fds_after <= fds_before && threads_after <= threads_before) break;
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+            if (fds_after > fds_before || threads_after > threads_before) {
+                std::fprintf(stderr, "FAIL: leak check: fds %d -> %d, threads %d -> %d\n",
+                             fds_before, fds_after, threads_before, threads_after);
+                ok = false;
+            } else {
+                std::printf("leak check: fds %d -> %d, threads %d -> %d\n", fds_before,
+                            fds_after, threads_before, threads_after);
+            }
+        }
+
+        const std::string json = report.to_json();
+        std::printf("%s\n", json.c_str());
+        const std::string json_path = cli.get_string("--json");
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            out << json << "\n";
+        }
+        std::printf("loadgen: submitted=%d done=%d rejected=%d failed=%d mismatches=%d "
+                    "peak_inflight=%d suspended_jobs=%d retried_jobs=%d %.1f jobs/s "
+                    "p50=%.0fms p99=%.0fms\n",
+                    report.submitted, report.done, report.rejected, report.failed,
+                    report.checksum_mismatches, report.peak_inflight, report.suspended_jobs,
+                    report.retried_jobs, report.jobs_per_s, report.p50_ms, report.p99_ms);
+        return ok ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dfamr_loadgen: %s\n", e.what());
+        return 1;
+    }
+}

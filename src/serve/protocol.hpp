@@ -1,0 +1,150 @@
+// Wire protocol of the dfamr-serve daemon (schema "DFS1"): a length-framed
+// request/response stream layered on one TCP connection per client. This is
+// deliberately NOT the rank transport protocol (net/wire.hpp, "DFN1") — the
+// serve plane carries job control and progress, not simulation payloads, so
+// it gets its own magic, header and versioning.
+//
+// Framing: every message is a fixed 24-byte header followed by
+// `payload_bytes` of payload encoded with the shared little-endian codec
+// (common/bytecodec.hpp). The `job_id` field carries the CLIENT-chosen job
+// reference: the client picks a connection-unique id at Submit and every
+// later frame about that job (in both directions) repeats it, so responses
+// never need a server-id correlation table on the client side.
+//
+// Client → server: Submit, Cancel, StatsReq, Bye.
+// Server → client: Accepted, Rejected, Progress, Done, Failed, Stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amr/config.hpp"
+#include "net/socket.hpp"
+
+namespace dfamr::serve {
+
+inline constexpr std::uint32_t kServeMagic = 0x31534644;  // "DFS1" little-endian
+/// Refuse absurd frames before allocating (a corrupt header must not OOM
+/// the server).
+inline constexpr std::uint64_t kMaxPayload = 16ull * 1024 * 1024;
+
+enum class FrameKind : std::uint32_t {
+    // client → server
+    Submit = 1,
+    Cancel = 2,
+    StatsReq = 3,
+    Bye = 4,
+    // server → client
+    Accepted = 16,
+    Rejected = 17,
+    Progress = 18,
+    Done = 19,
+    Failed = 20,
+    Stats = 21,
+};
+
+const char* to_string(FrameKind k);
+
+struct FrameHeader {
+    std::uint32_t magic = kServeMagic;
+    std::uint32_t kind = 0;
+    std::uint64_t job_id = 0;  // client-chosen job reference (0 = connection scope)
+    std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(FrameHeader) == 24);
+
+/// A simulation job as submitted by a client: scenario + size overrides +
+/// scheduling metadata. The numeric fields deliberately mirror the scaled
+/// problem sizes of the examples so a job is seconds, not minutes.
+struct JobSpec {
+    std::string tenant = "default";  // fair-share accounting key
+    std::string scenario = "single_sphere";  // single_sphere | four_spheres
+    amr::Variant variant = amr::Variant::TampiOss;
+    std::uint64_t seed = 42;
+    int ranks = 1;    // in-process ranks (npx; npy = npz = 1)
+    int workers = 1;  // cores per rank for the hybrid variants
+    int nx = 8;       // cells per block per dimension
+    int num_vars = 8;
+    int num_tsteps = 4;
+    int num_refine = 2;
+    /// Tenant scheduling weight (DRR quantum multiplier, >= 1). The last
+    /// submitted spec of a tenant wins.
+    int weight = 1;
+    /// Relative deadline in seconds from submission; 0 = best-effort. Jobs
+    /// with deadlines are scheduled earliest-deadline-first ahead of the
+    /// fair-share pool and may preempt (suspend) best-effort jobs.
+    double deadline_s = 0;
+
+    /// Admission cost: the thread budget a running segment of this job
+    /// occupies (rank threads × cores each drives).
+    int cost() const { return ranks * (workers > 0 ? workers : 1); }
+};
+
+/// The miniAMR configuration a JobSpec denotes. Shared by the server and
+/// the load generator so a solo reference run of the same spec is
+/// guaranteed to execute the identical problem (checksum comparability).
+amr::Config job_config(const JobSpec& spec);
+
+void encode_job_spec(const JobSpec& spec, std::vector<std::byte>& out);
+JobSpec decode_job_spec(const std::byte* data, std::size_t size);
+
+/// Terminal result payload of a Done frame.
+struct JobDone {
+    std::vector<double> checksums;  // full validation history (bit-exact)
+    double elapsed_s = 0;           // service time (first dispatch → done)
+    std::int32_t suspends = 0;      // suspend/resume cycles the job went through
+    std::int32_t retries = 0;       // crash-recovery restarts
+};
+
+void encode_job_done(const JobDone& d, std::vector<std::byte>& out);
+JobDone decode_job_done(const std::byte* data, std::size_t size);
+
+/// Progress payload: last completed timestep, sent at timestep granularity.
+struct JobProgress {
+    std::int32_t ts = 0;
+    std::int32_t total_ts = 0;
+};
+
+void encode_job_progress(const JobProgress& p, std::vector<std::byte>& out);
+JobProgress decode_job_progress(const std::byte* data, std::size_t size);
+
+/// Server-side counters exposed over the wire (Stats frame) and mirrored in
+/// the bench/soak JSON.
+struct ServerStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t suspends = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t crash_retries = 0;
+    std::int32_t queued = 0;
+    std::int32_t running = 0;
+    std::int32_t suspended = 0;
+    std::int32_t inflight_cost = 0;
+    std::int32_t peak_queue = 0;
+    std::int32_t peak_running = 0;
+};
+
+void encode_server_stats(const ServerStats& s, std::vector<std::byte>& out);
+ServerStats decode_server_stats(const std::byte* data, std::size_t size);
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary; throws
+/// on a truncated frame, a bad magic, or an oversized payload.
+bool read_frame(const net::Socket& sock, FrameHeader& header,
+                std::vector<std::byte>& payload);
+
+/// Writes header + payload as one buffer (single syscall in the common
+/// case; callers serialize per-connection writes themselves).
+void write_frame(const net::Socket& sock, FrameKind kind, std::uint64_t job_id,
+                 const std::vector<std::byte>& payload);
+
+/// String payload helpers (Rejected / Failed reasons).
+std::vector<std::byte> encode_string(const std::string& s);
+std::string decode_string(const std::byte* data, std::size_t size);
+
+}  // namespace dfamr::serve

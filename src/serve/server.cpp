@@ -1,0 +1,184 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace dfamr::serve {
+
+void Server::Conn::send(FrameKind kind, std::uint64_t job_id,
+                        const std::vector<std::byte>& payload) {
+    std::lock_guard<lockdep::Mutex> lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return;
+    try {
+        write_frame(sock, kind, job_id, payload);
+    } catch (const std::exception&) {
+        // Broken pipe mid-stream: stop writing; the reader thread sees the
+        // EOF/error and cancels this connection's jobs.
+        open.store(false, std::memory_order_relaxed);
+    }
+}
+
+Server::Server(const ServerOptions& opts) : opts_(opts) {
+    manager_ = std::make_unique<JobManager>(opts_.manager);
+    auto [sock, port] = net::listen_on(opts_.host, opts_.port, /*backlog=*/64);
+    listener_ = std::move(sock);
+    port_ = port;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+    if (stopping_.exchange(true)) {
+        if (accept_thread_.joinable()) accept_thread_.join();
+        return;
+    }
+    // Wake the accept loop, then every blocked reader.
+    if (listener_.valid()) ::shutdown(listener_.fd(), SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<lockdep::Mutex> lock(conns_mutex_);
+        conns = conns_;
+        threads.swap(conn_threads_);
+    }
+    for (const auto& conn : conns) {
+        conn->open.store(false, std::memory_order_relaxed);
+        // Under write_mutex: the conn thread closes this socket in its own
+        // cleanup, and shutdown on a recycled fd would hit a stranger.
+        std::lock_guard<lockdep::Mutex> lock(conn->write_mutex);
+        if (conn->sock.valid()) ::shutdown(conn->sock.fd(), SHUT_RDWR);
+    }
+    for (std::thread& t : threads) t.join();
+    {
+        std::lock_guard<lockdep::Mutex> lock(conns_mutex_);
+        conns_.clear();
+    }
+    // Destroying the manager cancels whatever is still in flight and
+    // drains the pool; events to dead connections are dropped by send().
+    final_stats_ = manager_->stats();
+    manager_.reset();
+    listener_.close();
+}
+
+ServerStats Server::stats() const {
+    return manager_ != nullptr ? manager_->stats() : final_stats_;
+}
+
+void Server::accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        net::Socket client;
+        try {
+            client = net::accept_one(listener_);
+        } catch (const std::exception&) {
+            if (stopping_.load(std::memory_order_relaxed)) return;
+            continue;  // transient accept failure
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->tag = next_conn_tag_.fetch_add(1);
+        conn->sock = std::move(client);
+        conn->sock.set_nodelay(true);
+        std::lock_guard<lockdep::Mutex> lock(conns_mutex_);
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        conns_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { serve_conn(conn); });
+    }
+}
+
+void Server::serve_conn(std::shared_ptr<Conn> conn) {
+    try {
+        FrameHeader header;
+        std::vector<std::byte> payload;
+        // Client reference → manager job id. Touched only by this reader
+        // thread (Submit and Cancel both arrive here), so no lock needed.
+        std::map<std::uint64_t, std::uint64_t> jobs;
+        while (conn->open.load(std::memory_order_relaxed)) {
+            if (!read_frame(conn->sock, header, payload)) break;  // clean EOF
+            const auto kind = static_cast<FrameKind>(header.kind);
+            const std::uint64_t ref = header.job_id;
+            switch (kind) {
+                case FrameKind::Submit: {
+                    const JobSpec spec = decode_job_spec(payload.data(), payload.size());
+                    // The event callback holds the Conn alive (shared_ptr)
+                    // and maps manager events onto wire frames keyed by the
+                    // client's reference.
+                    const SubmitResult res = manager_->submit(
+                        spec,
+                        [conn, ref](const JobEvent& e) {
+                            switch (e.state) {
+                                case JobState::Running:
+                                case JobState::Suspended: {
+                                    std::vector<std::byte> p;
+                                    encode_job_progress(
+                                        {static_cast<std::int32_t>(e.ts),
+                                         static_cast<std::int32_t>(e.total_ts)},
+                                        p);
+                                    conn->send(FrameKind::Progress, ref, p);
+                                    break;
+                                }
+                                case JobState::Done: {
+                                    JobDone d;
+                                    d.checksums = e.checksums;
+                                    d.elapsed_s = e.elapsed_s;
+                                    d.suspends = e.suspends;
+                                    d.retries = e.retries;
+                                    std::vector<std::byte> p;
+                                    encode_job_done(d, p);
+                                    conn->send(FrameKind::Done, ref, p);
+                                    break;
+                                }
+                                case JobState::Failed:
+                                    conn->send(FrameKind::Failed, ref,
+                                               encode_string(e.error));
+                                    break;
+                                case JobState::Cancelled:
+                                    conn->send(FrameKind::Failed, ref,
+                                               encode_string("cancelled"));
+                                    break;
+                                case JobState::Queued: break;
+                            }
+                        },
+                        conn->tag);
+                    if (res.accepted) {
+                        jobs[ref] = res.id;
+                        conn->send(FrameKind::Accepted, ref, {});
+                    } else {
+                        conn->send(FrameKind::Rejected, ref, encode_string(res.reason));
+                    }
+                    break;
+                }
+                case FrameKind::Cancel: {
+                    const auto it = jobs.find(ref);
+                    if (it != jobs.end()) manager_->cancel(it->second);
+                    break;
+                }
+                case FrameKind::StatsReq: {
+                    std::vector<std::byte> p;
+                    encode_server_stats(manager_->stats(), p);
+                    conn->send(FrameKind::Stats, 0, p);
+                    break;
+                }
+                case FrameKind::Bye: conn->open.store(false); break;
+                default:
+                    throw Error("serve: unexpected client frame kind " +
+                                std::to_string(header.kind));
+            }
+        }
+    } catch (const std::exception&) {
+        // Fall through to cleanup: a torn connection is routine.
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+    manager_->cancel_conn(conn->tag);  // stop() joins this thread before reset
+    {
+        std::lock_guard<lockdep::Mutex> lock(conn->write_mutex);
+        conn->sock.close();
+    }
+}
+
+}  // namespace dfamr::serve

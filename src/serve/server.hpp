@@ -1,0 +1,82 @@
+// dfamr-serve daemon: accepts DFS1 client connections, feeds Submit frames
+// into the JobManager, and streams per-job Progress/Done/Failed frames
+// back. One reader thread per connection; writes are serialized by a
+// per-connection mutex because job events arrive from pool and rank
+// threads concurrently.
+//
+// Disconnect cleanup: when a client goes away (clean Bye or mid-stream
+// EOF/error), every non-terminal job submitted on that connection is
+// cancelled and the connection's threads and fds are reclaimed — a flaky
+// client must not leak server resources or pool slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/lockdep.hpp"
+#include "net/socket.hpp"
+#include "serve/job_manager.hpp"
+
+namespace dfamr::serve {
+
+struct ServerOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral
+    JobManagerOptions manager;
+};
+
+class Server {
+public:
+    /// Binds and starts the accept loop.
+    explicit Server(const ServerOptions& opts);
+    /// stop()s if still running.
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    std::uint16_t port() const { return port_; }
+    JobManager& manager() { return *manager_; }
+
+    /// Live manager stats; after stop(), the final snapshot.
+    ServerStats stats() const;
+
+    /// Shuts the listener, disconnects every client (cancelling their
+    /// jobs), and drains the manager. Idempotent.
+    void stop();
+
+private:
+    struct Conn {
+        std::uint64_t tag = 0;
+        net::Socket sock;
+        lockdep::Mutex write_mutex{"serve.conn.write"};
+        std::atomic<bool> open{true};
+
+        /// Serialized frame write; on a broken pipe the connection is
+        /// marked closed and further writes are dropped silently (the
+        /// reader thread handles the cleanup).
+        void send(FrameKind kind, std::uint64_t job_id,
+                  const std::vector<std::byte>& payload);
+    };
+
+    void accept_loop();
+    void serve_conn(std::shared_ptr<Conn> conn);
+
+    ServerOptions opts_;
+    std::unique_ptr<JobManager> manager_;
+    ServerStats final_stats_;  // captured by stop() before the manager dies
+    net::Socket listener_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> next_conn_tag_{1};
+
+    lockdep::Mutex conns_mutex_{"serve.conns"};
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<std::thread> conn_threads_;  // guarded by conns_mutex_
+    std::thread accept_thread_;
+};
+
+}  // namespace dfamr::serve

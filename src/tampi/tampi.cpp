@@ -54,6 +54,13 @@ void Tampi::configure_resilience(const resilience::RetryPolicy& policy, amr::Tra
     tracer_ = tracer;
 }
 
+void Tampi::set_abort_probe(std::function<bool()> probe) {
+    abort_probe_ = std::move(probe);
+    // Release-publish: a worker polling concurrently either misses the
+    // probe this round or sees the fully constructed function.
+    has_abort_probe_.store(true, std::memory_order_release);
+}
+
 void Tampi::bind_current_task(mpi::Request req, int rank, int peer, int tag, const char* op) {
     DFAMR_REQUIRE(req.valid(), "TAMPI iwait: invalid request");
     // Fast path: already complete — no event, no tracking.
@@ -112,13 +119,29 @@ void Tampi::recv(mpi::Communicator& comm, void* buf, std::size_t bytes, int sour
 }
 
 void Tampi::help_with_deadline(mpi::Request& req, const char* op, int rank, int peer, int tag) {
+    // A world abort (a sibling rank crashed) or a rank-local task error
+    // ends the wait immediately: the transfer can never be relied on, so
+    // riding out the full policy deadline would stall teardown by
+    // comm_timeout per blocking call.
+    const auto aborted = [this] {
+        return probe_world_aborted() || runtime_.has_pending_error();
+    };
     if (!hardened_ || policy_.timeout_ns <= 0) {
-        runtime_.help_until([&req] { return req.test(); });
-        return;
+        runtime_.help_until([&req, &aborted] { return req.test() || aborted(); });
+    } else {
+        const std::int64_t deadline = steady_now_ns() + policy_.timeout_ns;
+        runtime_.help_until([&req, &aborted, deadline] {
+            return req.test() || aborted() || steady_now_ns() >= deadline;
+        });
     }
-    const std::int64_t deadline = steady_now_ns() + policy_.timeout_ns;
-    runtime_.help_until([&req, deadline] { return req.test() || steady_now_ns() >= deadline; });
-    if (!req.test() && req.cancel()) throw resilience::CommTimeout(op, rank, peer, tag);
+    if (req.test()) return;
+    if (aborted() && req.cancel()) {
+        throw Error("tampi: " + std::string(op) + " abandoned: world aborted "
+                    "(another rank failed)");
+    }
+    if (hardened_ && policy_.timeout_ns > 0 && req.cancel()) {
+        throw resilience::CommTimeout(op, rank, peer, tag);
+    }
 }
 
 std::size_t Tampi::pending() const {
@@ -140,15 +163,29 @@ void Tampi::expire(Bound& b) {
 
 bool Tampi::poll() {
     const std::int64_t now = steady_now_ns();
+    // Two ways a transfer becomes unfinishable: the world aborted (a
+    // sibling rank crashed), or this rank's own parallel phase already
+    // recorded an error — its taskwait WILL rethrow, but only after the
+    // event drain, and the peer may never send what these requests wait
+    // for (it is stuck on data the failed task would have produced).
+    const bool world_aborted = probe_world_aborted();
+    const bool doomed = world_aborted || runtime_.has_pending_error();
     std::vector<Bound> completed;
     std::vector<Bound> expired;
+    std::vector<Bound> aborted;
     {
         std::lock_guard lock(mutex_);
         auto mid = std::partition(pending_.begin(), pending_.end(),
                                   [](const Bound& b) { return !b.request.test(); });
         completed.assign(std::make_move_iterator(mid), std::make_move_iterator(pending_.end()));
         pending_.erase(mid, pending_.end());
-        if (hardened_) {
+        if (doomed) {
+            // Flush everything now so the rank unwinds in one poll interval
+            // instead of one completion deadline per request.
+            aborted.assign(std::make_move_iterator(pending_.begin()),
+                           std::make_move_iterator(pending_.end()));
+            pending_.clear();
+        } else if (hardened_) {
             bool any = timed_out_;
             for (const Bound& b : pending_) {
                 if (b.deadline_ns != 0 && now >= b.deadline_ns) {
@@ -174,6 +211,22 @@ bool Tampi::poll() {
     }
     for (Bound& b : expired) {
         expire(b);
+    }
+    for (Bound& b : aborted) {
+        // cancel() can lose the race against a concurrent delivery — then
+        // this is a normal (late) completion, not a casualty of the abort.
+        if (!b.request.cancel() && b.request.test()) {
+            runtime_.decrease_task_events(b.task, 1);
+            continue;
+        }
+        if (world_aborted) {
+            // On a rank-local error the rethrow is already pending — only a
+            // remote abort needs an error recorded so taskwait surfaces it.
+            runtime_.report_external_error(std::make_exception_ptr(Error(
+                std::string("tampi: ") + b.op + " abandoned: world aborted "
+                "(another rank failed)")));
+        }
+        runtime_.decrease_task_events(b.task, 1);
     }
     return true;  // stay registered
 }

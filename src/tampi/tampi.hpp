@@ -17,6 +17,8 @@
 // events (the same mechanism real TAMPI uses through the nanos6 polling API).
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -68,6 +70,13 @@ public:
     /// Requests currently tracked by the progress engine (tests/stats).
     std::size_t pending() const;
 
+    /// Installs a probe the progress engine polls for a world abort (a
+    /// crashed sibling rank). When it fires, every pending request is
+    /// flushed immediately as failed — without it a crash is only noticed
+    /// when the per-request completion deadline expires, which turns a
+    /// fast-fail into a full comm_timeout stall per rank.
+    void set_abort_probe(std::function<bool()> probe);
+
 private:
     bool poll();
     /// Trace lane of the calling thread (main -> 0, runtime worker w -> w+1).
@@ -102,6 +111,16 @@ private:
     bool hardened_ = false;
     resilience::RetryPolicy policy_;
     amr::Tracer* tracer_ = nullptr;
+    /// Polled by the progress engine and the blocking-mode help loops; a
+    /// true return means the world aborted and all waits should fail now.
+    /// Published through `has_abort_probe_` (release/acquire): workers may
+    /// already be polling when the driver installs the probe.
+    std::function<bool()> abort_probe_;
+    std::atomic<bool> has_abort_probe_{false};
+
+    bool probe_world_aborted() const {
+        return has_abort_probe_.load(std::memory_order_acquire) && abort_probe_();
+    }
     /// Set once any request times out: every other pending request is
     /// flushed too, so an aborted step tears down quickly instead of
     /// waiting out one deadline per request.

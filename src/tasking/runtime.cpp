@@ -239,6 +239,7 @@ void Runtime::run_body(Task* task) {
     } catch (...) {
         std::lock_guard lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
+        error_pending_.store(true, std::memory_order_relaxed);
     }
     if (verify_ != nullptr) verify_->on_body_end(*task);
     tls_runtime = prev_rt;
@@ -447,6 +448,7 @@ void Runtime::report_external_error(std::exception_ptr err) {
     if (!err) return;
     std::lock_guard lock(error_mutex_);
     if (!first_error_) first_error_ = std::move(err);
+    error_pending_.store(true, std::memory_order_relaxed);
 }
 
 void Runtime::taskwait() {
@@ -457,6 +459,7 @@ void Runtime::taskwait() {
         std::lock_guard lock(error_mutex_);
         err = first_error_;
         first_error_ = nullptr;
+        error_pending_.store(false, std::memory_order_relaxed);
     }
     if (err) std::rethrow_exception(err);
 }

@@ -139,6 +139,15 @@ public:
     /// worker pool on a task that will never complete.
     void report_external_error(std::exception_ptr err);
 
+    /// True while an error (task-body or external) is recorded and not yet
+    /// consumed by a taskwait. Progress engines use this to stop waiting on
+    /// transfers of a doomed parallel phase: the next taskwait rethrows no
+    /// matter what, so requests that cannot complete any more should be
+    /// flushed instead of holding the drain until their deadlines expire.
+    bool has_pending_error() const {
+        return error_pending_.load(std::memory_order_relaxed);
+    }
+
     /// The runtime the calling thread is currently executing a task of
     /// (nullptr outside of tasks).
     static Runtime* current();
@@ -270,6 +279,8 @@ private:
 
     lockdep::Mutex error_mutex_{"tasking.error"};
     std::exception_ptr first_error_;
+    /// Lock-free mirror of `first_error_ != nullptr` for hot-path probes.
+    std::atomic<bool> error_pending_{false};
 
     struct PollingService {
         std::string name;

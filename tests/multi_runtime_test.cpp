@@ -1,0 +1,153 @@
+// Singleton-audit regression tests: the serve plane runs many tasking
+// Runtimes and in-process MPI worlds in one process at once, so nothing in
+// those layers may rely on process-global mutable state. These tests run
+// under the sanitizer matrix (TSan included) like every other gtest binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "amr/config.hpp"
+#include "core/variants.hpp"
+#include "tasking/runtime.hpp"
+
+namespace dfamr {
+namespace {
+
+// ---- concurrent tasking runtimes ------------------------------------------
+
+TEST(MultiRuntime, IndependentRuntimesRunConcurrently) {
+    // N runtimes constructed, driven, and destroyed by N host threads at
+    // once. Any hidden global (a static queue, a shared TLS slot misused
+    // across instances) shows up as a lost task, a wrong counter, or a
+    // sanitizer report.
+    constexpr int kRuntimes = 4;
+    constexpr int kTasksPer = 200;
+    std::vector<std::thread> hosts;
+    std::atomic<int> total{0};
+    for (int r = 0; r < kRuntimes; ++r) {
+        hosts.emplace_back([&total, r, kTasksPer] {
+            tasking::Runtime rt(1 + (r % 3));
+            std::atomic<int> local{0};
+            for (int i = 0; i < kTasksPer; ++i) {
+                rt.submit([&local] { local.fetch_add(1, std::memory_order_relaxed); }, {},
+                          "count");
+            }
+            rt.taskwait();
+            EXPECT_EQ(local.load(), kTasksPer);
+            total.fetch_add(local.load(), std::memory_order_relaxed);
+        });
+    }
+    for (auto& t : hosts) t.join();
+    EXPECT_EQ(total.load(), kRuntimes * kTasksPer);
+}
+
+TEST(MultiRuntime, NestedRuntimeInsideForeignTask) {
+    // A task of one runtime constructs and drives a second runtime — the
+    // serve pool does exactly this (each segment task builds per-rank
+    // runtimes for the hybrid variants). The inner runtime's inline work
+    // must not be attributed to the outer pool's current-task context.
+    tasking::Runtime outer(2);
+    std::atomic<int> inner_done{0};
+    for (int i = 0; i < 4; ++i) {
+        outer.submit(
+            [&inner_done] {
+                tasking::Runtime inner(0);  // workers==0: inline at taskwait
+                std::atomic<int> n{0};
+                for (int j = 0; j < 50; ++j) {
+                    inner.submit([&n] { n.fetch_add(1, std::memory_order_relaxed); }, {},
+                                 "inner");
+                }
+                inner.taskwait();
+                if (n.load() == 50) inner_done.fetch_add(1, std::memory_order_relaxed);
+            },
+            {}, "outer");
+    }
+    outer.taskwait();
+    EXPECT_EQ(inner_done.load(), 4);
+}
+
+// ---- concurrent in-process worlds ------------------------------------------
+
+core::RunResult run_once(const amr::Config& cfg, amr::Variant variant) {
+    core::RunOptions ropts;
+    ropts.ignore_launch_env = true;
+    return core::run_variant(cfg, variant, nullptr, nullptr, ropts);
+}
+
+/// Scales a canonical input down to a seconds-sized problem (the same knobs
+/// the serve plane's job_config applies).
+void shrink(amr::Config& cfg) {
+    cfg.npx = 2;
+    cfg.npy = cfg.npz = 1;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 8;
+    cfg.comm_vars = 4;
+    cfg.num_tsteps = 4;
+    cfg.stages_per_ts = 6;
+    cfg.checksum_freq = 2;
+    cfg.num_refine = 2;
+    cfg.refine_freq = 2;
+    cfg.workers = 2;
+    cfg.validate();
+}
+
+TEST(MultiRuntime, ConcurrentWorldsProduceSoloChecksums) {
+    // Two full simulations (each an in-process MPI world with its own rank
+    // threads, runtimes and TAMPI engines) run concurrently in one process.
+    // Cross-talk between the worlds would corrupt the deterministic
+    // checksum history of at least one of them.
+    amr::Config small = amr::single_sphere_input();
+    shrink(small);
+    amr::Config other = amr::four_spheres_input();
+    shrink(other);
+    other.seed = 11;  // distinct stream: cross-talk cannot hide behind symmetry
+
+    const core::RunResult solo_small = run_once(small, amr::Variant::TampiOss);
+    const core::RunResult solo_other = run_once(other, amr::Variant::ForkJoin);
+
+    for (int round = 0; round < 2; ++round) {
+        core::RunResult a;
+        core::RunResult b;
+        std::thread ta([&] { a = run_once(small, amr::Variant::TampiOss); });
+        std::thread tb([&] { b = run_once(other, amr::Variant::ForkJoin); });
+        ta.join();
+        tb.join();
+        EXPECT_EQ(a.checksums, solo_small.checksums) << "round " << round;
+        EXPECT_EQ(b.checksums, solo_other.checksums) << "round " << round;
+    }
+}
+
+TEST(MultiRuntime, ManySmallWorldsChurn) {
+    // Construction/destruction churn: worlds continuously created and torn
+    // down from several threads hunts lifecycle races (static init, id
+    // reuse, leaked registrations) rather than steady-state ones.
+    amr::Config cfg = amr::single_sphere_input();
+    cfg.npx = 1;
+    cfg.npy = cfg.npz = 1;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_tsteps = 2;
+    cfg.workers = 1;
+    cfg.validate();
+
+    const core::RunResult solo = run_once(cfg, amr::Variant::MpiOnly);
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 3; ++i) {
+                const core::RunResult r = run_once(cfg, amr::Variant::MpiOnly);
+                if (r.checksums != solo.checksums) {
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace dfamr
