@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <deque>
 
 #include "common/timing.hpp"
 #include "core/sched_telemetry.hpp"
@@ -44,6 +45,10 @@ void ForkJoinDriver::communicate_stage(int group) {
 }
 
 void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
+    if (cfg_.zero_copy) {
+        exchange_direction_zero_copy(dir, gb, ge);
+        return;
+    }
     const amr::DirectionPlan& dp = plan_.direction(dir);
     const int gvars = ge - gb;
 
@@ -137,6 +142,122 @@ void ForkJoinDriver::exchange_direction(int dir, int gb, int ge) {
         DFAMR_CHECK_READ(section.data(), section.size_bytes());
         DFAMR_CHECK_WRITE(mesh_.block(job.face->mine).group_span(gb, ge).data(),
                           mesh_.block(job.face->mine).group_span(gb, ge).size_bytes());
+        mesh_.block(job.face->mine).unpack_face(job.face->geom, gb, ge, section);
+        trace(worker_index(), t1, now_ns(), PhaseKind::Unpack);
+    });
+
+    const std::int64_t t2 = now_ns();
+    hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
+    trace(0, t2, now_ns(), PhaseKind::CommWait);
+}
+
+void ForkJoinDriver::exchange_direction_zero_copy(int dir, int gb, int ge) {
+    // Mirrors exchange_direction with each chunk owning a transport frame:
+    // pack worksharing targets the frame payloads directly, and unpack
+    // worksharing reads the received frames in place (no staging streams).
+    const amr::DirectionPlan& dp = plan_.direction(dir);
+    const int gvars = ge - gb;
+
+    struct RecvSlot {
+        int neighbor_index;
+        const amr::MessageChunk* chunk;
+    };
+    std::vector<mpi::Request> recv_reqs;
+    std::vector<RecvSlot> recv_slots;
+    std::deque<mpi::RxView> views;  // stable addresses while in flight
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            const std::size_t bytes =
+                static_cast<std::size_t>(chunk.value_count * gvars) * sizeof(double);
+            views.emplace_back();
+            recv_reqs.push_back(hcomm_.irecv_view(&views.back(), bytes, ex.peer, chunk.tag));
+            recv_slots.push_back(RecvSlot{static_cast<int>(ni), &chunk});
+        }
+    }
+
+    // One frame per send chunk, created by the master; the workshared pack
+    // loop fills disjoint face sections of them.
+    struct SendChunk {
+        const amr::NeighborExchange* ex;
+        const amr::MessageChunk* chunk;
+        mpi::TxBuffer tx;
+    };
+    std::vector<SendChunk> send_chunks;
+    struct PackJob {
+        const amr::FaceTransfer* face;
+        std::size_t chunk_index;
+    };
+    std::vector<PackJob> pack_jobs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        for (const amr::MessageChunk& chunk : ex.send_chunks) {
+            const std::size_t bytes =
+                static_cast<std::size_t>(chunk.value_count * gvars) * sizeof(double);
+            send_chunks.push_back(SendChunk{&ex, &chunk, mpi::make_tx_buffer(bytes)});
+            for (int f = chunk.first_face; f < chunk.first_face + chunk.face_count; ++f) {
+                pack_jobs.push_back(
+                    PackJob{&ex.sends[static_cast<std::size_t>(f)], send_chunks.size() - 1});
+            }
+        }
+    }
+    pfor(static_cast<std::int64_t>(pack_jobs.size()), [&](std::int64_t i) {
+        const PackJob& job = pack_jobs[static_cast<std::size_t>(i)];
+        SendChunk& sc = send_chunks[job.chunk_index];
+        auto section = sc.tx.payload.subspan(
+            static_cast<std::size_t>((job.face->value_offset - sc.chunk->value_offset) * gvars) *
+                sizeof(double),
+            static_cast<std::size_t>(job.face->value_count * gvars) * sizeof(double));
+        const std::int64_t t0 = now_ns();
+        mesh_.block(job.face->mine).pack_face(job.face->geom, gb, ge, section);
+        trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
+    });
+
+    std::vector<mpi::Request> send_reqs;
+    for (const SendChunk& sc : send_chunks) {
+        const std::int64_t t0 = now_ns();
+        send_reqs.push_back(hcomm_.isend_tx(sc.tx, sc.ex->peer, sc.chunk->tag));
+        trace(0, t0, now_ns(), PhaseKind::Send);
+    }
+
+    pfor(static_cast<std::int64_t>(dp.copies.size()), [&](std::int64_t i) {
+        const amr::IntraCopy& copy = dp.copies[static_cast<std::size_t>(i)];
+        const std::int64_t t0 = now_ns();
+        mesh_.block(copy.dst).copy_face_from(mesh_.block(copy.src), copy.geom, gb, ge);
+        trace(worker_index(), t0, now_ns(), PhaseKind::IntraCopy);
+    });
+    pfor(static_cast<std::int64_t>(dp.boundary.size()), [&](std::int64_t i) {
+        const auto& [key, sense] = dp.boundary[static_cast<std::size_t>(i)];
+        mesh_.block(key).reflect_face(dir, sense, gb, ge);
+    });
+
+    const std::int64_t t0 = now_ns();
+    hcomm_.wait_all(std::span<mpi::Request>(recv_reqs));
+    trace(0, t0, now_ns(), PhaseKind::CommWait);
+
+    struct UnpackJob {
+        const amr::FaceTransfer* face;
+        const amr::MessageChunk* chunk;
+        const mpi::RxView* view;
+    };
+    std::vector<UnpackJob> unpack_jobs;
+    for (std::size_t s = 0; s < recv_slots.size(); ++s) {
+        const RecvSlot& slot = recv_slots[s];
+        const amr::NeighborExchange& ex =
+            dp.neighbors[static_cast<std::size_t>(slot.neighbor_index)];
+        for (int f = slot.chunk->first_face; f < slot.chunk->first_face + slot.chunk->face_count;
+             ++f) {
+            unpack_jobs.push_back(
+                UnpackJob{&ex.recvs[static_cast<std::size_t>(f)], slot.chunk, &views[s]});
+        }
+    }
+    pfor(static_cast<std::int64_t>(unpack_jobs.size()), [&](std::int64_t i) {
+        const UnpackJob& job = unpack_jobs[static_cast<std::size_t>(i)];
+        auto section = job.view->payload.subspan(
+            static_cast<std::size_t>((job.face->value_offset - job.chunk->value_offset) * gvars) *
+                sizeof(double),
+            static_cast<std::size_t>(job.face->value_count * gvars) * sizeof(double));
+        const std::int64_t t1 = now_ns();
         mesh_.block(job.face->mine).unpack_face(job.face->geom, gb, ge, section);
         trace(worker_index(), t1, now_ns(), PhaseKind::Unpack);
     });

@@ -34,6 +34,9 @@ protected:
 
 private:
     void exchange_direction(int dir, int gb, int ge);
+    /// --zero_copy fast path: workshared pack straight into transport
+    /// frames, workshared unpack straight out of received frames.
+    void exchange_direction_zero_copy(int dir, int gb, int ge);
     /// parallel-for with the implicit barrier of an OpenMP region.
     void pfor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 

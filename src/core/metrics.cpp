@@ -29,6 +29,8 @@ MetricsSnapshot make_metrics_snapshot(const amr::Tracer& tracer, const RunResult
     m.sched = result.sched;
     m.sched_refine = result.sched_refine;
     m.net = result.net;
+    m.net_peers = result.net_peers;
+    m.rndv_threshold = result.rndv_threshold;
     m.messages = result.messages;
     m.bytes = result.bytes;
     m.total_s = result.times.total;
@@ -93,10 +95,28 @@ std::string metrics_to_json(const MetricsSnapshot& m) {
                   "    \"frames_sent\": %" PRIu64 ",\n"
                   "    \"frames_received\": %" PRIu64 ",\n"
                   "    \"rendezvous\": %" PRIu64 ",\n"
-                  "    \"reconnects\": %" PRIu64 "\n",
+                  "    \"reconnects\": %" PRIu64 ",\n"
+                  "    \"coalesced_frames_sent\": %" PRIu64 ",\n"
+                  "    \"coalesced_messages\": %" PRIu64 ",\n"
+                  "    \"copies_elided\": %" PRIu64 ",\n"
+                  "    \"rndv_threshold\": %" PRIu64 ",\n",
                   u64(m.net.bytes_sent), u64(m.net.bytes_received), u64(m.net.frames_sent),
-                  u64(m.net.frames_received), u64(m.net.rendezvous), u64(m.net.reconnects));
+                  u64(m.net.frames_received), u64(m.net.rendezvous), u64(m.net.reconnects),
+                  u64(m.net.coalesced_frames_sent), u64(m.net.coalesced_messages),
+                  u64(m.net.copies_elided), u64(m.rndv_threshold));
     out += buf;
+    out += "    \"peers\": [";
+    for (std::size_t p = 0; p < m.net_peers.size(); ++p) {
+        const net::PeerStats& ps = m.net_peers[p];
+        std::snprintf(buf, sizeof buf,
+                      "%s\n      {\"rank\": %zu, \"bytes_sent\": %" PRIu64
+                      ", \"frames_sent\": %" PRIu64 ", \"bytes_received\": %" PRIu64
+                      ", \"frames_received\": %" PRIu64 "}",
+                      p == 0 ? "" : ",", p, u64(ps.bytes_sent), u64(ps.frames_sent),
+                      u64(ps.bytes_received), u64(ps.frames_received));
+        out += buf;
+    }
+    out += m.net_peers.empty() ? "]\n" : "\n    ]\n";
     out += "  },\n";
 
     out += "  \"run\": {\n";

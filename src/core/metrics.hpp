@@ -18,6 +18,10 @@ struct MetricsSnapshot {
     SchedulerCounters sched;         // whole run, summed over ranks
     SchedulerCounters sched_refine;  // slice attributed to refinement phases
     net::NetCounters net;            // wire counters (zero for inproc)
+    /// Per-peer wire traffic (entry p = all ranks' traffic with rank p);
+    /// empty for inproc.
+    std::vector<net::PeerStats> net_peers;
+    std::uint64_t rndv_threshold = 0;  // effective eager/rendezvous switchover
     std::uint64_t messages = 0;      // delivered by the MPI layer
     std::uint64_t bytes = 0;
     double total_s = 0;

@@ -3,6 +3,8 @@
 // miniAMR with Rico et al.'s data-layout changes).
 #include "core/mpi_only.hpp"
 
+#include <deque>
+
 #include "common/timing.hpp"
 #include "verify/access_check.hpp"
 
@@ -22,6 +24,10 @@ void MpiOnlyDriver::communicate_stage(int group) {
 }
 
 void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
+    if (cfg_.zero_copy) {
+        exchange_direction_zero_copy(dir, gb, ge);
+        return;
+    }
     const amr::DirectionPlan& dp = plan_.direction(dir);
     const int gvars = ge - gb;
 
@@ -99,6 +105,93 @@ void MpiOnlyDriver::exchange_direction(int dir, int gb, int ge) {
     }
 
     // 5) Wait for sends before reusing the buffers (line 19).
+    const std::int64_t t0 = now_ns();
+    hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
+    trace(0, t0, now_ns(), PhaseKind::CommWait);
+}
+
+void MpiOnlyDriver::exchange_direction_zero_copy(int dir, int gb, int ge) {
+    // Same structure as exchange_direction, but each chunk owns a transport
+    // frame: pack writes into the frame payload that goes on the wire, and
+    // unpack reads the received frame in place — no staging copies on either
+    // side (the staging streams of buffers_ are never touched).
+    const amr::DirectionPlan& dp = plan_.direction(dir);
+    const int gvars = ge - gb;
+
+    struct RecvSlot {
+        int neighbor_index;
+        const amr::MessageChunk* chunk;
+    };
+    std::vector<mpi::Request> recv_reqs;
+    std::vector<RecvSlot> recv_slots;
+    // Views are addressed by the delivery path until matched: the deque
+    // grows only before the requests are waited on, and deques never move
+    // their elements.
+    std::deque<mpi::RxView> views;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            const std::size_t bytes =
+                static_cast<std::size_t>(chunk.value_count * gvars) * sizeof(double);
+            views.emplace_back();
+            recv_reqs.push_back(hcomm_.irecv_view(&views.back(), bytes, ex.peer, chunk.tag));
+            recv_slots.push_back(RecvSlot{static_cast<int>(ni), &chunk});
+        }
+    }
+
+    std::vector<mpi::Request> send_reqs;
+    for (std::size_t ni = 0; ni < dp.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = dp.neighbors[ni];
+        for (const amr::MessageChunk& chunk : ex.send_chunks) {
+            const std::size_t bytes =
+                static_cast<std::size_t>(chunk.value_count * gvars) * sizeof(double);
+            mpi::TxBuffer tx = mpi::make_tx_buffer(bytes);
+            const std::int64_t t0 = now_ns();
+            for (int f = chunk.first_face; f < chunk.first_face + chunk.face_count; ++f) {
+                const amr::FaceTransfer& face = ex.sends[static_cast<std::size_t>(f)];
+                auto section = tx.payload.subspan(
+                    static_cast<std::size_t>((face.value_offset - chunk.value_offset) * gvars) *
+                        sizeof(double),
+                    static_cast<std::size_t>(face.value_count * gvars) * sizeof(double));
+                mesh_.block(face.mine).pack_face(face.geom, gb, ge, section);
+            }
+            trace(0, t0, now_ns(), PhaseKind::Pack);
+            const std::int64_t t1 = now_ns();
+            send_reqs.push_back(hcomm_.isend_tx(tx, ex.peer, chunk.tag));
+            trace(0, t1, now_ns(), PhaseKind::Send);
+        }
+    }
+
+    for (const amr::IntraCopy& copy : dp.copies) {
+        const std::int64_t t0 = now_ns();
+        mesh_.block(copy.dst).copy_face_from(mesh_.block(copy.src), copy.geom, gb, ge);
+        trace(0, t0, now_ns(), PhaseKind::IntraCopy);
+    }
+    for (const auto& [key, sense] : dp.boundary) {
+        mesh_.block(key).reflect_face(dir, sense, gb, ge);
+    }
+
+    while (true) {
+        const std::int64_t t0 = now_ns();
+        const int idx = hcomm_.wait_any(std::span<mpi::Request>(recv_reqs));
+        trace(0, t0, now_ns(), PhaseKind::CommWait);
+        if (idx == mpi::kUndefined) break;
+        const RecvSlot& slot = recv_slots[static_cast<std::size_t>(idx)];
+        const amr::NeighborExchange& ex = dp.neighbors[static_cast<std::size_t>(slot.neighbor_index)];
+        const mpi::RxView& view = views[static_cast<std::size_t>(idx)];
+        const std::int64_t t1 = now_ns();
+        for (int f = slot.chunk->first_face; f < slot.chunk->first_face + slot.chunk->face_count;
+             ++f) {
+            const amr::FaceTransfer& face = ex.recvs[static_cast<std::size_t>(f)];
+            auto section = view.payload.subspan(
+                static_cast<std::size_t>((face.value_offset - slot.chunk->value_offset) * gvars) *
+                    sizeof(double),
+                static_cast<std::size_t>(face.value_count * gvars) * sizeof(double));
+            mesh_.block(face.mine).unpack_face(face.geom, gb, ge, section);
+        }
+        trace(0, t1, now_ns(), PhaseKind::Unpack);
+    }
+
     const std::int64_t t0 = now_ns();
     hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
     trace(0, t0, now_ns(), PhaseKind::CommWait);

@@ -20,6 +20,10 @@ protected:
 
 private:
     void exchange_direction(int dir, int gb, int ge);
+    /// --zero_copy fast path: packs each chunk straight into a transport
+    /// frame (TxBuffer) and unpacks straight out of the received frame
+    /// (RxView), skipping both staging buffers.
+    void exchange_direction_zero_copy(int dir, int gb, int ge);
 };
 
 }  // namespace dfamr::core

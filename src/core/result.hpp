@@ -109,6 +109,12 @@ struct RunResult {
     /// Wire-level transport counters, summed over all rank processes (all
     /// zero for the in-process transport).
     net::NetCounters net;
+    /// Per-peer wire traffic, indexed by peer rank and summed over all rank
+    /// processes (entry p = traffic every rank exchanged with rank p).
+    /// Empty for the in-process transport.
+    std::vector<net::PeerStats> net_peers;
+    /// Effective eager/rendezvous switchover (bytes) the run used.
+    std::uint64_t rndv_threshold = 0;
     RunCounters counters;
     SchedulerCounters sched;         // summed over ranks
     SchedulerCounters sched_refine;  // summed over ranks

@@ -20,7 +20,8 @@ namespace {
 /// computes the same global totals; checksums are already globally agreed.
 RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
                              std::uint64_t local_messages, std::uint64_t local_bytes,
-                             const net::NetCounters& local_net) {
+                             const net::NetCounters& local_net,
+                             const std::vector<net::PeerStats>& local_peers) {
     RunResult g;
     g.checksums = r.checksums;
 
@@ -52,21 +53,42 @@ RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
     g.counters.load_balances = maxes[1];
     g.counters.checksum_stages = maxes[2];
 
-    std::uint64_t usums_in[20] = {
+    std::uint64_t usums_in[23] = {
         r.sched.tasks_executed, r.sched.steals, r.sched.steal_fails, r.sched.parks,
         r.sched.wakeups, r.sched.immediate_successor_hits,
         r.sched_refine.tasks_executed, r.sched_refine.steals, r.sched_refine.steal_fails,
         r.sched_refine.parks, r.sched_refine.wakeups, r.sched_refine.immediate_successor_hits,
         local_messages, local_bytes,
         local_net.bytes_sent, local_net.bytes_received, local_net.frames_sent,
-        local_net.frames_received, local_net.rendezvous, local_net.reconnects};
-    std::uint64_t usums[20];
-    comm.allreduce(usums_in, usums, 20, mpi::Op::Sum);
+        local_net.frames_received, local_net.rendezvous, local_net.reconnects,
+        local_net.coalesced_frames_sent, local_net.coalesced_messages,
+        local_net.copies_elided};
+    std::uint64_t usums[23];
+    comm.allreduce(usums_in, usums, 23, mpi::Op::Sum);
     g.sched = {usums[0], usums[1], usums[2], usums[3], usums[4], usums[5]};
     g.sched_refine = {usums[6], usums[7], usums[8], usums[9], usums[10], usums[11]};
     g.messages = usums[12];
     g.bytes = usums[13];
-    g.net = {usums[14], usums[15], usums[16], usums[17], usums[18], usums[19]};
+    g.net = {usums[14], usums[15], usums[16], usums[17], usums[18], usums[19],
+             usums[20], usums[21], usums[22]};
+
+    // Per-peer wire traffic, flattened to nranks x 4 for one summed
+    // allreduce (entry p = what every rank exchanged with rank p).
+    const std::size_t nranks = static_cast<std::size_t>(comm.size());
+    std::vector<std::uint64_t> peers_in(nranks * 4, 0);
+    for (std::size_t p = 0; p < nranks && p < local_peers.size(); ++p) {
+        peers_in[p * 4 + 0] = local_peers[p].bytes_sent;
+        peers_in[p * 4 + 1] = local_peers[p].frames_sent;
+        peers_in[p * 4 + 2] = local_peers[p].bytes_received;
+        peers_in[p * 4 + 3] = local_peers[p].frames_received;
+    }
+    std::vector<std::uint64_t> peers_out(nranks * 4, 0);
+    comm.allreduce(peers_in.data(), peers_out.data(), nranks * 4, mpi::Op::Sum);
+    g.net_peers.resize(nranks);
+    for (std::size_t p = 0; p < nranks; ++p) {
+        g.net_peers[p] = {peers_out[p * 4 + 0], peers_out[p * 4 + 1], peers_out[p * 4 + 2],
+                          peers_out[p * 4 + 3]};
+    }
 
     int ok_in = r.validation_ok ? 1 : 0;
     int ok = 0;
@@ -78,11 +100,15 @@ RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
 }  // namespace
 
 void RunOptions::register_cli(CliParser& cli) {
-    cli.add_option("--transport", "message transport: inproc | tcp", "");
+    cli.add_option("--transport", "message transport: inproc | tcp | shm | auto", "");
     cli.add_option("--rendezvous_threshold",
-                   "TCP payload size (bytes) at which sends switch from eager to the "
+                   "wire payload size (bytes) at which sends switch from eager to the "
                    "Rts/Cts rendezvous handshake",
                    "65536");
+    cli.add_option("--rndv_threshold", "alias for --rendezvous_threshold", "");
+    cli.add_flag("--coalesce",
+                 "batch consecutive same-destination eager frames into one coalesced "
+                 "wire frame (generalizes --send_faces to the transport layer)");
 }
 
 RunOptions RunOptions::from_cli(const CliParser& cli) {
@@ -90,20 +116,35 @@ RunOptions RunOptions::from_cli(const CliParser& cli) {
     std::string transport;
     if (cli.has("--transport")) transport = cli.get_string("--transport");
     if (transport.empty()) {
-        // dfamr_mpirun sets DFAMR_TRANSPORT=tcp for its rank processes.
+        // dfamr_mpirun sets DFAMR_TRANSPORT for its rank processes.
         const char* env = std::getenv("DFAMR_TRANSPORT");
         if (env != nullptr) transport = env;
     }
     if (transport == "tcp") {
         opts.transport = mpi::TransportKind::Tcp;
+    } else if (transport == "shm" || transport == "auto") {
+        // Every in-process world is co-located by definition, and the
+        // launcher resolves auto before spawning ranks, so auto means shm
+        // wherever this code sees it.
+        opts.transport = mpi::TransportKind::Shm;
     } else if (!transport.empty() && transport != "inproc") {
-        throw ConfigError("unknown transport '" + transport + "' (expected inproc or tcp)");
+        throw ConfigError("unknown transport '" + transport +
+                          "' (expected inproc, tcp, shm or auto)");
     }
     if (cli.has("--rendezvous_threshold")) {
         opts.rendezvous_threshold =
             static_cast<std::size_t>(cli.get_int("--rendezvous_threshold"));
+    } else if (cli.has("--rndv_threshold")) {
+        opts.rendezvous_threshold = static_cast<std::size_t>(cli.get_int("--rndv_threshold"));
     } else if (const char* env = std::getenv("DFAMR_RNDZ_THRESHOLD")) {
         opts.rendezvous_threshold = static_cast<std::size_t>(std::atol(env));
+    } else if (const char* env2 = std::getenv("DFAMR_RNDV_THRESHOLD")) {
+        opts.rendezvous_threshold = static_cast<std::size_t>(std::atol(env2));
+    }
+    if (cli.has("--coalesce")) {
+        opts.coalesce = true;
+    } else if (const char* env = std::getenv("DFAMR_COALESCE")) {
+        opts.coalesce = *env != '\0' && *env != '0';
     }
     return opts;
 }
@@ -114,6 +155,7 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
     mpi::WorldOptions wopts;
     wopts.transport = opts.transport;
     wopts.rendezvous_threshold = opts.rendezvous_threshold;
+    wopts.coalesce = opts.coalesce;
     wopts.ignore_launch_env = opts.ignore_launch_env;
     if (tracer != nullptr) {
         // The progress thread records under the dedicated progress lane: it
@@ -167,7 +209,9 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
             // rank_main (the reduction is collective). Wire counters are
             // snapshotted first: the reduction itself adds traffic.
             RunResult g = reduce_distributed(comm, r, world.messages_delivered(),
-                                             world.bytes_delivered(), world.net_counters());
+                                             world.bytes_delivered(), world.net_counters(),
+                                             world.peer_net_counters());
+            g.rndv_threshold = opts.rendezvous_threshold;
             std::lock_guard lock(results_mutex);
             distributed_total = std::move(g);
             return;
@@ -202,6 +246,10 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
     total.messages = world.messages_delivered();
     total.bytes = world.bytes_delivered();
     total.net = world.net_counters();
+    if (opts.transport != mpi::TransportKind::Inproc) {
+        total.net_peers = world.peer_net_counters();
+    }
+    total.rndv_threshold = opts.rendezvous_threshold;
     return total;
 }
 

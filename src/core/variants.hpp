@@ -15,6 +15,9 @@ namespace dfamr::core {
 struct RunOptions {
     mpi::TransportKind transport = mpi::TransportKind::Inproc;
     std::size_t rendezvous_threshold = 64 * 1024;
+    /// Batch consecutive same-destination eager frames into one coalesced
+    /// wire frame (TCP writer / shm flusher). Off by default.
+    bool coalesce = false;
     /// Build a fully local world even when DFAMR_RANK is set (used for the
     /// in-process reference run of a chaos comparison under dfamr_mpirun).
     bool ignore_launch_env = false;

@@ -1,5 +1,7 @@
 #include "mpisim/mpi.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -11,6 +13,7 @@
 #include "common/lockdep.hpp"
 #include "net/endpoint.hpp"
 #include "net/rendezvous.hpp"
+#include "net/shm_transport.hpp"
 
 #if defined(DFAMR_VERIFY)
 #include <cstdio>
@@ -70,6 +73,9 @@ struct PostedRecv {
     void* buf = nullptr;
     std::size_t capacity = 0;
     std::shared_ptr<RequestState> req;
+    /// Zero-copy receive (irecv_view): delivery moves the message's storage
+    /// here instead of memcpying into `buf` (which is null then).
+    RxView* view = nullptr;
 };
 
 struct Mailbox {
@@ -126,6 +132,9 @@ struct WorldState {
     std::atomic<bool> aborted{false};
     std::atomic<std::uint64_t> messages_delivered{0};
     std::atomic<std::uint64_t> bytes_delivered{0};
+    /// Staging copies skipped by the zero-copy pack/unpack paths (isend_tx
+    /// skipping the frame copy, view receives skipping the delivery memcpy).
+    std::atomic<std::uint64_t> copies_elided{0};
 
     // Fault injection (null = fault-free fast path, identical to before).
     FaultInjector* faults = nullptr;
@@ -146,15 +155,15 @@ struct WorldState {
     std::vector<std::unique_ptr<verify::mc::WireChecker>> wire_checkers;
 #endif
 
-    // Transport. `endpoints` is empty for the in-process transport. On Tcp
-    // it holds one endpoint per rank (loopback world) or a single endpoint
-    // at index local_rank (distributed world); all other slots are null.
-    // Declared LAST: their reader threads call into the sinks and from
-    // there into the mailboxes/activity_cv above, so the endpoints must be
-    // destroyed (threads joined) before any other member. `sinks` right
-    // before them, so sinks outlive the endpoint threads too.
+    // Transport. `endpoints` is empty for the in-process transport. On a
+    // wire transport (Tcp or Shm) it holds one transport per rank (loopback
+    // world) or a single transport at index local_rank (distributed world);
+    // all other slots are null. Declared LAST: their progress threads call
+    // into the sinks and from there into the mailboxes/activity_cv above,
+    // so the transports must be destroyed (threads joined) before any other
+    // member. `sinks` right before them, so sinks outlive those threads too.
     std::vector<std::unique_ptr<WorldSink>> sinks;
-    std::vector<std::unique_ptr<net::Endpoint>> endpoints;
+    std::vector<std::unique_ptr<net::Transport>> endpoints;
 
     void bump_activity() {
         {
@@ -214,16 +223,24 @@ void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
         if (it != mbox.posted.end()) {
             DFAMR_REQUIRE(msg.payload.size() <= it->capacity,
                           "message truncation: recv buffer too small");
-            if (!msg.payload.empty()) {
-                // Wire-path write into a posted buffer: validate against the
-                // in-flight region registry before touching the bytes. This
-                // runs on an endpoint reader thread or the delivery
-                // scheduler — outside any task body, invisible to the
-                // per-thread declared-region table.
-                DFAMR_CHECK_WIRE_WRITE(it->buf, msg.payload.size());
-                std::memcpy(it->buf, msg.payload.data(), msg.payload.size());
+            if (it->view != nullptr) {
+                // Zero-copy receive: hand over the message's own storage —
+                // no landing-zone write at all, so no wire-region check.
+                it->view->storage = std::move(msg.storage);
+                it->view->payload = msg.payload;
+                world->copies_elided.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                if (!msg.payload.empty()) {
+                    // Wire-path write into a posted buffer: validate against
+                    // the in-flight region registry before touching the
+                    // bytes. This runs on a transport progress thread or the
+                    // delivery scheduler — outside any task body, invisible
+                    // to the per-thread declared-region table.
+                    DFAMR_CHECK_WIRE_WRITE(it->buf, msg.payload.size());
+                    std::memcpy(it->buf, msg.payload.data(), msg.payload.size());
+                }
+                if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             }
-            if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             matched_recv = it->req;
             matched_status = Status{msg.source, msg.tag, msg.payload.size()};
             mbox.posted.erase(it);
@@ -244,7 +261,7 @@ void deliver_msg(WorldState* world, int dest, PendingMsg&& msg) {
 /// is already buffered, so the rendezvous handshake would buy nothing.
 void route_msg(WorldState* world, int dest, PendingMsg&& msg) {
     if (world->wire() && dest != msg.source) {
-        net::Endpoint* ep = world->endpoints[static_cast<std::size_t>(msg.source)].get();
+        net::Transport* ep = world->endpoints[static_cast<std::size_t>(msg.source)].get();
         ep->send_eager(dest, msg.tag, std::move(msg.storage));
         return;
     }
@@ -370,7 +387,7 @@ bool Request::cancel() const {
             if (it->req == state_) break;
         }
         if (it == mbox->posted.end()) return false;  // already matched/completed
-        if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
+        if (it->view == nullptr && it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
         mbox->posted.erase(it);
     }
     detail::complete_request(state_, Status{kUndefined, kUndefined, 0, /*ok=*/false});
@@ -462,6 +479,15 @@ int wait_any(std::span<Request> reqs, Status* status) {
     }
 }
 
+// ---- Zero-copy buffers -----------------------------------------------------
+
+TxBuffer make_tx_buffer(std::size_t bytes) {
+    TxBuffer tx;
+    tx.storage = net::make_empty_frame(bytes);
+    tx.payload = {tx.storage->data() + net::kHeaderBytes, bytes};
+    return tx;
+}
+
 // ---- Communicator: point-to-point -----------------------------------------
 
 bool Communicator::aborted() const {
@@ -532,7 +558,7 @@ Request Communicator::isend_impl(const void* buf, std::size_t bytes, int dest, i
     }
 
     if (wire_dest) {
-        net::Endpoint* ep = world_->endpoints[static_cast<std::size_t>(rank_)].get();
+        net::Transport* ep = world_->endpoints[static_cast<std::size_t>(rank_)].get();
         net::FrameBuf frame = net::make_frame(buf, bytes);
         if (bytes >= ep->rendezvous_threshold()) {
             // The request completes when the granted Data frame is handed to
@@ -562,11 +588,19 @@ Request Communicator::isend_impl(const void* buf, std::size_t bytes, int dest, i
         }
         if (it != mbox.posted.end()) {
             DFAMR_REQUIRE(bytes <= it->capacity, "message truncation: recv buffer too small");
-            if (bytes > 0) {
-                DFAMR_CHECK_WIRE_WRITE(it->buf, bytes);
-                std::memcpy(it->buf, buf, bytes);
+            if (it->view != nullptr) {
+                // A view receive needs owned storage; buffer once and hand
+                // the buffer over (same copy count as the memcpy path).
+                detail::PendingMsg m = detail::make_buffered(rank_, tag, buf, bytes);
+                it->view->storage = std::move(m.storage);
+                it->view->payload = m.payload;
+            } else {
+                if (bytes > 0) {
+                    DFAMR_CHECK_WIRE_WRITE(it->buf, bytes);
+                    std::memcpy(it->buf, buf, bytes);
+                }
+                if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             }
-            if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
             matched_recv = it->req;
             matched_status = Status{rank_, tag, bytes};
             mbox.posted.erase(it);
@@ -584,10 +618,176 @@ Request Communicator::isend_impl(const void* buf, std::size_t bytes, int dest, i
     return Request(std::move(req));
 }
 
+Request Communicator::isend_tx(const TxBuffer& tx, int dest, int tag) {
+    DFAMR_REQUIRE(tag >= 0 && tag < kReservedTagBase,
+                  "isend_tx: tag must be in [0, kReservedTagBase)");
+    DFAMR_REQUIRE(0 <= dest && dest < size_, "isend_tx: destination rank out of range");
+    DFAMR_REQUIRE(tx.storage != nullptr && tx.storage->size() >= net::kHeaderBytes &&
+                      tx.payload.data() == tx.storage->data() + net::kHeaderBytes &&
+                      tx.payload.size() == tx.storage->size() - net::kHeaderBytes,
+                  "isend_tx: buffer not from make_tx_buffer");
+    auto req = std::make_shared<detail::RequestState>();
+    req->world = world_;
+    const std::size_t bytes = tx.payload.size();
+    const bool wire_dest = world_->wire() && dest != rank_;
+
+    // The message as a PendingMsg sharing the TxBuffer's storage: parking it
+    // costs a shared_ptr copy where the plain isend path pays make_buffered.
+    const auto as_pending = [&] {
+        detail::PendingMsg msg;
+        msg.source = rank_;
+        msg.tag = tag;
+        msg.storage = tx.storage;
+        msg.payload = {tx.payload.data(), tx.payload.size()};
+        return msg;
+    };
+
+    if (world_->faults != nullptr) {
+        const FaultAction act = world_->faults->on_send(rank_, dest, tag);
+        if (act.stall_ns > 0) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(act.stall_ns));
+        }
+        if (act.crash) {
+            throw Error("mpisim: injected crash at rank " + std::to_string(rank_));
+        }
+        if (act.drop) {
+            // The storage is untouched (header not yet encoded), so the
+            // hardened layer can re-post the same TxBuffer.
+            detail::complete_request(req, Status{rank_, tag, bytes, /*ok=*/false});
+            return Request(std::move(req));
+        }
+        bool scheduled = false;
+        {
+            std::lock_guard slock(world_->sched_m);
+            const auto key = std::make_tuple(rank_, dest, tag);
+            auto it = world_->streams.find(key);
+            if (act.delay_ns > 0 || it != world_->streams.end()) {
+                const std::int64_t now = detail::steady_now_ns();
+                detail::StreamState& stream = world_->streams[key];
+                const std::int64_t release =
+                    std::max(now + act.delay_ns, stream.last_release_ns);
+                stream.last_release_ns = release;
+                ++stream.inflight;
+                world_->sched_heap.push_back(
+                    detail::DelayedMsg{release, world_->sched_seq++, dest, as_pending()});
+                std::push_heap(world_->sched_heap.begin(), world_->sched_heap.end(),
+                               [](const detail::DelayedMsg& a, const detail::DelayedMsg& b) {
+                                   return std::tie(a.release_ns, a.seq) >
+                                          std::tie(b.release_ns, b.seq);
+                               });
+                scheduled = true;
+            }
+        }
+        if (scheduled) {
+            world_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+            world_->sched_cv.notify_one();
+            detail::complete_request(req, Status{rank_, tag, bytes});
+            return Request(std::move(req));
+        }
+    }
+
+    if (wire_dest) {
+        net::Transport* ep = world_->endpoints[static_cast<std::size_t>(rank_)].get();
+        world_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+        if (bytes >= ep->rendezvous_threshold()) {
+            const int src = rank_;
+            ep->send_rendezvous(dest, tag, tx.storage, [req, src, tag, bytes] {
+                detail::complete_request(req, Status{src, tag, bytes});
+            });
+            return Request(std::move(req));
+        }
+        ep->send_eager(dest, tag, tx.storage);
+        detail::complete_request(req, Status{rank_, tag, bytes});
+        return Request(std::move(req));
+    }
+
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(dest)];
+    std::shared_ptr<detail::RequestState> matched_recv;
+    Status matched_status;
+    {
+        std::lock_guard lock(mbox.m);
+        auto it = mbox.posted.begin();
+        for (; it != mbox.posted.end(); ++it) {
+            if (detail::matches(it->source, it->tag, rank_, tag)) break;
+        }
+        if (it != mbox.posted.end()) {
+            DFAMR_REQUIRE(bytes <= it->capacity, "message truncation: recv buffer too small");
+            if (it->view != nullptr) {
+                // Fully zero-copy rendezvous of the two fast paths: the
+                // packed frame becomes the receiver's view directly.
+                it->view->storage = tx.storage;
+                it->view->payload = {tx.payload.data(), tx.payload.size()};
+                world_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                if (bytes > 0) {
+                    DFAMR_CHECK_WIRE_WRITE(it->buf, bytes);
+                    std::memcpy(it->buf, tx.payload.data(), bytes);
+                }
+                if (it->capacity > 0) DFAMR_WIRE_UNREGISTER(it->buf);
+            }
+            matched_recv = it->req;
+            matched_status = Status{rank_, tag, bytes};
+            mbox.posted.erase(it);
+        } else {
+            mbox.unexpected.push_back(as_pending());
+            world_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (matched_recv) {
+        world_->messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        world_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
+        detail::complete_request(matched_recv, matched_status);
+    }
+    detail::complete_request(req, Status{rank_, tag, bytes});
+    return Request(std::move(req));
+}
+
 Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag) {
     DFAMR_REQUIRE(tag == kAnyTag || (tag >= 0 && tag < kReservedTagBase),
                   "irecv: tag must be kAnyTag or in [0, kReservedTagBase)");
     return irecv_impl(buf, bytes, source, tag);
+}
+
+Request Communicator::irecv_view(RxView* view, std::size_t capacity, int source, int tag) {
+    DFAMR_REQUIRE(view != nullptr, "irecv_view: null view");
+    DFAMR_REQUIRE(tag == kAnyTag || (tag >= 0 && tag < kReservedTagBase),
+                  "irecv_view: tag must be kAnyTag or in [0, kReservedTagBase)");
+    DFAMR_REQUIRE(source == kAnySource || (0 <= source && source < size_),
+                  "irecv_view: source rank out of range");
+    auto req = std::make_shared<detail::RequestState>();
+    req->world = world_;
+
+    detail::Mailbox& mbox = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+    req->mbox = &mbox;
+    bool delivered = false;
+    Status st;
+    {
+        std::lock_guard lock(mbox.m);
+        auto it = mbox.unexpected.begin();
+        for (; it != mbox.unexpected.end(); ++it) {
+            if (detail::matches(source, tag, it->source, it->tag)) break;
+        }
+        if (it != mbox.unexpected.end()) {
+            DFAMR_REQUIRE(it->payload.size() <= capacity,
+                          "message truncation: recv buffer too small");
+            view->storage = std::move(it->storage);
+            view->payload = it->payload;
+            world_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+            st = Status{it->source, it->tag, it->payload.size()};
+            mbox.unexpected.erase(it);
+            delivered = true;
+        } else {
+            // No landing zone to register: delivery hands over the frame.
+            mbox.posted.push_back(
+                detail::PostedRecv{source, tag, nullptr, capacity, req, view});
+        }
+    }
+    if (delivered) {
+        world_->messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        world_->bytes_delivered.fetch_add(st.bytes, std::memory_order_relaxed);
+        detail::complete_request(req, st);
+    }
+    return Request(std::move(req));
 }
 
 Request Communicator::irecv_impl(void* buf, std::size_t bytes, int source, int tag) {
@@ -656,7 +856,7 @@ void Communicator::abandon_posted_recvs() {
         std::lock_guard lock(mbox.m);
         orphans.swap(mbox.posted);
         for (const detail::PostedRecv& p : orphans) {
-            if (p.capacity > 0) DFAMR_WIRE_UNREGISTER(p.buf);
+            if (p.view == nullptr && p.capacity > 0) DFAMR_WIRE_UNREGISTER(p.buf);
         }
     }
     // Complete outside the mailbox lock (waiters take the request lock).
@@ -816,69 +1016,129 @@ World::World(int nranks, const WorldOptions& options, FaultInjector* faults)
 
     const auto env = options.ignore_launch_env ? std::optional<net::LaunchEnv>{}
                                                : net::LaunchEnv::detect();
-    if (options.transport == TransportKind::Tcp) {
-        const auto make_endpoint = [&](int rank) {
-            net::ProgressTrace trace;
-            if (options.progress_trace) {
-                trace = [cb = options.progress_trace, rank](std::int64_t t0, std::int64_t t1) {
-                    cb(rank, t0, t1);
-                };
-            }
-            state_->sinks[static_cast<std::size_t>(rank)] =
-                std::make_unique<detail::WorldSink>(state_.get(), rank);
-            state_->endpoints[static_cast<std::size_t>(rank)] = std::make_unique<net::Endpoint>(
-                rank, nranks, options.rendezvous_threshold,
-                state_->sinks[static_cast<std::size_t>(rank)].get(), std::move(trace));
+    const auto make_trace = [&](int rank) {
+        net::ProgressTrace trace;
+        if (options.progress_trace) {
+            trace = [cb = options.progress_trace, rank](std::int64_t t0, std::int64_t t1) {
+                cb(rank, t0, t1);
+            };
+        }
+        return trace;
+    };
+    const auto attach_checker = [&](int rank) {
 #if defined(DFAMR_VERIFY)
-            state_->wire_checkers[static_cast<std::size_t>(rank)] =
-                std::make_unique<verify::mc::WireChecker>(rank);
-            state_->endpoints[static_cast<std::size_t>(rank)]->set_wire_observer(
-                state_->wire_checkers[static_cast<std::size_t>(rank)].get());
+        state_->wire_checkers[static_cast<std::size_t>(rank)] =
+            std::make_unique<verify::mc::WireChecker>(rank);
+        state_->endpoints[static_cast<std::size_t>(rank)]->set_wire_observer(
+            state_->wire_checkers[static_cast<std::size_t>(rank)].get());
+#else
+        (void)rank;
 #endif
-        };
+    };
+    if (options.transport != TransportKind::Inproc) {
         state_->endpoints.resize(static_cast<std::size_t>(nranks));
         state_->sinks.resize(static_cast<std::size_t>(nranks));
 #if defined(DFAMR_VERIFY)
         state_->wire_checkers.resize(static_cast<std::size_t>(nranks));
 #endif
         if (env.has_value()) {
-            // Distributed world: one rank in this process; the launcher's
-            // exchange server brokers the address table.
             DFAMR_REQUIRE(env->nranks == nranks,
                           "mpisim: world size " + std::to_string(nranks) +
                               " does not match DFAMR_NRANKS=" + std::to_string(env->nranks));
             state_->is_distributed = true;
             state_->local_rank = env->rank;
-            make_endpoint(env->rank);
-            net::Endpoint& ep = *state_->endpoints[static_cast<std::size_t>(env->rank)];
+        }
+    }
+    if (options.transport == TransportKind::Tcp) {
+        const auto make_endpoint = [&](int rank) {
+            state_->sinks[static_cast<std::size_t>(rank)] =
+                std::make_unique<detail::WorldSink>(state_.get(), rank);
+            auto ep = std::make_unique<net::Endpoint>(
+                rank, nranks, options.rendezvous_threshold,
+                state_->sinks[static_cast<std::size_t>(rank)].get(), make_trace(rank),
+                options.coalesce);
+            net::Endpoint* raw = ep.get();
+            state_->endpoints[static_cast<std::size_t>(rank)] = std::move(ep);
+            attach_checker(rank);
+            return raw;
+        };
+        if (env.has_value()) {
+            // Distributed world: one rank in this process; the launcher's
+            // exchange server brokers the address table.
+            net::Endpoint* ep = make_endpoint(env->rank);
             const std::vector<net::HostPort> table =
-                net::exchange_addresses(*env, ep.listen_port());
-            ep.connect_mesh(table);
+                net::exchange_addresses(*env, ep->listen_port());
+            ep->connect_mesh(table);
         } else {
             // Loopback world: every rank is a thread here, each with a real
             // TCP endpoint on localhost. Meshing must run concurrently (rank
             // r blocks accepting from ranks > r while dialing ranks < r).
-            for (int r = 0; r < nranks; ++r) make_endpoint(r);
+            std::vector<net::Endpoint*> eps;
+            eps.reserve(static_cast<std::size_t>(nranks));
+            for (int r = 0; r < nranks; ++r) eps.push_back(make_endpoint(r));
             std::vector<net::HostPort> table(static_cast<std::size_t>(nranks));
             for (int r = 0; r < nranks; ++r) {
                 table[static_cast<std::size_t>(r)] =
-                    net::HostPort{"127.0.0.1",
-                                  state_->endpoints[static_cast<std::size_t>(r)]->listen_port()};
+                    net::HostPort{"127.0.0.1", eps[static_cast<std::size_t>(r)]->listen_port()};
             }
             std::vector<std::thread> meshers;
             meshers.reserve(static_cast<std::size_t>(nranks));
             for (int r = 0; r < nranks; ++r) {
-                meshers.emplace_back(
-                    [this, r, &table] {
-                        state_->endpoints[static_cast<std::size_t>(r)]->connect_mesh(table);
-                    });
+                meshers.emplace_back([r, &table, &eps] {
+                    eps[static_cast<std::size_t>(r)]->connect_mesh(table);
+                });
             }
             for (auto& t : meshers) t.join();
+        }
+    } else if (options.transport == TransportKind::Shm) {
+        // Namespace: explicit option, launcher-provided env, or a per-world
+        // name for loopback (pid + counter keeps concurrent worlds apart).
+        std::string ns = options.shm_ns;
+        if (ns.empty()) {
+            if (const char* e = std::getenv("DFAMR_SHM_NS"); e != nullptr && *e != '\0') {
+                ns = e;
+            } else {
+                static std::atomic<std::uint64_t> next_world{0};
+                ns = "loop" + std::to_string(static_cast<long>(::getpid())) + "x" +
+                     std::to_string(next_world.fetch_add(1, std::memory_order_relaxed));
+            }
+        }
+        const std::uint32_t ring_bytes = net::shm_ring_bytes_from_env();
+        const auto make_shm = [&](int rank) {
+            state_->sinks[static_cast<std::size_t>(rank)] =
+                std::make_unique<detail::WorldSink>(state_.get(), rank);
+            net::ShmOptions sopts;
+            sopts.rank = rank;
+            sopts.nranks = nranks;
+            sopts.rendezvous_threshold = options.rendezvous_threshold;
+            sopts.ring_bytes = ring_bytes;
+            sopts.ns = ns;
+            sopts.coalesce = options.coalesce;
+            sopts.trace = make_trace(rank);
+            auto tp = std::make_unique<net::ShmTransport>(
+                sopts, state_->sinks[static_cast<std::size_t>(rank)].get());
+            net::ShmTransport* raw = tp.get();
+            state_->endpoints[static_cast<std::size_t>(rank)] = std::move(tp);
+            attach_checker(rank);
+            return raw;
+        };
+        if (env.has_value()) {
+            // Distributed world: the exchange round trip doubles as the
+            // barrier proving every rank created its outbound segments.
+            net::ShmTransport* tp = make_shm(env->rank);
+            (void)net::exchange_addresses(*env, 0);
+            tp->open_peers();
+        } else {
+            // Loopback world: sequential construction IS the barrier.
+            std::vector<net::ShmTransport*> tps;
+            tps.reserve(static_cast<std::size_t>(nranks));
+            for (int r = 0; r < nranks; ++r) tps.push_back(make_shm(r));
+            for (net::ShmTransport* tp : tps) tp->open_peers();
         }
     } else {
         DFAMR_REQUIRE(!env.has_value(),
                       "mpisim: launched by dfamr_mpirun (DFAMR_RANK is set) but the transport "
-                      "is inproc; pass --transport tcp or set ignore_launch_env");
+                      "is inproc; pass --transport tcp/shm or set ignore_launch_env");
     }
 
     if (faults != nullptr) {
@@ -941,6 +1201,21 @@ net::NetCounters World::net_counters() const {
     net::NetCounters total;
     for (const auto& ep : state_->endpoints) {
         if (ep) total += ep->counters();
+    }
+    // Elisions happen in mpisim's matching layer (and on in-process fast
+    // paths), not inside any one transport.
+    total.copies_elided += state_->copies_elided.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<net::PeerStats> World::peer_net_counters() const {
+    std::vector<net::PeerStats> total(static_cast<std::size_t>(state_->nranks));
+    for (const auto& ep : state_->endpoints) {
+        if (!ep) continue;
+        const std::vector<net::PeerStats> peers = ep->peer_counters();
+        for (std::size_t p = 0; p < peers.size() && p < total.size(); ++p) {
+            total[p] += peers[p];
+        }
     }
     return total;
 }

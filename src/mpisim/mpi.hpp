@@ -22,10 +22,14 @@
 // non-local messages travel as framed TCP payloads (eager below the
 // rendezvous threshold, Rts/Cts/Data handshake at or above it); a received
 // frame is fed into the same deliver path as a local send, so ordering,
-// wildcards and fault semantics are identical. A Tcp world started by
-// dfamr_mpirun (DFAMR_RANK et al. in the environment) runs ONE local rank
-// per process and meshes with its sibling processes; otherwise all ranks
-// live in this process, each with its own loopback endpoint.
+// wildcards and fault semantics are identical. TransportKind::Shm swaps the
+// sockets for per-pair lock-free shared-memory rings (net::ShmTransport)
+// carrying the exact same frames — cheaper for co-located ranks, and still
+// bit-identical because everything above the Transport interface is shared.
+// A wire world started by dfamr_mpirun (DFAMR_RANK et al. in the
+// environment) runs ONE local rank per process and meshes with its sibling
+// processes; otherwise all ranks live in this process, each with its own
+// loopback transport.
 #pragma once
 
 #include <condition_variable>
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/transport.hpp"
 #include "net/wire.hpp"
 
 namespace dfamr::mpi {
@@ -56,15 +61,21 @@ inline constexpr int kTimeout = -3;
 /// wildcard never matches them.
 inline constexpr int kReservedTagBase = 1 << 29;
 
-enum class TransportKind { Inproc, Tcp };
+enum class TransportKind { Inproc, Tcp, Shm };
 
 /// Transport configuration for a World. Defaults reproduce the historical
 /// in-process behavior exactly.
 struct WorldOptions {
     TransportKind transport = TransportKind::Inproc;
-    /// Payloads >= this many bytes use the rendezvous handshake on the TCP
-    /// transport (no effect in-process).
+    /// Payloads >= this many bytes use the rendezvous handshake on the wire
+    /// transports (no effect in-process).
     std::size_t rendezvous_threshold = 64 * 1024;
+    /// Wire transports batch queued same-destination eager messages into
+    /// Coalesced frames with a sub-message table (no effect in-process).
+    bool coalesce = false;
+    /// Shared-memory namespace for TransportKind::Shm. Empty = DFAMR_SHM_NS
+    /// from the launcher, or an auto-generated per-world name for loopback.
+    std::string shm_ns;
     /// When set, DFAMR_RANK & friends in the environment are ignored and the
     /// world always runs every rank in this process (loopback endpoints for
     /// Tcp). Used e.g. by the chaos reference twin under dfamr_mpirun.
@@ -153,6 +164,28 @@ private:
     std::shared_ptr<detail::RequestState> state_;
 };
 
+/// A send buffer pre-allocated inside a wire frame: pack tasks serialize
+/// directly into `payload`, and isend_tx puts that same storage on the wire
+/// — no staging copy. `storage` is shared, so retrying an isend_tx (the
+/// HardenedComm path) re-uses the same bytes safely. Works on every
+/// transport: in-process, the frame simply becomes the parked message.
+struct TxBuffer {
+    net::FrameBuf storage;
+    std::span<std::byte> payload;
+};
+
+/// Allocates a TxBuffer whose payload holds `bytes`. The payload is 8-byte
+/// aligned (wire headers are 40 bytes), so views of doubles are safe.
+TxBuffer make_tx_buffer(std::size_t bytes);
+
+/// A received message viewed in place: `payload` aliases the transport's
+/// frame (or the sender's parked buffer in-process); `storage` keeps it
+/// alive. Valid until the RxView is destroyed or reassigned.
+struct RxView {
+    net::FrameBuf storage;
+    std::span<const std::byte> payload;
+};
+
 /// Waits for all requests (MPI_Waitall). Invalid requests are ignored.
 void wait_all(std::span<Request> reqs);
 /// Waits until one request completes and returns its index (MPI_Waitany);
@@ -177,6 +210,15 @@ public:
     /// `tag` must be in [0, kReservedTagBase).
     Request isend(const void* buf, std::size_t bytes, int dest, int tag);
     Request irecv(void* buf, std::size_t bytes, int source, int tag);
+    /// Zero-copy send: `tx.storage` goes on the wire as-is (the payload was
+    /// packed in place — see make_tx_buffer). Takes tx by const reference so
+    /// a retry wrapper can re-post the same buffer.
+    Request isend_tx(const TxBuffer& tx, int dest, int tag);
+    /// Zero-copy receive: on completion `*view` holds the message payload
+    /// in place (no copy into a user buffer; counted as copies_elided when
+    /// the match avoided a memcpy). `capacity` bounds the accepted message
+    /// size like irecv's `bytes`. `view` must stay valid until completion.
+    Request irecv_view(RxView* view, std::size_t capacity, int source, int tag);
     void send(const void* buf, std::size_t bytes, int dest, int tag);
     void recv(void* buf, std::size_t bytes, int source, int tag, Status* status = nullptr);
     /// Non-blocking probe for a matching incoming message (MPI_Iprobe).
@@ -266,8 +308,11 @@ public:
     /// The rank hosted by this process (0 when not distributed).
     int local_rank() const;
     /// Aggregated wire counters of this process's endpoints (all zero for
-    /// the in-process transport).
+    /// the in-process transport), plus the world's copies_elided count.
     net::NetCounters net_counters() const;
+    /// Per-peer wire traffic of this process's endpoints, indexed by peer
+    /// rank (empty for the in-process transport).
+    std::vector<net::PeerStats> peer_net_counters() const;
 
 private:
     std::unique_ptr<detail::WorldState> state_;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -42,6 +43,45 @@ bool write_frame(const Socket& s, std::span<const std::byte> buf) {
     return true;
 }
 
+// Scatter-gather variant of write_frame: sends every iovec in order,
+// consuming entries as the kernel accepts bytes. Mutates `iov`.
+bool write_vectored(const Socket& s, std::vector<iovec>& iov) {
+    std::size_t idx = 0;
+    while (idx < iov.size()) {
+        msghdr msg{};
+        msg.msg_iov = iov.data() + idx;
+        msg.msg_iovlen = iov.size() - idx;
+        const ssize_t n = ::sendmsg(s.fd(), &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                pollfd pfd{s.fd(), POLLOUT, 0};
+                ::poll(&pfd, 1, 100);
+                continue;
+            }
+            return false;
+        }
+        std::size_t left = static_cast<std::size_t>(n);
+        while (idx < iov.size() && left >= iov[idx].iov_len) {
+            left -= iov[idx].iov_len;
+            ++idx;
+        }
+        if (idx < iov.size() && left > 0) {
+            iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+            iov[idx].iov_len -= left;
+        }
+    }
+    return true;
+}
+
+// Alignment padding between coalesced sub-payloads (at most 7 bytes).
+constexpr std::array<std::byte, kSubMsgAlign> kZeroPad{};
+
+// Coalescing batch caps: enough to amortize headers and syscalls without
+// letting one batch hog the writer or build giant iovec arrays.
+constexpr std::size_t kMaxCoalesceMsgs = 64;
+constexpr std::size_t kMaxCoalesceBytes = 256 * 1024;
+
 }  // namespace
 
 FrameBuf make_frame(const void* payload, std::size_t payload_bytes) {
@@ -52,19 +92,25 @@ FrameBuf make_frame(const void* payload, std::size_t payload_bytes) {
     return buf;
 }
 
+FrameBuf make_empty_frame(std::size_t payload_bytes) {
+    return std::make_shared<std::vector<std::byte>>(kHeaderBytes + payload_bytes);
+}
+
 Endpoint::Endpoint(int rank, int nranks, std::size_t rendezvous_threshold, Sink* sink,
-                   ProgressTrace trace)
+                   ProgressTrace trace, bool coalesce)
     : rank_(rank),
       nranks_(nranks),
       rndz_threshold_(rendezvous_threshold),
       sink_(sink),
-      trace_(std::move(trace)) {
+      trace_(std::move(trace)),
+      coalesce_(coalesce) {
     DFAMR_REQUIRE(rank >= 0 && rank < nranks, "net: rank out of range");
     auto [sock, port] = listen_on("0.0.0.0", 0, nranks + 8);
     listener_ = std::move(sock);
     listen_port_ = port;
     conns_.reserve(static_cast<std::size_t>(nranks));
     for (int i = 0; i < nranks; ++i) conns_.push_back(std::make_unique<Connection>());
+    peers_.resize(static_cast<std::size_t>(nranks));
     DFAMR_REQUIRE(::pipe(wake_pipe_) == 0, "net: pipe() failed");
     const int flags = ::fcntl(wake_pipe_[0], F_GETFL, 0);
     DFAMR_REQUIRE(flags >= 0 && ::fcntl(wake_pipe_[0], F_SETFL, flags | O_NONBLOCK) == 0,
@@ -145,6 +191,16 @@ void Endpoint::connect_mesh(const std::vector<HostPort>& table) {
         counters_.bytes_sent += static_cast<std::uint64_t>(rank_) * kHeaderBytes;
         counters_.frames_received += static_cast<std::uint64_t>(nranks_ - 1 - rank_);
         counters_.bytes_received += static_cast<std::uint64_t>(nranks_ - 1 - rank_) * kHeaderBytes;
+        for (int p = 0; p < rank_; ++p) {
+            auto& ps = peers_[static_cast<std::size_t>(p)];
+            ps.frames_sent += 1;
+            ps.bytes_sent += kHeaderBytes;
+        }
+        for (int p = rank_ + 1; p < nranks_; ++p) {
+            auto& ps = peers_[static_cast<std::size_t>(p)];
+            ps.frames_received += 1;
+            ps.bytes_received += kHeaderBytes;
+        }
     }
     for (auto& c : conns_) {
         if (c->open.load()) {
@@ -197,6 +253,11 @@ NetCounters Endpoint::counters() const {
     return counters_;
 }
 
+std::vector<PeerStats> Endpoint::peer_counters() const {
+    std::lock_guard lk(counters_m_);
+    return peers_;
+}
+
 void Endpoint::enqueue(int dest, FrameBuf frame, std::function<void()> on_written) {
     {
         std::lock_guard lk(write_m_);
@@ -240,42 +301,129 @@ FrameBuf Endpoint::header_only_frame(FrameKind kind, int tag, std::uint32_t seq,
     return buf;
 }
 
+std::vector<Endpoint::QueuedWrite> Endpoint::pop_write_batch(
+    std::unique_lock<lockdep::Mutex>& /*held write_m_*/) {
+    std::vector<QueuedWrite> batch;
+    batch.push_back(std::move(write_q_.front()));
+    write_q_.pop_front();
+    if (!coalesce_) return batch;
+    const FrameHeader head = decode_header({batch.front().frame->data(), kHeaderBytes});
+    if (head.kind != FrameKind::Eager) return batch;
+    const int dest = batch.front().dest;
+    std::size_t total = batch.front().frame->size() - kHeaderBytes;
+    for (auto it = write_q_.begin();
+         it != write_q_.end() && batch.size() < kMaxCoalesceMsgs && total < kMaxCoalesceBytes;) {
+        if (it->dest != dest) {
+            ++it;  // other destinations are independent streams; skip over
+            continue;
+        }
+        const FrameHeader h = decode_header({it->frame->data(), kHeaderBytes});
+        // Stop at the first non-Eager frame for this destination: pulling an
+        // Eager forward past an Rts or Data would reorder it within its own
+        // (source, tag) stream and break non-overtaking.
+        if (h.kind != FrameKind::Eager) break;
+        total += it->frame->size() - kHeaderBytes;
+        batch.push_back(std::move(*it));
+        it = write_q_.erase(it);
+    }
+    return batch;
+}
+
+bool Endpoint::write_coalesced(Connection& conn, const std::vector<QueuedWrite>& batch) {
+    // Head buffer: Coalesced header followed by the sub-message table; the
+    // sub-payloads stay in their original frames and go out via writev.
+    const std::size_t count = batch.size();
+    std::vector<std::byte> head(kHeaderBytes + count * kSubMsgEntryBytes);
+    std::uint64_t payload_total = count * kSubMsgEntryBytes;
+    std::vector<iovec> iov;
+    iov.reserve(1 + 2 * count);
+    iov.push_back(iovec{head.data(), head.size()});
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto& frame = *batch[i].frame;
+        const FrameHeader sub = decode_header({frame.data(), kHeaderBytes});
+        SubMsgEntry e;
+        e.tag = sub.tag;
+        e.bytes = frame.size() - kHeaderBytes;
+        encode_sub_entry(e, head.data() + kHeaderBytes + i * kSubMsgEntryBytes);
+        const std::size_t padded = padded_sub_bytes(static_cast<std::size_t>(e.bytes));
+        payload_total += padded;
+        if (e.bytes > 0) {
+            iov.push_back(iovec{const_cast<std::byte*>(frame.data()) + kHeaderBytes,
+                                static_cast<std::size_t>(e.bytes)});
+        }
+        if (padded > e.bytes) {
+            iov.push_back(
+                iovec{const_cast<std::byte*>(kZeroPad.data()), padded - e.bytes});
+        }
+    }
+    FrameHeader h;
+    h.kind = FrameKind::Coalesced;
+    h.src = rank_;
+    h.aux = count;
+    h.payload_bytes = payload_total;
+    encode_header(h, head.data());
+    // Observe BEFORE the bytes hit the socket (see writer_loop).
+    if (observer_ != nullptr) observer_->on_frame_sent(conn.peer, h);
+    if (!write_vectored(conn.sock, iov)) return false;
+    {
+        std::lock_guard lk(counters_m_);
+        ++counters_.frames_sent;
+        counters_.bytes_sent += kHeaderBytes + payload_total;
+        ++counters_.coalesced_frames_sent;
+        counters_.coalesced_messages += count;
+        auto& ps = peers_[static_cast<std::size_t>(conn.peer)];
+        ps.frames_sent += 1;
+        ps.bytes_sent += kHeaderBytes + payload_total;
+    }
+    return true;
+}
+
 void Endpoint::writer_loop() {
     for (;;) {
-        QueuedWrite w;
+        std::vector<QueuedWrite> batch;
         {
             std::unique_lock lk(write_m_);
             write_cv_.wait(lk, [&] { return !write_q_.empty() || writer_shutdown_; });
             if (write_q_.empty()) return;  // shutdown and drained
-            w = std::move(write_q_.front());
-            write_q_.pop_front();
+            batch = pop_write_batch(lk);
         }
-        auto& conn = *conns_[static_cast<std::size_t>(w.dest)];
+        const int dest = batch.front().dest;
+        auto& conn = *conns_[static_cast<std::size_t>(dest)];
         bool ok = false;
         if (conn.open.load(std::memory_order_acquire)) {
-            // Observe BEFORE the bytes hit the socket: once write_frame returns,
-            // the peer may already have read the frame and responded, and the
-            // reader thread could deliver that response to the observer first —
-            // a post-write hook would then see e.g. Cts arrive before its Rts
-            // was recorded as sent.
-            if (observer_ != nullptr) {
-                observer_->on_frame_sent(
-                    w.dest, decode_header({w.frame->data(), kHeaderBytes}));
+            if (batch.size() == 1) {
+                const auto& w = batch.front();
+                // Observe BEFORE the bytes hit the socket: once write_frame
+                // returns, the peer may already have read the frame and
+                // responded, and the reader thread could deliver that response
+                // to the observer first — a post-write hook would then see
+                // e.g. Cts arrive before its Rts was recorded as sent.
+                if (observer_ != nullptr) {
+                    observer_->on_frame_sent(
+                        dest, decode_header({w.frame->data(), kHeaderBytes}));
+                }
+                ok = write_frame(conn.sock, *w.frame);
+                if (ok) {
+                    std::lock_guard lk(counters_m_);
+                    ++counters_.frames_sent;
+                    counters_.bytes_sent += w.frame->size();
+                    auto& ps = peers_[static_cast<std::size_t>(dest)];
+                    ps.frames_sent += 1;
+                    ps.bytes_sent += w.frame->size();
+                }
+            } else {
+                ok = write_coalesced(conn, batch);
             }
-            ok = write_frame(conn.sock, *w.frame);
             if (!ok) {
                 conn.open.store(false, std::memory_order_release);
                 drop_pending_for(conn.peer);
             }
         }
-        if (ok) {
-            std::lock_guard lk(counters_m_);
-            ++counters_.frames_sent;
-            counters_.bytes_sent += w.frame->size();
-        }
-        // Complete the send even on failure: peer death aborts the world
+        // Complete the sends even on failure: peer death aborts the world
         // through peer_gone, and a forever-pending request would hang it.
-        if (w.on_written) w.on_written();
+        for (auto& w : batch) {
+            if (w.on_written) w.on_written();
+        }
     }
 }
 
@@ -344,6 +492,8 @@ bool Endpoint::drain_connection(Connection& conn) {
         {
             std::lock_guard lk(counters_m_);
             counters_.bytes_received += static_cast<std::uint64_t>(n);
+            peers_[static_cast<std::size_t>(conn.peer)].bytes_received +=
+                static_cast<std::uint64_t>(n);
         }
         if (!conn.have_header) {
             conn.header_got += static_cast<std::size_t>(n);
@@ -367,6 +517,7 @@ bool Endpoint::drain_connection(Connection& conn) {
         {
             std::lock_guard lk(counters_m_);
             ++counters_.frames_received;
+            peers_[static_cast<std::size_t>(conn.peer)].frames_received += 1;
         }
         FrameHeader h = conn.header;
         FrameBuf payload = std::move(conn.payload);
@@ -384,6 +535,24 @@ void Endpoint::handle_frame(Connection& conn, FrameHeader h, FrameBuf payload) {
             std::span<const std::byte> view =
                 payload ? std::span<const std::byte>(*payload) : std::span<const std::byte>{};
             deliver_or_hold(conn, h.tag, std::move(payload), view);
+            return;
+        }
+        case FrameKind::Coalesced: {
+            // Unbatch: deliver each sub-message as its own eager message; all
+            // views alias the one frame buffer (shared storage, no copies).
+            const auto count = static_cast<std::size_t>(h.aux);
+            DFAMR_REQUIRE(payload && payload->size() >= count * kSubMsgEntryBytes,
+                          "net: coalesced frame shorter than its table");
+            const std::span<const std::byte> all(*payload);
+            std::size_t off = count * kSubMsgEntryBytes;
+            for (std::size_t i = 0; i < count; ++i) {
+                const SubMsgEntry e = decode_sub_entry(all.subspan(i * kSubMsgEntryBytes));
+                const auto bytes = static_cast<std::size_t>(e.bytes);
+                DFAMR_REQUIRE(off + bytes <= all.size(),
+                              "net: coalesced sub-payload out of range");
+                deliver_or_hold(conn, e.tag, FrameBuf(payload), all.subspan(off, bytes));
+                off += padded_sub_bytes(bytes);
+            }
             return;
         }
         case FrameKind::Rts: {

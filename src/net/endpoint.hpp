@@ -11,6 +11,13 @@
 // the pending rendezvous and releases them in order once the Data lands —
 // MPI non-overtaking order holds across both transfer modes.
 //
+// Coalescing (opt-in): when enabled, the writer thread batches consecutive
+// same-destination Eager frames from its queue into one Coalesced frame
+// with a sub-message table (wire.hpp::SubMsgEntry) — one header and one
+// syscall instead of n. The batch stops at the first non-Eager frame for
+// that destination, so an Eager never moves past an Rts or Data of its own
+// stream and non-overtaking order is preserved frame-for-frame.
+//
 // Threading: send_eager/send_rendezvous may be called from any thread. The
 // reader thread never blocks on a partially received frame (non-blocking
 // sockets, per-connection reassembly state), so every endpoint always
@@ -33,68 +40,26 @@
 
 #include "common/lockdep.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "net/wire.hpp"
 
 namespace dfamr::net {
 
-/// A frame's backing storage: header (kHeaderBytes) followed by payload.
-/// Shared so the mailbox can keep a view of the payload without copying.
-using FrameBuf = std::shared_ptr<std::vector<std::byte>>;
-
-/// Allocates a frame with room for `payload_bytes` and copies the payload
-/// in after the (still unwritten) header. This is the single payload copy
-/// of the eager send path.
-FrameBuf make_frame(const void* payload, std::size_t payload_bytes);
-
-/// Where received messages go. Implemented by mpisim (delivery into the
-/// destination mailbox) and by tests (capture).
-class Sink {
-public:
-    virtual ~Sink() = default;
-    /// A complete user message arrived (eager payload or rendezvous data).
-    /// `storage` owns the bytes `payload` points into.
-    virtual void deliver(int src, int tag, FrameBuf storage,
-                         std::span<const std::byte> payload) = 0;
-    /// The connection to `peer` ended: `clean` when a Bye frame preceded
-    /// EOF, false when the peer vanished (crash / kill).
-    virtual void peer_gone(int peer, bool clean) = 0;
-};
-
-/// Called by the reader thread around each batch of protocol work, so
-/// progress-thread time shows up in the execution traces
-/// (amr::PhaseKind::NetProgress); null disables the accounting.
-using ProgressTrace = std::function<void(std::int64_t t0_ns, std::int64_t t1_ns)>;
-
-/// Observer of every frame this endpoint puts on or takes off the wire —
-/// the hook the protocol-table verifier (verify/mc/protocol.hpp) attaches
-/// under DFAMR_VERIFY to validate live traffic against the Rts/Cts state
-/// machine. on_frame_sent fires from the writer thread after the frame is
-/// handed to the kernel (and once per Hello during connect_mesh);
-/// on_frame_received fires from the reader thread on every reassembled
-/// frame, before protocol handling. Implementations must be thread-safe.
-/// Null disables the accounting: one pointer check per frame (the same
-/// zero-cost pattern as tasking::VerifyHook).
-class WireObserver {
-public:
-    virtual ~WireObserver() = default;
-    virtual void on_frame_sent(int dest, const FrameHeader& h) = 0;
-    virtual void on_frame_received(int src, const FrameHeader& h) = 0;
-};
-
-class Endpoint {
+class Endpoint final : public Transport {
 public:
     /// Creates the endpoint and binds its data listener (ephemeral port).
-    /// `sink` must outlive the endpoint.
+    /// `sink` must outlive the endpoint. With `coalesce`, the writer batches
+    /// queued same-destination eager frames into Coalesced frames.
     Endpoint(int rank, int nranks, std::size_t rendezvous_threshold, Sink* sink,
-             ProgressTrace trace = nullptr);
-    ~Endpoint();
+             ProgressTrace trace = nullptr, bool coalesce = false);
+    ~Endpoint() override;
 
     Endpoint(const Endpoint&) = delete;
     Endpoint& operator=(const Endpoint&) = delete;
 
-    int rank() const { return rank_; }
+    int rank() const override { return rank_; }
     std::uint16_t listen_port() const { return listen_port_; }
-    std::size_t rendezvous_threshold() const { return rndz_threshold_; }
+    std::size_t rendezvous_threshold() const override { return rndz_threshold_; }
 
     /// Establishes the peer mesh from the rank -> address table (this rank
     /// dials every lower rank, accepts from every higher one) and starts the
@@ -103,19 +68,22 @@ public:
 
     /// Queues `frame` (payload already in place) for eager transfer. The
     /// payload is considered delivered to the transport on return.
-    void send_eager(int dest, int tag, FrameBuf frame);
+    void send_eager(int dest, int tag, FrameBuf frame) override;
 
     /// Starts a rendezvous transfer: posts the Rts now, sends the payload
     /// when the peer grants it. `on_sent` fires (from the writer thread)
     /// once the Data frame is handed to the kernel; it may be null.
-    void send_rendezvous(int dest, int tag, FrameBuf frame, std::function<void()> on_sent);
+    void send_rendezvous(int dest, int tag, FrameBuf frame,
+                         std::function<void()> on_sent) override;
 
     /// Snapshot of the wire counters.
-    NetCounters counters() const;
+    NetCounters counters() const override;
+    /// Per-peer bytes/frames, indexed by peer rank.
+    std::vector<PeerStats> peer_counters() const override;
 
     /// Attaches a wire observer (nullptr detaches). Must be called before
     /// connect_mesh; the observer must outlive the endpoint.
-    void set_wire_observer(WireObserver* obs) { observer_ = obs; }
+    void set_wire_observer(WireObserver* obs) override { observer_ = obs; }
 
 private:
     struct QueuedWrite {
@@ -155,6 +123,14 @@ private:
 
     void reader_loop();
     void writer_loop();
+    /// Pops the front write plus — under coalescing — every later Eager for
+    /// the same destination up to the first non-Eager frame headed there.
+    /// Returns the frames to put on the wire as one unit (size 1 when not
+    /// coalescing or nothing merged).
+    std::vector<QueuedWrite> pop_write_batch(std::unique_lock<lockdep::Mutex>& lk);
+    /// Sends a batch of eager frames as one Coalesced frame. Returns false
+    /// when the connection died mid-write.
+    bool write_coalesced(Connection& conn, const std::vector<QueuedWrite>& batch);
     /// Reads whatever is available on `conn` without blocking; dispatches
     /// every completed frame. Returns false when the connection ended.
     bool drain_connection(Connection& conn);
@@ -172,6 +148,7 @@ private:
     const std::size_t rndz_threshold_;
     Sink* const sink_;
     const ProgressTrace trace_;
+    const bool coalesce_;
 
     Socket listener_;
     std::uint16_t listen_port_ = 0;
@@ -196,6 +173,7 @@ private:
 
     mutable lockdep::Mutex counters_m_{"net.counters"};
     NetCounters counters_;
+    std::vector<PeerStats> peers_;  // by peer rank (self row stays zero)
     WireObserver* observer_ = nullptr;
 };
 

@@ -1,12 +1,20 @@
-// dfamr_mpirun: mpirun-style process launcher for the TCP transport.
+// dfamr_mpirun: mpirun-style process launcher for the wire transports.
 //
-//   dfamr_mpirun -n 4 [--rendezvous_threshold BYTES] ./single_sphere --npx 4 ...
+//   dfamr_mpirun -n 4 [--transport tcp|shm|auto] [--coalesce]
+//                [--rendezvous_threshold BYTES] ./single_sphere --npx 4 ...
 //
 // Forks/execs one process per rank with the DFAMR_* launch environment set
 // (see rendezvous.hpp), runs the address-exchange server, and waits for the
 // world. The first rank that exits non-zero (or on a signal) kills the rest
 // and its exit status becomes the launcher's; a signal death exits 128+sig.
+//
+// Transports: tcp (default) gives every rank a loopback TCP endpoint; shm
+// gives each directed rank pair a shared-memory ring (the launcher is
+// single-host, so every world it starts is co-located). auto resolves to
+// shm for that reason. The exchange server runs in every mode — the shm
+// transport uses its round trip as the segment-creation barrier.
 #include <signal.h>
+#include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -26,8 +34,10 @@ namespace {
 
 void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s -n NRANKS [--rendezvous_threshold BYTES] COMMAND [ARGS...]\n"
-                 "Runs COMMAND as NRANKS rank processes over the TCP transport.\n",
+                 "usage: %s -n NRANKS [--transport tcp|shm|auto] [--coalesce]\n"
+                 "       [--rendezvous_threshold BYTES] COMMAND [ARGS...]\n"
+                 "Runs COMMAND as NRANKS rank processes over the selected transport\n"
+                 "(auto = shm: the launcher always starts a co-located world).\n",
                  argv0);
 }
 
@@ -40,6 +50,8 @@ void set_env_int(const char* name, long v) {
 int main(int argc, char** argv) {
     int nranks = 0;
     long rndz_threshold = -1;
+    std::string transport = "tcp";
+    bool coalesce = false;
     int argi = 1;
     while (argi < argc) {
         const std::string a = argv[argi];
@@ -50,13 +62,23 @@ int main(int argc, char** argv) {
             }
             nranks = std::atoi(argv[argi + 1]);
             argi += 2;
-        } else if (a == "--rendezvous_threshold") {
+        } else if (a == "--rendezvous_threshold" || a == "--rndv_threshold") {
             if (argi + 1 >= argc) {
                 usage(argv[0]);
                 return 2;
             }
             rndz_threshold = std::atol(argv[argi + 1]);
             argi += 2;
+        } else if (a == "--transport") {
+            if (argi + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            transport = argv[argi + 1];
+            argi += 2;
+        } else if (a == "--coalesce") {
+            coalesce = true;
+            ++argi;
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             return 0;
@@ -68,8 +90,18 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
     }
+    if (transport == "auto") transport = "shm";  // the launcher is single-host
+    if (transport != "tcp" && transport != "shm") {
+        std::fprintf(stderr, "dfamr_mpirun: unknown transport '%s' (expected tcp, shm or auto)\n",
+                     transport.c_str());
+        return 2;
+    }
 
     auto [listener, rdv_port] = dfamr::net::listen_on("127.0.0.1", 0, nranks + 8);
+
+    // Shm worlds share a namespace distinct per launcher invocation so two
+    // concurrent launches on one host never collide on segment names.
+    const std::string shm_ns = "w" + std::to_string(static_cast<long>(getpid()));
 
     std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
     for (int r = 0; r < nranks; ++r) {
@@ -86,7 +118,9 @@ int main(int argc, char** argv) {
             set_env_int("DFAMR_NRANKS", nranks);
             setenv("DFAMR_RDV_HOST", "127.0.0.1", 1);
             set_env_int("DFAMR_RDV_PORT", rdv_port);
-            setenv("DFAMR_TRANSPORT", "tcp", 1);
+            setenv("DFAMR_TRANSPORT", transport.c_str(), 1);
+            if (transport == "shm") setenv("DFAMR_SHM_NS", shm_ns.c_str(), 1);
+            if (coalesce) setenv("DFAMR_COALESCE", "1", 1);
             if (rndz_threshold >= 0) set_env_int("DFAMR_RNDZ_THRESHOLD", rndz_threshold);
             execvp(argv[argi], argv + argi);
             std::fprintf(stderr, "dfamr_mpirun: exec %s: %s\n", argv[argi],
@@ -160,5 +194,17 @@ int main(int argc, char** argv) {
     } catch (const std::exception&) {
     }
     exchange.join();
+    if (transport == "shm") {
+        // Normal teardown unlinks every segment (consumers own the names);
+        // sweep up after crashed worlds so /dev/shm never accumulates.
+        for (int i = 0; i < nranks; ++i) {
+            for (int j = 0; j < nranks; ++j) {
+                if (i == j) continue;
+                const std::string name = "/dfamr_" + shm_ns + "_" + std::to_string(i) + "to" +
+                                         std::to_string(j);
+                shm_unlink(name.c_str());
+            }
+        }
+    }
     return world_status;
 }

@@ -1,0 +1,113 @@
+// Single-producer single-consumer byte-stream ring over a raw shared-memory
+// region — the per-directed-pair channel of the shm transport. The ring is a
+// plain byte pipe, not a record queue: frames stream through it exactly like
+// a socket (the receiver reassembles them from their wire headers), so a
+// frame larger than the ring simply flows through in pieces and capacity
+// never constrains message size.
+//
+// Layout: a RingHeader at offset 0, then `capacity` data bytes. head/tail
+// are free-running 64-bit counters (no wraparound handling needed within any
+// realistic run); `pos % capacity` locates a byte. The producer advances
+// head with memory_order_release after copying bytes in; the consumer reads
+// with acquire, so payload bytes are visible before the count that publishes
+// them — the classic SPSC publication pattern, lock-free on both sides.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace dfamr::net {
+
+inline constexpr std::uint32_t kRingMagic = 0x4446'5231;  // "DFR1"
+
+/// Lives at the start of the shared segment. Both sides mmap the same
+/// physical pages, so the atomics are genuinely shared; they must be
+/// address-free (lock-free) for that to be sound.
+struct RingHeader {
+    std::uint32_t magic = kRingMagic;
+    std::uint32_t capacity = 0;          // data bytes after the header
+    alignas(64) std::atomic<std::uint64_t> head{0};  // bytes ever written
+    alignas(64) std::atomic<std::uint64_t> tail{0};  // bytes ever consumed
+    alignas(64) std::int32_t producer_pid = 0;  // for liveness probing
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm ring requires address-free 64-bit atomics");
+
+/// View of one ring mapped into this process. Producer side calls
+/// try_write; consumer side calls try_read. Neither blocks.
+class ShmRing {
+public:
+    ShmRing() = default;
+    ShmRing(void* base, std::uint32_t capacity) { attach(base, capacity); }
+
+    /// Points this view at a mapped segment. `init` formats the header
+    /// (creator side, before the peer can possibly see the segment).
+    void attach(void* base, std::uint32_t capacity) {
+        hdr_ = static_cast<RingHeader*>(base);
+        data_ = static_cast<std::byte*>(base) + sizeof(RingHeader);
+        capacity_ = capacity;
+    }
+    static void init(void* base, std::uint32_t capacity, std::int32_t producer_pid) {
+        auto* hdr = new (base) RingHeader();
+        hdr->capacity = capacity;
+        hdr->producer_pid = producer_pid;
+    }
+
+    bool valid() const { return hdr_ != nullptr; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::int32_t producer_pid() const { return hdr_->producer_pid; }
+
+    /// Bytes currently buffered (consumer-accurate; producer sees >= truth).
+    std::size_t readable() const {
+        return static_cast<std::size_t>(hdr_->head.load(std::memory_order_acquire) -
+                                        hdr_->tail.load(std::memory_order_relaxed));
+    }
+
+    /// Copies up to src.size() bytes in; returns how many were accepted
+    /// (0 when full). Partial writes are normal — the byte stream carries
+    /// no record boundaries.
+    std::size_t try_write(std::span<const std::byte> src) {
+        const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+        const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+        const std::size_t free_bytes = capacity_ - static_cast<std::size_t>(head - tail);
+        const std::size_t n = src.size() < free_bytes ? src.size() : free_bytes;
+        if (n == 0) return 0;
+        const std::size_t at = static_cast<std::size_t>(head % capacity_);
+        const std::size_t first = n < capacity_ - at ? n : capacity_ - at;
+        std::memcpy(data_ + at, src.data(), first);
+        if (n > first) std::memcpy(data_, src.data() + first, n - first);
+        hdr_->head.store(head + n, std::memory_order_release);
+        return n;
+    }
+
+    /// Copies up to dst.size() buffered bytes out; returns how many.
+    std::size_t try_read(std::span<std::byte> dst) {
+        const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+        const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+        const std::size_t avail = static_cast<std::size_t>(head - tail);
+        const std::size_t n = dst.size() < avail ? dst.size() : avail;
+        if (n == 0) return 0;
+        const std::size_t at = static_cast<std::size_t>(tail % capacity_);
+        const std::size_t first = n < capacity_ - at ? n : capacity_ - at;
+        std::memcpy(dst.data(), data_ + at, first);
+        if (n > first) std::memcpy(dst.data() + first, data_, n - first);
+        hdr_->tail.store(tail + n, std::memory_order_release);
+        return n;
+    }
+
+private:
+    RingHeader* hdr_ = nullptr;
+    std::byte* data_ = nullptr;
+    std::uint32_t capacity_ = 0;
+};
+
+/// Total segment size for a ring of `capacity` data bytes.
+inline constexpr std::size_t shm_segment_bytes(std::uint32_t capacity) {
+    return sizeof(RingHeader) + capacity;
+}
+
+}  // namespace dfamr::net

@@ -378,6 +378,10 @@ void WireChecker::on_frame_sent(int dest, const net::FrameHeader& h) {
             break;
         case net::FrameKind::Eager:
             break;
+        case net::FrameKind::Coalesced:
+            // A batch of eager sub-messages: protocol-neutral like Eager (the
+            // sub-message table is validated structurally by the transport).
+            break;
         case net::FrameKind::Rts: {
             SenderState& st = sending_.try_emplace({dest, h.seq}, SenderState::Idle)
                                   .first->second;
@@ -443,6 +447,8 @@ void WireChecker::on_frame_received(int src, const net::FrameHeader& h) {
             dir.saw_bye = true;
             break;
         case net::FrameKind::Eager:
+            break;
+        case net::FrameKind::Coalesced:
             break;
         case net::FrameKind::Rts: {
             ReceiverState& st = receiving_.try_emplace({src, h.seq}, ReceiverState::Idle)

@@ -1,0 +1,71 @@
+// Model checkers for the two transport fast paths (src/net):
+//
+//  * check_coalesced_protocol(): the per-neighbor coalescing layer. Two
+//    peers exchange eager messages (each carrying a send-order id) plus a
+//    rendezvous workload over per-direction FIFO channels. On top of the
+//    send / deliver / fault actions of check_protocol, a COALESCE action
+//    merges two adjacent eager-like frames of a channel into one Coalesced
+//    frame, exactly like the writer thread batching consecutive same-dest
+//    Eager frames (a non-eager frame in between blocks the merge because
+//    the pair must be adjacent). Proved over the full state space, under
+//    every FaultKind:
+//      - non-overtaking within a coalesced frame: sub-message ids inside
+//        any delivered frame are strictly increasing (send order);
+//      - FIFO preservation: under faults that keep the channel in order
+//        (None / Drop / Stall) the whole per-direction eager id sequence
+//        arrives strictly increasing — coalescing never reorders;
+//      - leak-freedom: every final state delivered every eager id exactly
+//        once and every rendezvous payload exactly once;
+//      - credit conservation: rendezvous machines all reach Done, i.e.
+//        coalescing never swallows or duplicates an Rts/Cts/Data;
+//      - deadlock-freedom.
+//
+//  * check_shm_ring(): the shared-memory SPSC byte ring. One producer
+//    streams a fixed frame workload (including a frame LARGER than the
+//    ring) through a byte ring of small capacity; the consumer drains it
+//    frame by frame. Write and read actions move either 1 byte or the
+//    maximal legal amount, so every partial-progress interleaving is
+//    reachable. Proved under every FaultKind:
+//      - bounded fill: 0 <= fill <= capacity in every reachable state
+//        (the producer never overwrites unread bytes);
+//      - complete in-order delivery: every final state delivered all
+//        frames, byte-exact and in send order (a byte stream cannot
+//        reorder — Reorder adds no actions and the run documents that);
+//      - deadlock-freedom: in particular the larger-than-ring frame
+//        streams through instead of wedging producer and consumer.
+//    Drop models FaultPlan's pre-wire message drop with sender retry;
+//    Delay (a paused thread) is subsumed by plain interleaving; Stall
+//    gates the consumer like the TCP model's delivery gate.
+#pragma once
+
+#include <vector>
+
+#include "verify/mc/protocol.hpp"
+
+namespace dfamr::verify::mc {
+
+struct CoalescedModelOptions {
+    FaultKind fault = FaultKind::None;
+    int eager_per_direction = 3;  // >= 2 so real merges happen
+    int rndz_per_direction = 1;   // proves merges skip control frames
+    int batch_cap = 4;            // max sub-messages per coalesced frame
+    int max_extra_drops = 1;
+    int max_delay_slots = 1;
+};
+
+/// Exhaustively explores the 2-peer coalescing model under `opts`.
+ModelResult check_coalesced_protocol(const CoalescedModelOptions& opts);
+
+struct ShmRingOptions {
+    FaultKind fault = FaultKind::None;
+    int capacity = 3;
+    /// Frame payload sizes in ring bytes, in send order. The default
+    /// includes a frame larger than the ring: it must stream through.
+    std::vector<int> frame_sizes{2, 4, 1};
+    int max_extra_drops = 1;
+};
+
+/// Exhaustively explores the producer/consumer ring model under `opts`.
+ModelResult check_shm_ring(const ShmRingOptions& opts);
+
+}  // namespace dfamr::verify::mc

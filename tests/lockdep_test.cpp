@@ -11,6 +11,21 @@
 #include <string>
 #include <thread>
 
+#if defined(__SANITIZE_THREAD__)
+#define DFAMR_LOCKDEP_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DFAMR_LOCKDEP_TEST_TSAN 1
+#endif
+#endif
+#ifdef DFAMR_LOCKDEP_TEST_TSAN
+// These tests construct real lock-order inversions on purpose — that is
+// what lockdep exists to catch — so TSan's own potential-deadlock detector
+// would flag every one of them. Keep it out of the way in this binary only;
+// the data-race detector stays fully on.
+extern "C" const char* __tsan_default_options() { return "detect_deadlocks=0"; }
+#endif
+
 namespace dfamr::lockdep {
 namespace {
 

@@ -1,6 +1,8 @@
 // Cross-process golden tests: launch real rank processes with dfamr_mpirun
-// over the TCP transport and require bit-identical checksums to the
-// in-process run, for every variant, plus launcher exit-code propagation.
+// over the TCP and shared-memory transports and require bit-identical
+// checksums to the in-process run, for every variant and every fast-path
+// combination (--coalesce, --zero_copy), plus launcher exit-code
+// propagation and chaos runs over both transports.
 //
 // The binary paths come in as compile definitions (DFAMR_MPIRUN_BIN,
 // DFAMR_SINGLE_SPHERE_BIN) so the test works from any CWD.
@@ -11,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 namespace dfamr {
 namespace {
@@ -33,38 +36,88 @@ int run(const std::string& cmd) {
 // Small but real problem: 2 timesteps of the single-sphere input.
 const char* kProblem = "--num_tsteps 2 --checksum_freq 2 > /dev/null 2>&1";
 
-class MpirunGolden : public ::testing::TestWithParam<const char*> {};
+// (transport, variant, extra rank flags). Every combination must be
+// bit-identical to the plain in-process run of the same variant.
+using GoldenParam = std::tuple<const char*, const char*, const char*>;
 
-TEST_P(MpirunGolden, TcpChecksumsBitIdenticalToInproc) {
-    const std::string variant = GetParam();
+class MpirunGolden : public ::testing::TestWithParam<GoldenParam> {};
+
+TEST_P(MpirunGolden, ChecksumsBitIdenticalToInproc) {
+    const auto [transport, variant, extra] = GetParam();
+    const std::string tag = std::string(transport) + "_" + variant + "_" +
+                            std::to_string(std::string(extra).size());
     const std::string dir = ::testing::TempDir();
-    const std::string ref = dir + "/ref_" + variant + ".txt";
-    const std::string tcp = dir + "/tcp_" + variant + ".txt";
+    const std::string ref = dir + "/ref_" + tag + ".txt";
+    const std::string wire = dir + "/wire_" + tag + ".txt";
     ASSERT_EQ(run(std::string(DFAMR_SINGLE_SPHERE_BIN) + " --variant " + variant +
                   " --checksum_out " + ref + " " + kProblem),
               0);
-    ASSERT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 " + DFAMR_SINGLE_SPHERE_BIN +
-                  " --transport tcp --variant " + variant + " --checksum_out " + tcp + " " +
-                  kProblem),
+    ASSERT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 --transport " + transport + " " +
+                  DFAMR_SINGLE_SPHERE_BIN + " --variant " + variant + " " + extra +
+                  " --checksum_out " + wire + " " + kProblem),
               0);
-    const std::string a = read_file(ref), b = read_file(tcp);
+    const std::string a = read_file(ref), b = read_file(wire);
     ASSERT_FALSE(a.empty());
-    EXPECT_EQ(a, b) << "checksums diverged between in-process and multi-process TCP";
+    EXPECT_EQ(a, b) << "checksums diverged between in-process and multi-process " << transport
+                    << " (" << (std::string(extra).empty() ? "plain" : extra) << ")";
 }
 
-INSTANTIATE_TEST_SUITE_P(Variants, MpirunGolden,
-                         ::testing::Values("mpi", "forkjoin", "tampi"));
+INSTANTIATE_TEST_SUITE_P(
+    Transports, MpirunGolden,
+    ::testing::Combine(::testing::Values("tcp", "shm", "auto"),
+                       ::testing::Values("mpi", "forkjoin", "tampi"),
+                       ::testing::Values("")));
 
-TEST(Mpirun, ChaosOverTcpMatchesFaultFreeTwin) {
+// The fast-path flags ride the same goldens: coalescing batches the wire
+// frames, zero-copy packs straight into them, and the checksums must not
+// move. One launcher flag set per run; tampi exercises --zero_copy as the
+// documented no-op carve-out.
+INSTANTIATE_TEST_SUITE_P(
+    FastPaths, MpirunGolden,
+    ::testing::Combine(::testing::Values("tcp", "shm"),
+                       ::testing::Values("mpi", "forkjoin", "tampi"),
+                       ::testing::Values("--zero_copy")));
+
+class MpirunCoalesce : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpirunCoalesce, OnOffGoldensMatch) {
+    // --coalesce is a launcher flag (it reaches ranks via DFAMR_COALESCE),
+    // so compare a coalesced world directly against a plain one.
+    const std::string transport = GetParam();
+    const std::string dir = ::testing::TempDir();
+    const std::string off = dir + "/coalesce_off_" + transport + ".txt";
+    const std::string on = dir + "/coalesce_on_" + transport + ".txt";
+    ASSERT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 --transport " + transport + " " +
+                  DFAMR_SINGLE_SPHERE_BIN + " --checksum_out " + off + " " + kProblem),
+              0);
+    ASSERT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 --transport " + transport +
+                  " --coalesce " + DFAMR_SINGLE_SPHERE_BIN + " --zero_copy --checksum_out " +
+                  on + " " + kProblem),
+              0);
+    const std::string a = read_file(off), b = read_file(on);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "coalescing changed the checksums over " << transport;
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, MpirunCoalesce, ::testing::Values("tcp", "shm"));
+
+class MpirunChaos : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpirunChaos, ChaosMatchesFaultFreeTwin) {
     // single_sphere runs its own in-process fault-free twin and exits
     // non-zero if the chaos checksums diverge; rendezvous forced low so the
-    // faults hit both eager and rendezvous traffic.
-    EXPECT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 " + DFAMR_SINGLE_SPHERE_BIN +
-                  " --transport tcp --rendezvous_threshold 4096 --fault_seed 7"
+    // faults hit both eager and rendezvous traffic. The launcher args also
+    // turn both fast paths on: faults must not break them either.
+    const std::string transport = GetParam();
+    EXPECT_EQ(run(std::string(DFAMR_MPIRUN_BIN) + " -n 2 --transport " + transport +
+                  " --coalesce " + DFAMR_SINGLE_SPHERE_BIN +
+                  " --zero_copy --rendezvous_threshold 4096 --fault_seed 7"
                   " --fault_drop_prob 0.02 --fault_delay_prob 0.05 " +
                   kProblem),
               0);
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, MpirunChaos, ::testing::Values("tcp", "shm"));
 
 // DepLint as a cross-process race prover: DFAMR_DEPLINT=1 attaches the
 // verifier inside every rank process, so each rank's full task history —

@@ -1,9 +1,12 @@
-// TCP transport tests: wire framing, loopback worlds (every rank a thread,
-// each with a real TCP endpoint on localhost), rendezvous threshold
-// behavior, MPI non-overtaking order over the wire, collectives parity,
-// fault injection + retry, and the wait_any_for timeout-vs-abort contract.
+// Wire transport tests: framing, loopback worlds (every rank a thread, each
+// with a real TCP endpoint on localhost or a shared-memory ring mesh),
+// rendezvous threshold behavior, MPI non-overtaking order over the wire,
+// collectives parity, fault injection + retry, the wait_any_for
+// timeout-vs-abort contract, the shm ring, and the coalescing / zero-copy
+// fast-path goldens.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -13,6 +16,7 @@
 
 #include "core/variants.hpp"
 #include "mpisim/mpi.hpp"
+#include "net/shm_ring.hpp"
 #include "net/wire.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/hardened_comm.hpp"
@@ -142,7 +146,49 @@ TEST_P(NetBothTransports, WildcardSourceAndTag) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, NetBothTransports,
-                         ::testing::Values(TransportKind::Inproc, TransportKind::Tcp));
+                         ::testing::Values(TransportKind::Inproc, TransportKind::Tcp,
+                                           TransportKind::Shm));
+
+// ---- shm ring ------------------------------------------------------------
+
+TEST(ShmRing, ByteStreamSurvivesWrapAroundAndPartialIo) {
+    constexpr std::uint32_t kCapacity = 16;
+    alignas(64) std::byte segment[net::shm_segment_bytes(kCapacity)];
+    net::ShmRing::init(segment, kCapacity, /*producer_pid=*/1234);
+    net::ShmRing ring(segment, kCapacity);
+    EXPECT_EQ(ring.producer_pid(), 1234);
+
+    // Stream 5x the capacity through in awkward chunk sizes, reading
+    // concurrently-in-spirit (interleaved), and require the byte stream to
+    // come out exact: wraparound and partial writes must be invisible.
+    const auto src = pattern(5 * kCapacity, 42);
+    std::vector<std::byte> dst;
+    std::size_t written = 0;
+    while (dst.size() < src.size()) {
+        if (written < src.size()) {
+            const std::size_t chunk = std::min<std::size_t>(7, src.size() - written);
+            written += ring.try_write(std::span(src).subspan(written, chunk));
+        }
+        std::byte buf[5];
+        const std::size_t got = ring.try_read(buf);
+        dst.insert(dst.end(), buf, buf + got);
+    }
+    EXPECT_TRUE(std::equal(dst.begin(), dst.end(), src.begin()));
+    EXPECT_EQ(ring.readable(), 0u);
+}
+
+TEST(ShmRing, FullRingAcceptsNothingUntilDrained) {
+    constexpr std::uint32_t kCapacity = 8;
+    alignas(64) std::byte segment[net::shm_segment_bytes(kCapacity)];
+    net::ShmRing::init(segment, kCapacity, 1);
+    net::ShmRing ring(segment, kCapacity);
+    const auto src = pattern(kCapacity + 4, 3);
+    EXPECT_EQ(ring.try_write(src), kCapacity);  // clamped to free space
+    EXPECT_EQ(ring.try_write(std::span(src).subspan(kCapacity)), 0u);
+    std::byte buf[3];
+    ASSERT_EQ(ring.try_read(buf), 3u);
+    EXPECT_EQ(ring.try_write(std::span(src).subspan(kCapacity)), 3u);  // freed
+}
 
 // ---- rendezvous ----------------------------------------------------------
 
@@ -293,13 +339,15 @@ TEST(NetLoopback, CollectivesMatchInprocBitwise) {
         return std::make_tuple(allreduce_out, reduce_out, bcast_out, gather_out, alltoall_out);
     };
     const auto inproc = run_world(TransportKind::Inproc);
-    const auto tcp = run_world(TransportKind::Tcp);
-    EXPECT_EQ(std::get<0>(inproc), std::get<0>(tcp));  // allreduce: bit-identical
-    EXPECT_EQ(std::get<2>(inproc), std::get<2>(tcp));  // bcast
-    EXPECT_EQ(std::get<3>(inproc), std::get<3>(tcp));  // allgather
-    EXPECT_EQ(std::get<4>(inproc), std::get<4>(tcp));  // alltoall
-    // reduce: only the root's output is defined.
-    EXPECT_EQ(std::get<1>(inproc)[2], std::get<1>(tcp)[2]);
+    for (TransportKind wire : {TransportKind::Tcp, TransportKind::Shm}) {
+        const auto t = run_world(wire);
+        EXPECT_EQ(std::get<0>(inproc), std::get<0>(t));  // allreduce: bit-identical
+        EXPECT_EQ(std::get<2>(inproc), std::get<2>(t));  // bcast
+        EXPECT_EQ(std::get<3>(inproc), std::get<3>(t));  // allgather
+        EXPECT_EQ(std::get<4>(inproc), std::get<4>(t));  // alltoall
+        // reduce: only the root's output is defined.
+        EXPECT_EQ(std::get<1>(inproc)[2], std::get<1>(t)[2]);
+    }
 }
 
 // ---- fault injection over the wire ---------------------------------------
@@ -336,6 +384,31 @@ TEST(NetLoopback, FaultDropThenRetryDelivers) {
             hc.recv(buf.data(), buf.size(), 0, 21, &st);
             EXPECT_EQ(st.bytes, 2048u);
             EXPECT_EQ(buf, pattern(2048, 9));
+        }
+    });
+}
+
+TEST(NetLoopback, FaultDropThenRetryDeliversZeroCopy) {
+    // A dropped isend_tx never reaches the wire and leaves the TxBuffer
+    // untouched, so HardenedComm can re-post the same storage.
+    DropFirstN faults(/*tag=*/22, /*drops=*/2);
+    World world(2, tcp_options(512), &faults);
+    world.run([](Communicator& comm) {
+        resilience::RetryPolicy policy;
+        policy.backoff_ns = 1000;
+        resilience::HardenedComm hc(comm, policy);
+        const auto msg = pattern(2048, 13);  // above threshold: rendezvous path
+        if (comm.rank() == 0) {
+            mpi::TxBuffer tx = mpi::make_tx_buffer(msg.size());
+            std::copy(msg.begin(), msg.end(), tx.payload.begin());
+            hc.isend_tx(tx, 1, 22).wait();
+        } else {
+            mpi::RxView view;
+            mpi::Status st;
+            hc.irecv_view(&view, 4096, 0, 22).wait(&st);
+            EXPECT_EQ(st.bytes, 2048u);
+            ASSERT_EQ(view.payload.size(), msg.size());
+            EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(), msg.begin()));
         }
     });
 }
@@ -423,7 +496,8 @@ TEST_P(WaitAnyForSemantics, AbortBeatsTimeout) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, WaitAnyForSemantics,
-                         ::testing::Values(TransportKind::Inproc, TransportKind::Tcp));
+                         ::testing::Values(TransportKind::Inproc, TransportKind::Tcp,
+                                           TransportKind::Shm));
 
 // ---- golden checksums: full mini-app over the wire -----------------------
 
@@ -499,6 +573,91 @@ TEST_P(GoldenOverTcp, ChaosChecksumsMatchFaultFree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Variants, GoldenOverTcp,
+                         ::testing::Values(amr::Variant::MpiOnly, amr::Variant::ForkJoin,
+                                           amr::Variant::TampiOss));
+
+// ---- transport fast-path goldens: shm x coalesce x zero-copy -------------
+
+// Every (variant, transport, coalesce, zero_copy) combination must produce
+// checksums bit-identical to the plain in-process run: the fast paths are
+// pure transport/copy optimizations with no numerical surface.
+using FastPathParam = std::tuple<amr::Variant, TransportKind, bool, bool>;
+
+class GoldenFastPaths : public ::testing::TestWithParam<FastPathParam> {};
+
+TEST_P(GoldenFastPaths, ChecksumsBitIdenticalToInproc) {
+    const auto [variant, transport, coalesce, zero_copy] = GetParam();
+    amr::Config cfg = golden_config();
+    core::RunOptions ref_opts;
+    ref_opts.ignore_launch_env = true;
+    const core::RunResult ref = core::run_variant(cfg, variant, nullptr, nullptr, ref_opts);
+
+    cfg.zero_copy = zero_copy;
+    core::RunOptions opts;
+    opts.transport = transport;
+    opts.rendezvous_threshold = 1024;  // low: fast paths cross into rendezvous
+    opts.coalesce = coalesce;
+    opts.ignore_launch_env = true;
+    const core::RunResult got = core::run_variant(cfg, variant, nullptr, nullptr, opts);
+
+    ASSERT_TRUE(got.validation_ok);
+    ASSERT_EQ(ref.checksums.size(), got.checksums.size());
+    for (std::size_t i = 0; i < ref.checksums.size(); ++i) {
+        EXPECT_EQ(ref.checksums[i], got.checksums[i]) << "checksum stage " << i;
+    }
+    EXPECT_GT(got.net.frames_sent, 0u);
+    if (!coalesce) {
+        // The knob is really off: nothing may merge.
+        EXPECT_EQ(got.net.coalesced_frames_sent, 0u);
+        EXPECT_EQ(got.net.coalesced_messages, 0u);
+    }
+    if (zero_copy && variant != amr::Variant::TampiOss) {
+        // Every wire send of a packed frame skips the staging copy, so the
+        // counter is deterministic-positive (TAMPI ignores the knob: its
+        // task dependencies are declared on persistent staging buffers).
+        EXPECT_GT(got.net.copies_elided, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GoldenFastPaths,
+    ::testing::Combine(::testing::Values(amr::Variant::MpiOnly, amr::Variant::ForkJoin,
+                                         amr::Variant::TampiOss),
+                       ::testing::Values(TransportKind::Tcp, TransportKind::Shm),
+                       ::testing::Bool(),    // coalesce
+                       ::testing::Bool()));  // zero_copy
+
+// Chaos over shm with both fast paths on: retry + hold-back must still
+// reproduce the fault-free checksums bit for bit.
+class ShmChaos : public ::testing::TestWithParam<amr::Variant> {};
+
+TEST_P(ShmChaos, ChaosChecksumsMatchFaultFree) {
+    amr::Config cfg = golden_config();
+    core::RunOptions ref_opts;
+    ref_opts.ignore_launch_env = true;
+    const core::RunResult ref = core::run_variant(cfg, GetParam(), nullptr, nullptr, ref_opts);
+
+    cfg.zero_copy = true;
+    core::RunOptions shm;
+    shm.transport = TransportKind::Shm;
+    shm.rendezvous_threshold = 1024;
+    shm.coalesce = true;
+    shm.ignore_launch_env = true;
+    resilience::FaultConfig fc;
+    fc.seed = 5;
+    fc.drop_prob = 0.02;
+    fc.delay_prob = 0.05;
+    fc.max_delay_ns = 500'000;
+    resilience::FaultPlan plan(fc);
+    const core::RunResult chaos = core::run_variant(cfg, GetParam(), nullptr, &plan, shm);
+    ASSERT_TRUE(chaos.validation_ok);
+    ASSERT_EQ(ref.checksums.size(), chaos.checksums.size());
+    for (std::size_t i = 0; i < ref.checksums.size(); ++i) {
+        EXPECT_EQ(ref.checksums[i], chaos.checksums[i]) << "checksum stage " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ShmChaos,
                          ::testing::Values(amr::Variant::MpiOnly, amr::Variant::ForkJoin,
                                            amr::Variant::TampiOss));
 

@@ -10,6 +10,12 @@
 //             minimal form.
 //   protocol  explicit-state model checking of the eager/rendezvous wire
 //             protocol under each FaultPlan perturbation kind.
+//   coalesce  same, for the per-neighbor coalescing layer: merged frames
+//             must preserve sub-message order, FIFO delivery (where the
+//             fault permits), rendezvous credits and leak-freedom.
+//   ring      same, for the shared-memory SPSC byte ring: bounded fill,
+//             complete in-order delivery (including a frame larger than
+//             the ring) and deadlock-freedom.
 //
 // Exit code 0 = everything proved; 1 = a violation (or, under --mode
 // explore with --min_schedules, insufficient coverage); 2 = usage error.
@@ -30,6 +36,7 @@
 #include "verify/mc/explorer.hpp"
 #include "verify/mc/graphs.hpp"
 #include "verify/mc/protocol.hpp"
+#include "verify/mc/transport_models.hpp"
 
 namespace {
 
@@ -143,11 +150,37 @@ int run_protocol(int eager, int rndz) {
     return ok ? 0 : 1;
 }
 
+// Uses the model's own workload defaults (3 eager + 1 rendezvous per
+// direction): fewer than two eager messages would never exercise a merge.
+int run_coalesce() {
+    bool ok = true;
+    for (FaultKind kind : all_fault_kinds()) {
+        CoalescedModelOptions opts;
+        opts.fault = kind;
+        const ModelResult r = check_coalesced_protocol(opts);
+        std::printf("fault=%-8s %s\n", to_string(kind), r.to_string().c_str());
+        if (!r.clean()) ok = false;
+    }
+    return ok ? 0 : 1;
+}
+
+int run_ring() {
+    bool ok = true;
+    for (FaultKind kind : all_fault_kinds()) {
+        ShmRingOptions opts;
+        opts.fault = kind;
+        const ModelResult r = check_shm_ring(opts);
+        std::printf("fault=%-8s %s\n", to_string(kind), r.to_string().c_str());
+        if (!r.clean()) ok = false;
+    }
+    return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     CliParser cli("dfamr_mc: schedule-space and wire-protocol model checker");
-    cli.add_option("--mode", "explore | mutate | protocol", "explore");
+    cli.add_option("--mode", "explore | mutate | protocol | coalesce | ring", "explore");
     cli.add_option("--graph", "restrict to one graph of the catalog (by name)", "");
     cli.add_option("--edge", "mutate: drop only this edge index", "-1");
     cli.add_option("--max_schedules", "per-exploration schedule cap (0 = unlimited)", "250000");
@@ -192,6 +225,8 @@ int main(int argc, char** argv) {
             return run_protocol(static_cast<int>(cli.get_int("--eager")),
                                 static_cast<int>(cli.get_int("--rndz")));
         }
+        if (mode == "coalesce") return run_coalesce();
+        if (mode == "ring") return run_ring();
         std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
         return 2;
     } catch (const std::exception& e) {
