@@ -230,6 +230,77 @@ TraceMeasurement measure_trace() {
     return t;
 }
 
+/// Scenario subsystem trend data: each problem-generator workload run with
+/// an estimator-driven refinement condition under all three variants.
+/// Tracks refinement activity (estimator splits, final blocks), the
+/// hysteresis health signal (thrash must stay zero), the analytic error
+/// norm where the scenario has a reference solution, and the cross-variant
+/// checksum identity the subsystem promises.
+struct ScenarioPoint {
+    std::string scenario;
+    std::string estimator;
+    std::int64_t final_blocks = 0;
+    std::int64_t estimator_splits = 0;
+    std::int64_t thrash = 0;
+    double error_norm = 0;
+    bool has_error_norm = false;
+    double total_s = 0;  // TAMPI+OSS wall time
+    bool checksums_match_across_variants = false;
+};
+
+amr::Config scenario_config(const std::string& scenario, const std::string& estimator) {
+    amr::Config cfg = amr::single_sphere_input();
+    cfg.npx = 2;
+    cfg.npy = cfg.npz = 1;
+    cfg.init_x = 1;
+    cfg.init_y = cfg.init_z = 2;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 8;
+    cfg.num_tsteps = 4;
+    cfg.stages_per_ts = 6;
+    cfg.num_refine = 2;
+    cfg.workers = 2;
+    cfg.objects.clear();
+    cfg.scenario = scenario;
+    cfg.estimator = estimator;
+    cfg.refine_threshold = 0.1;
+    cfg.deref_count = 3;
+    cfg.tol = 0.25;  // advective drift headroom (see Config::from_cli)
+    return cfg;
+}
+
+std::vector<ScenarioPoint> measure_scenarios() {
+    std::vector<ScenarioPoint> points;
+    for (const char* scenario : {"gaussian", "slotted_cylinder", "front"}) {
+        for (const char* estimator : {"gradient", "curvature"}) {
+            const amr::Config cfg = scenario_config(scenario, estimator);
+            core::RunOptions opts;
+            opts.ignore_launch_env = true;
+            const core::RunResult mpi =
+                core::run_variant(cfg, Variant::MpiOnly, nullptr, nullptr, opts);
+            const core::RunResult fj =
+                core::run_variant(cfg, Variant::ForkJoin, nullptr, nullptr, opts);
+            const core::RunResult tampi =
+                core::run_variant(cfg, Variant::TampiOss, nullptr, nullptr, opts);
+            ScenarioPoint p;
+            p.scenario = scenario;
+            p.estimator = estimator;
+            p.final_blocks = tampi.final_blocks;
+            p.estimator_splits = tampi.counters.blocks_refined_by_estimator;
+            p.thrash = tampi.counters.refine_coarsen_thrash;
+            p.error_norm = tampi.error_norm;
+            p.has_error_norm = tampi.has_error_norm;
+            p.total_s = tampi.times.total;
+            p.checksums_match_across_variants = mpi.validation_ok && fj.validation_ok &&
+                                                tampi.validation_ok &&
+                                                mpi.checksums == fj.checksums &&
+                                                mpi.checksums == tampi.checksums;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
 /// Serving throughput: an in-process dfamr_serve server driven by the
 /// loadgen at two tenant counts on the same pool. The 1-tenant point is the
 /// uncontended baseline; the 8-tenant point exercises DRR fair-share
@@ -277,7 +348,7 @@ ServeMeasurement measure_serving() {
 void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
                 const SchedMeasurement& sched, const NetMeasurement& netm,
                 const TransportMeasurement& transm, const TraceMeasurement& tracem,
-                const ServeMeasurement& servem) {
+                const ServeMeasurement& servem, const std::vector<ScenarioPoint>& scen) {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path);
@@ -382,6 +453,31 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
         const ServePoint& p = servem.points[i];
         std::fprintf(f, "      {\"tenants\": %d, \"report\": %s}%s\n", p.tenants,
                      p.report.to_json().c_str(), i + 1 < servem.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    // Scenario subsystem: problem-generator workloads under estimator-driven
+    // refinement (see measure_scenarios). error_norm is the volume-weighted
+    // L1 distance to the analytic reference (-1 when the scenario has none);
+    // thrash must stay 0 and checksums must agree across all variants.
+    std::fprintf(f, "  \"scenarios\": {\n");
+    std::fprintf(f, "    \"refine_threshold\": 0.1,\n");
+    std::fprintf(f, "    \"deref_count\": 3,\n");
+    std::fprintf(f, "    \"points\": [\n");
+    for (std::size_t i = 0; i < scen.size(); ++i) {
+        const ScenarioPoint& p = scen[i];
+        std::fprintf(f,
+                     "      {\"scenario\": \"%s\", \"estimator\": \"%s\", "
+                     "\"final_blocks\": %lld, \"estimator_splits\": %lld, "
+                     "\"thrash\": %lld, \"error_norm\": %.9g, \"total_s\": %.6f, "
+                     "\"checksums_match_across_variants\": %s}%s\n",
+                     p.scenario.c_str(), p.estimator.c_str(),
+                     static_cast<long long>(p.final_blocks),
+                     static_cast<long long>(p.estimator_splits),
+                     static_cast<long long>(p.thrash),
+                     p.has_error_norm ? p.error_norm : -1.0, p.total_s,
+                     p.checksums_match_across_variants ? "true" : "false",
+                     i + 1 < scen.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
@@ -489,7 +585,19 @@ int main(int argc, char** argv) {
                     p.report.p99_ms, p.report.suspended_jobs, p.report.checksum_mismatches);
     }
 
-    write_json(out, rows, max_nodes, sched, netm, transm, tracem, servem);
+    std::printf("running scenario measurement...\n");
+    const std::vector<ScenarioPoint> scen = measure_scenarios();
+    for (const ScenarioPoint& p : scen) {
+        std::printf("scenario: %-16s %-9s %4lld blocks, %4lld splits, thrash %lld, "
+                    "error %.3g, checksums %s\n",
+                    p.scenario.c_str(), p.estimator.c_str(),
+                    static_cast<long long>(p.final_blocks),
+                    static_cast<long long>(p.estimator_splits),
+                    static_cast<long long>(p.thrash), p.has_error_norm ? p.error_norm : -1.0,
+                    p.checksums_match_across_variants ? "match across variants" : "DIVERGED");
+    }
+
+    write_json(out, rows, max_nodes, sched, netm, transm, tracem, servem, scen);
     std::printf("wrote %s (%zu points)\n", out, rows.size());
     return 0;
 }

@@ -159,6 +159,16 @@ int main(int argc, char** argv) {
         }
         table.add_row({"checksums validated", std::to_string(r.checksums.size())});
         table.add_row({"validation", r.validation_ok ? "OK" : "FAILED"});
+        if (cfg.scenario != "synthetic" || cfg.estimator != "objects") {
+            table.add_row({"scenario / estimator", cfg.scenario + " / " + cfg.estimator});
+            table.add_row({"estimator-driven splits",
+                           std::to_string(r.counters.blocks_refined_by_estimator)});
+            table.add_row(
+                {"refine/coarsen thrash", std::to_string(r.counters.refine_coarsen_thrash)});
+            if (r.has_error_norm) {
+                table.add_row({"L1 error vs reference", TextTable::num(r.error_norm, 6)});
+            }
+        }
         if (r.sched.tasks_executed > 0) {
             // Scheduler telemetry (all ranks summed); the refine slice shows
             // how much of the stealing happens inside refinement phases.

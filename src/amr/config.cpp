@@ -1,5 +1,7 @@
 #include "amr/config.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace dfamr::amr {
@@ -32,6 +34,10 @@ void Config::validate() const {
     DFAMR_REQUIRE(refine_freq >= 0, "refine_freq must be >= 0");
     DFAMR_REQUIRE(block_change >= 0, "block_change must be >= 0");
     DFAMR_REQUIRE(inbalance >= 0, "inbalance threshold must be >= 0");
+    DFAMR_REQUIRE(!scenario.empty(), "scenario name must not be empty");
+    DFAMR_REQUIRE(!estimator.empty(), "estimator name must not be empty");
+    DFAMR_REQUIRE(refine_threshold >= 0, "refine_threshold must be >= 0");
+    DFAMR_REQUIRE(deref_count >= 1, "deref_count must be >= 1");
     DFAMR_REQUIRE(max_comm_tasks >= 0, "max_comm_tasks must be >= 0");
     DFAMR_REQUIRE(workers >= 1, "workers must be >= 1");
     DFAMR_REQUIRE(checkpoint_every >= 0, "checkpoint_every must be >= 0");
@@ -66,6 +72,15 @@ void Config::register_cli(CliParser& cli) {
     cli.add_option("--refine_freq", "timesteps between refinements (0 = off)", "5");
     cli.add_option("--block_change", "max level changes per block per refinement (0 = num_refine)",
                    "0");
+    cli.add_option("--scenario",
+                   "problem generator: synthetic | gaussian | slotted_cylinder | front",
+                   "synthetic");
+    cli.add_option("--estimator",
+                   "refinement condition: objects | gradient | curvature", "objects");
+    cli.add_option("--refine_threshold",
+                   "estimator score above which a block refines (strict)", "0.5");
+    cli.add_option("--deref_count",
+                   "consecutive coarsen-willing checks before a block coarsens", "1");
     cli.add_flag("--uniform_refine", "refine uniformly everywhere");
     cli.add_flag("--no_lb", "disable RCB load balancing");
     cli.add_option("--inbalance", "imbalance threshold triggering load balance", "0.05");
@@ -123,6 +138,16 @@ Config Config::from_cli(const CliParser& cli, Config base) {
     set_int("--num_refine", cfg.num_refine);
     set_int("--refine_freq", cfg.refine_freq);
     set_int("--block_change", cfg.block_change);
+    if (cli.has("--scenario")) cfg.scenario = cli.get_string("--scenario");
+    if (cli.has("--estimator")) cfg.estimator = cli.get_string("--estimator");
+    // The default drift tolerance is sized for the synthetic stencil (an
+    // average, conservative up to reflective-ghost effects). The advective
+    // generators lose mass through first-order upwind fluxes at coarse-fine
+    // interfaces, so their expected per-window drift is larger; widen the
+    // guardrail unless the user pinned one explicitly.
+    if (cfg.scenario != "synthetic" && !cli.has("--tol")) cfg.tol = std::max(cfg.tol, 0.25);
+    set_double("--refine_threshold", cfg.refine_threshold);
+    set_int("--deref_count", cfg.deref_count);
     if (cli.get_flag("--uniform_refine")) cfg.uniform_refine = true;
     if (cli.get_flag("--no_lb")) cfg.lb_opt = false;
     set_double("--inbalance", cfg.inbalance);

@@ -54,6 +54,22 @@ struct Config {
     bool lb_opt = true;           // perform RCB load balancing inside refinement
     double inbalance = 0.05;      // trigger threshold: (max-avg)/avg above this rebalances
 
+    // --- scenario subsystem (estimator-driven refinement) --------------------
+    // Problem generator: "synthetic" keeps the reference stencil sweep over
+    // hashed cell data; a registered generator name (gaussian,
+    // slotted_cylinder, front) initializes the fields from its profile and
+    // replaces the sweep with its advection kernel. Names are validated
+    // against the registry by the driver (the amr layer cannot see it).
+    std::string scenario = "synthetic";
+    // Refinement condition: "objects" (the reference miniAMR criterion) or
+    // a field-based estimator ("gradient", "curvature").
+    std::string estimator = "objects";
+    // A block refines iff its estimator score is strictly above this.
+    double refine_threshold = 0.5;
+    // Consecutive coarsen-willing checks before a block actually coarsens
+    // (hysteresis; 1 = coarsen immediately, the legacy behaviour).
+    int deref_count = 1;
+
     // --- objects ------------------------------------------------------------
     std::vector<ObjectSpec> objects;
 

@@ -158,6 +158,11 @@ RefineRound GlobalStructure::plan_refine_round(const std::vector<ObjectSpec>& ob
         }
         marks.emplace(key, mark);
     }
+    return plan_refine_round_marks(std::move(marks));
+}
+
+RefineRound GlobalStructure::plan_refine_round_marks(std::map<BlockKey, int> marks) const {
+    DFAMR_REQUIRE(marks.size() == owners_.size(), "marks must cover exactly the current leaves");
 
     // 2:1 propagation: a refining block forces its coarser face neighbors to
     // refine as well (otherwise its children would differ by two levels).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <span>
 
 #include "common/error.hpp"
@@ -28,7 +29,25 @@ DriverBase::DriverBase(const Config& cfg, mpi::Communicator& comm, Tracer* trace
     cfg_.validate();
     DFAMR_REQUIRE(cfg_.num_ranks() == comm.size(),
                   "communicator size must match npx*npy*npz");
+    condition_ = scenario::find_condition(cfg_.estimator);
+    DFAMR_REQUIRE(condition_ != nullptr,
+                  "unknown estimator '" + cfg_.estimator +
+                      "' (expected objects, gradient or curvature)");
+    if (cfg_.scenario != "synthetic") {
+        generator_ = scenario::find_generator(cfg_.scenario);
+        DFAMR_REQUIRE(generator_ != nullptr,
+                      "unknown scenario '" + cfg_.scenario +
+                          "' (expected synthetic, gaussian, slotted_cylinder or front)");
+        dt_ = generator_->stable_dt(cfg_);
+    }
     mesh_.init_blocks();
+    if (generator_ != nullptr) {
+        // Replace the hashed synthetic field with the scenario's initial
+        // profile (a checkpoint restore overwrites this wholesale later).
+        for (const BlockKey& key : mesh_.owned_keys()) {
+            generator_->init_block(mesh_.block(key), mesh_.structure().box(key));
+        }
+    }
     rebuild_comm_plan();
 }
 
@@ -68,6 +87,7 @@ RankResult DriverBase::run() {
     }
     main_loop();
     final_sync();
+    compute_error_norm();
     total.stop();
     result_.sched = scheduler_counters();
     result_.times.total = total.elapsed_s();
@@ -146,6 +166,7 @@ void DriverBase::write_state(int ts_completed, bool suspending) {
     state.checksum_reference = checksum_reference_;
     state.validation_ok = result_.validation_ok;
     state.owners = mesh_.structure().leaves();
+    state.deref_counts = deref_counts_;
 
     // Route the assembled image: a suspension always goes to the host's
     // in-memory sink; a periodic checkpoint goes in-memory when the host
@@ -192,6 +213,10 @@ void DriverBase::restore_state() {
     checksum_reference_ = state.checksum_reference;
     start_ts_ = state.ts_completed + 1;
     stage_counter_ = state.stage_counter;
+    // Mid-streak coarsen-willing counters resume exactly where the
+    // checkpointed run stood; a restored run must coarsen on the same
+    // check the uninterrupted run would have.
+    deref_counts_ = state.deref_counts;
 
     mesh_.structure().restore_leaves(state.owners);
     mesh_.clear_blocks();
@@ -227,8 +252,21 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
     amr::GlobalStructure& structure = mesh_.structure();
     const int rounds = cfg_.max_block_change();
     for (int round_idx = 0; round_idx < rounds; ++round_idx) {
-        const RefineRound round = structure.plan_refine_round(cfg_.objects, cfg_.uniform_refine);
+        const RefineRound round = plan_round();
         if (round.empty()) break;
+
+        // Thrash bookkeeping (replicated: marks and check counters are
+        // identical on every rank): a merge of a parent split within the
+        // last deref_count planning checks is a refine/coarsen thrash.
+        for (const BlockKey& key : round.refine) split_check_[key] = planning_checks_;
+        for (const BlockKey& parent : round.coarsen_parents) {
+            if (auto it = split_check_.find(parent); it != split_check_.end()) {
+                if (planning_checks_ - it->second <= cfg_.deref_count) {
+                    ++result_.counters.refine_coarsen_thrash;
+                }
+                split_check_.erase(it);
+            }
+        }
 
         // Splits of owned blocks (taskified copies in the data-flow variant).
         std::vector<BlockKey> my_splits;
@@ -237,6 +275,10 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
         }
         do_splits(my_splits);
         result_.counters.blocks_split += static_cast<std::int64_t>(my_splits.size());
+        if (condition_->needs_field_data()) {
+            result_.counters.blocks_refined_by_estimator +=
+                static_cast<std::int64_t>(my_splits.size());
+        }
 
         // Coarsening: ship children to the future parent owner, then merge.
         std::vector<BlockMove> moves;
@@ -260,6 +302,7 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
         sync_refine_step();
 
         structure.apply_refine_round(round);
+        prune_refine_state();
         DFAMR_ASSERT(mesh_.num_owned() == structure.blocks_of(rank_).size());
     }
 
@@ -286,6 +329,91 @@ void DriverBase::refinement_phase(int timesteps_elapsed) {
     result_.sched_refine += scheduler_counters() - sched_at_entry;
     sample_sched_counters();
     result_.times.refine += sw.elapsed_s();
+}
+
+RefineRound DriverBase::plan_round() {
+    const amr::GlobalStructure& structure = mesh_.structure();
+    const auto& leaves = structure.leaves();
+    const scenario::ScoreContext ctx{&cfg_.objects, cfg_.uniform_refine};
+
+    std::vector<double> scores(leaves.size(), 0.0);
+    std::size_t i = 0;
+    if (condition_->needs_field_data()) {
+        // Field data lives only on the owning rank, but marks must be
+        // globally identical: each rank fills its owned entries of the
+        // leaves-in-key-order score vector (zero elsewhere) and one
+        // Sum-allreduce turns disjoint ownership into a gather.
+        for (const auto& [key, owner] : leaves) {
+            if (owner == rank_) {
+                scores[i] = condition_->score(&mesh_.block(key), structure.box(key), ctx);
+            }
+            ++i;
+        }
+        std::vector<double> global(scores.size(), 0.0);
+        const std::int64_t t0 = now_ns();
+        comm_.allreduce(scores.data(), global.data(), global.size(), mpi::Op::Sum);
+        trace(0, t0, now_ns(), PhaseKind::Control);
+        scores = std::move(global);
+    } else {
+        for (const auto& [key, owner] : leaves) {
+            scores[i++] = condition_->score(nullptr, structure.box(key), ctx);
+        }
+    }
+
+    // Threshold + hysteresis, replicated deterministically on every rank:
+    // refine strictly above the threshold; below the deref band a block
+    // must stay willing for deref_count consecutive checks to coarsen.
+    ++planning_checks_;
+    std::map<BlockKey, int> marks;
+    i = 0;
+    for (const auto& [key, owner] : leaves) {
+        const double s = scores[i++];
+        int mark = 0;
+        if (s > cfg_.refine_threshold && key.level < structure.max_level()) {
+            mark = +1;
+            deref_counts_.erase(key);
+        } else if (key.level > 0 && s < cfg_.refine_threshold * scenario::kDerefBand) {
+            if (++deref_counts_[key] >= cfg_.deref_count) mark = -1;
+        } else {
+            deref_counts_.erase(key);
+        }
+        marks.emplace(key, mark);
+    }
+    return structure.plan_refine_round_marks(std::move(marks));
+}
+
+void DriverBase::prune_refine_state() {
+    const amr::GlobalStructure& structure = mesh_.structure();
+    for (auto it = deref_counts_.begin(); it != deref_counts_.end();) {
+        it = structure.is_leaf(it->first) ? std::next(it) : deref_counts_.erase(it);
+    }
+}
+
+void DriverBase::compute_error_norm() {
+    if (generator_ == nullptr || !generator_->has_reference()) return;
+    const double t = stage_counter_ * dt_;
+    double local = 0;
+    for (const BlockKey& key : mesh_.owned_keys()) {
+        const Block& blk = mesh_.block(key);
+        const Box box = mesh_.structure().box(key);
+        const amr::BlockShape& s = blk.shape();
+        const Vec3d ext = box.extent();
+        const double hx = ext.x / s.nx, hy = ext.y / s.ny, hz = ext.z / s.nz;
+        const double vol = hx * hy * hz;
+        for (int x = 1; x <= s.nx; ++x) {
+            for (int y = 1; y <= s.ny; ++y) {
+                for (int z = 1; z <= s.nz; ++z) {
+                    const Vec3d pos{box.lo.x + (x - 0.5) * hx, box.lo.y + (y - 0.5) * hy,
+                                    box.lo.z + (z - 0.5) * hz};
+                    local += std::abs(blk.at(0, x, y, z) - generator_->reference(pos, t)) * vol;
+                }
+            }
+        }
+    }
+    double global = 0;
+    comm_.allreduce(&local, &global, 1, mpi::Op::Sum);
+    result_.error_norm = global;
+    result_.has_error_norm = true;
 }
 
 void DriverBase::exchange_blocks(const std::vector<BlockMove>& moves, bool with_ack_protocol) {

@@ -17,6 +17,8 @@
 #include "mpisim/mpi.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/hardened_comm.hpp"
+#include "scenario/problem_generator.hpp"
+#include "scenario/refinement_condition.hpp"
 
 namespace dfamr::core {
 
@@ -100,6 +102,16 @@ protected:
     /// Resets the drift reference (after refinement changes the cell count).
     void reset_checksum_reference() { checksum_reference_.clear(); }
 
+    /// One compute update of a block's variable group: the synthetic
+    /// stencil sweep, or the scenario generator's advection step. Returns
+    /// FLOPs done. Thread-safe — the hybrid variants call it from worker
+    /// threads (the structure is read-only during compute stages).
+    std::int64_t update_block(Block& blk, int var_begin, int var_end) {
+        if (generator_ == nullptr) return blk.apply_stencil(cfg_.stencil, var_begin, var_end);
+        return generator_->advance(blk, mesh_.structure().box(blk.key()), var_begin, var_end,
+                                   dt_);
+    }
+
     int group_begin(int group) const { return group * cfg_.vars_per_group(); }
     int group_end(int group) const {
         return std::min(cfg_.num_vars, (group + 1) * cfg_.vars_per_group());
@@ -139,8 +151,40 @@ protected:
     /// cadence continues seamlessly across a restore).
     int stage_counter_ = 0;
 
+    // ---- scenario subsystem ----------------------------------------------
+    /// Active refinement condition (never null; "objects" by default).
+    const scenario::RefinementCondition* condition_ = nullptr;
+    /// Active problem generator; null = the synthetic stencil workload.
+    const scenario::ProblemGenerator* generator_ = nullptr;
+    /// Per-stage advection step (CFL-stable, deterministic from cfg alone);
+    /// final simulated time is stage_counter_ * dt_.
+    double dt_ = 0;
+
 private:
     void main_loop();
+    /// Plans one refinement round: scores every leaf with condition_
+    /// (field-based scores gathered with one Sum-allreduce over leaves in
+    /// key order), applies threshold + deref hysteresis, and delegates the
+    /// 2:1 propagation to the structure. Updates deref_counts_.
+    RefineRound plan_round();
+    /// Drops hysteresis/thrash bookkeeping for keys that stopped being
+    /// leaves after a round was applied.
+    void prune_refine_state();
+    /// Allreduce-summed L1 error of variable 0 against the scenario's
+    /// analytic reference at the final simulated time (no-op without one).
+    void compute_error_norm();
+
+    /// Replicated per-block coarsen-willing streak counters (every rank
+    /// derives them from the identical global marks). Persisted in
+    /// checkpoints — restored runs must coarsen on the same check.
+    std::map<BlockKey, int> deref_counts_;
+    /// Planning checks performed (one per plan_round call) and the check at
+    /// which each current non-leaf was split — replicated diagnostics
+    /// feeding the refine_coarsen_thrash counter.
+    std::int64_t planning_checks_ = 0;
+    std::map<BlockKey, std::int64_t> split_check_;
+
+    const RunControl* control_ = nullptr;
     /// Collective checkpoint after timestep `ts_completed`: builds the
     /// image and routes it to disk or, under run control, to the host's
     /// callback. `suspending` selects the RunControl sink to deliver to.
@@ -151,8 +195,6 @@ private:
     /// Rank 0 consults the control hook, the decision is broadcast. Returns
     /// the collective action for this timestep boundary.
     RunAction consult_control(int ts_completed);
-
-    const RunControl* control_ = nullptr;
 };
 
 }  // namespace dfamr::core

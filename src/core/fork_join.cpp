@@ -278,7 +278,7 @@ void ForkJoinDriver::stencil_stage(int group) {
         Block& blk = mesh_.block(keys[static_cast<std::size_t>(i)]);
         DFAMR_CHECK_READ(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
         DFAMR_CHECK_WRITE(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
-        flops += blk.apply_stencil(cfg_.stencil, gb, ge);
+        flops += update_block(blk, gb, ge);
         trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
     });
     result_.stencil_flops += flops.load();

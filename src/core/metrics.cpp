@@ -37,6 +37,10 @@ MetricsSnapshot make_metrics_snapshot(const amr::Tracer& tracer, const RunResult
     m.refine_s = result.times.refine;
     m.final_blocks = result.final_blocks;
     m.validation_ok = result.validation_ok;
+    m.blocks_refined_by_estimator = result.counters.blocks_refined_by_estimator;
+    m.refine_coarsen_thrash = result.counters.refine_coarsen_thrash;
+    m.error_norm = result.error_norm;
+    m.has_error_norm = result.has_error_norm;
     return m;
 }
 
@@ -126,9 +130,14 @@ std::string metrics_to_json(const MetricsSnapshot& m) {
                   "    \"messages\": %" PRIu64 ",\n"
                   "    \"bytes\": %" PRIu64 ",\n"
                   "    \"final_blocks\": %" PRId64 ",\n"
-                  "    \"validation_ok\": %s\n",
+                  "    \"validation_ok\": %s,\n"
+                  "    \"blocks_refined_by_estimator\": %" PRId64 ",\n"
+                  "    \"refine_coarsen_thrash\": %" PRId64 ",\n"
+                  "    \"error_norm\": %.17g,\n"
+                  "    \"has_error_norm\": %s\n",
                   m.total_s, m.refine_s, m.messages, m.bytes, m.final_blocks,
-                  m.validation_ok ? "true" : "false");
+                  m.validation_ok ? "true" : "false", m.blocks_refined_by_estimator,
+                  m.refine_coarsen_thrash, m.error_norm, m.has_error_norm ? "true" : "false");
     out += buf;
     out += "  }\n}\n";
     return out;

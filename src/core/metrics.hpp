@@ -28,6 +28,13 @@ struct MetricsSnapshot {
     double refine_s = 0;
     std::int64_t final_blocks = 0;
     bool validation_ok = true;
+    /// Scenario subsystem: estimator-driven splits, refine->coarsen flaps
+    /// within the hysteresis window, and the analytic error norm (valid only
+    /// when has_error_norm).
+    std::int64_t blocks_refined_by_estimator = 0;
+    std::int64_t refine_coarsen_thrash = 0;
+    double error_norm = 0;
+    bool has_error_norm = false;
 };
 
 /// Joins the tracer's analysis with the run's reduced result.

@@ -205,7 +205,7 @@ void MpiOnlyDriver::stencil_stage(int group) {
         const std::int64_t t0 = now_ns();
         Block& blk = mesh_.block(key);
         DFAMR_CHECK_WRITE(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
-        result_.stencil_flops += blk.apply_stencil(cfg_.stencil, gb, ge);
+        result_.stencil_flops += update_block(blk, gb, ge);
         trace(0, t0, now_ns(), PhaseKind::Stencil);
     }
     sw.stop();

@@ -30,17 +30,26 @@ struct RunCounters {
     std::int64_t blocks_split = 0;     // refinements applied (per block)
     std::int64_t blocks_merged = 0;    // coarsenings applied (per parent)
     std::int64_t blocks_moved = 0;     // whole-block transfers (coarsen + LB)
+    /// Splits this rank performed under a field-based estimator condition
+    /// (zero when the run marks from object intersection).
+    std::int64_t blocks_refined_by_estimator = 0;
     std::int64_t refinement_phases = 0;
     std::int64_t load_balances = 0;
     std::int64_t checksum_stages = 0;
+    /// Refine -> coarsen of the same block within deref_count planning
+    /// checks (replicated bookkeeping: identical on every rank). Zero in
+    /// healthy runs — the hysteresis exists to keep it there.
+    std::int64_t refine_coarsen_thrash = 0;
 
     RunCounters& operator+=(const RunCounters& o) {
         blocks_split += o.blocks_split;
         blocks_merged += o.blocks_merged;
         blocks_moved += o.blocks_moved;
+        blocks_refined_by_estimator += o.blocks_refined_by_estimator;
         refinement_phases = std::max(refinement_phases, o.refinement_phases);
         load_balances = std::max(load_balances, o.load_balances);
         checksum_stages = std::max(checksum_stages, o.checksum_stages);
+        refine_coarsen_thrash = std::max(refine_coarsen_thrash, o.refine_coarsen_thrash);
         return *this;
     }
 };
@@ -89,6 +98,12 @@ struct RankResult {
     RunCounters counters;
     SchedulerCounters sched;         // whole run (cumulative runtime stats)
     SchedulerCounters sched_refine;  // slice attributed to refinement phases
+    /// Volume-weighted L1 error of variable 0 against the scenario's
+    /// analytic reference at the final simulated time; already
+    /// allreduce-summed, so every rank holds the global value. Valid only
+    /// when has_error_norm (analytic scenarios).
+    double error_norm = 0;
+    bool has_error_norm = false;
     /// Why the run left the timestep loop early (RunControl decision); None
     /// for a run that completed all cfg.num_tsteps timesteps.
     StopKind stop = StopKind::None;
@@ -118,6 +133,9 @@ struct RunResult {
     RunCounters counters;
     SchedulerCounters sched;         // summed over ranks
     SchedulerCounters sched_refine;  // summed over ranks
+    /// Global scenario error norm (identical on every rank; max-reduced).
+    double error_norm = 0;
+    bool has_error_norm = false;
     /// RunControl outcome (all ranks agree; None when no control attached
     /// or the run completed). checksums hold the history up to stop_ts.
     StopKind stop = StopKind::None;

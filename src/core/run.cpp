@@ -25,33 +25,41 @@ RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
     RunResult g;
     g.checksums = r.checksums;
 
-    double tmax_in[5] = {r.times.total, r.times.refine, r.times.comm, r.times.stencil,
-                         r.times.checksum};
-    double tmax[5];
-    comm.allreduce(tmax_in, tmax, 5, mpi::Op::Max);
+    // error_norm is already globally summed inside the driver; Max just
+    // picks the agreed value without double counting.
+    double tmax_in[6] = {r.times.total, r.times.refine, r.times.comm, r.times.stencil,
+                         r.times.checksum, r.error_norm};
+    double tmax[6];
+    comm.allreduce(tmax_in, tmax, 6, mpi::Op::Max);
     g.times.total = tmax[0];
     g.times.refine = tmax[1];
     g.times.comm = tmax[2];
     g.times.stencil = tmax[3];
     g.times.checksum = tmax[4];
+    g.error_norm = tmax[5];
 
-    std::int64_t sums_in[5] = {r.stencil_flops, r.final_blocks, r.counters.blocks_split,
-                               r.counters.blocks_merged, r.counters.blocks_moved};
-    std::int64_t sums[5];
-    comm.allreduce(sums_in, sums, 5, mpi::Op::Sum);
+    std::int64_t sums_in[6] = {r.stencil_flops,          r.final_blocks,
+                               r.counters.blocks_split,  r.counters.blocks_merged,
+                               r.counters.blocks_moved,  r.counters.blocks_refined_by_estimator};
+    std::int64_t sums[6];
+    comm.allreduce(sums_in, sums, 6, mpi::Op::Sum);
     g.total_flops = sums[0];
     g.final_blocks = sums[1];
     g.counters.blocks_split = sums[2];
     g.counters.blocks_merged = sums[3];
     g.counters.blocks_moved = sums[4];
+    g.counters.blocks_refined_by_estimator = sums[5];
 
-    std::int64_t maxes_in[3] = {r.counters.refinement_phases, r.counters.load_balances,
-                                r.counters.checksum_stages};
-    std::int64_t maxes[3];
-    comm.allreduce(maxes_in, maxes, 3, mpi::Op::Max);
+    std::int64_t maxes_in[5] = {r.counters.refinement_phases, r.counters.load_balances,
+                                r.counters.checksum_stages, r.counters.refine_coarsen_thrash,
+                                r.has_error_norm ? std::int64_t{1} : std::int64_t{0}};
+    std::int64_t maxes[5];
+    comm.allreduce(maxes_in, maxes, 5, mpi::Op::Max);
     g.counters.refinement_phases = maxes[0];
     g.counters.load_balances = maxes[1];
     g.counters.checksum_stages = maxes[2];
+    g.counters.refine_coarsen_thrash = maxes[3];
+    g.has_error_norm = maxes[4] != 0;
 
     std::uint64_t usums_in[23] = {
         r.sched.tasks_executed, r.sched.steals, r.sched.steal_fails, r.sched.parks,
@@ -240,6 +248,8 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
         total.counters += r.counters;
         total.sched += r.sched;
         total.sched_refine += r.sched_refine;
+        total.error_norm = std::max(total.error_norm, r.error_norm);
+        total.has_error_norm = total.has_error_norm || r.has_error_norm;
         DFAMR_REQUIRE(r.checksums.size() == total.checksums.size(),
                       "ranks disagree on the number of checksum stages");
     }

@@ -184,7 +184,7 @@ void TampiOssDriver::stencil_stage(int group) {
                 auto blk = mesh_.block(key).group_span(gb, ge);
                 DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
                 DFAMR_CHECK_WRITE(blk.data(), blk.size_bytes());
-                flops_ += mesh_.block(key).apply_stencil(cfg_.stencil, gb, ge);
+                flops_ += update_block(mesh_.block(key), gb, ge);
                 trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
             },
             {block_dep_inout(key, gb, ge)}, "stencil");

@@ -77,7 +77,11 @@ CheckpointState parse_header(Reader& r) {
                   "checkpoint: bad magic (not a dfamr checkpoint)");
     const std::uint32_t version = r.u32();
     DFAMR_REQUIRE(version == kCheckpointVersion,
-                  "checkpoint: unsupported version " + std::to_string(version));
+                  "checkpoint: unsupported version " + std::to_string(version) +
+                      " (this build reads version " + std::to_string(kCheckpointVersion) +
+                      "; version-1 images predate the scenario hysteresis state and cannot "
+                      "be restored — re-run the original configuration to produce a fresh "
+                      "checkpoint)");
 
     CheckpointState st;
     st.nranks = static_cast<int>(r.u32());
@@ -109,6 +113,12 @@ CheckpointState parse_header(Reader& r) {
         const amr::BlockKey key = get_key(r);
         st.owners[key] = r.i32();
     }
+
+    const std::uint32_t nderef = r.u32();
+    for (std::uint32_t i = 0; i < nderef; ++i) {
+        const amr::BlockKey key = get_key(r);
+        st.deref_counts[key] = r.i32();
+    }
     return st;
 }
 
@@ -122,6 +132,16 @@ std::uint64_t config_fingerprint(const amr::Config& cfg) {
         h = mix(h, static_cast<std::uint64_t>(v));
     }
     h = mix(h, cfg.seed);
+    // Scenario identity: a checkpoint of an advected-gaussian run must not
+    // restore into an objects-driven synthetic run (field data, refinement
+    // marks and dt would all silently disagree).
+    for (const char c : cfg.scenario) h = mix(h, static_cast<std::uint64_t>(c));
+    for (const char c : cfg.estimator) h = mix(h, static_cast<std::uint64_t>(c));
+    std::uint64_t threshold_bits = 0;
+    static_assert(sizeof threshold_bits == sizeof cfg.refine_threshold);
+    std::memcpy(&threshold_bits, &cfg.refine_threshold, sizeof threshold_bits);
+    h = mix(h, threshold_bits);
+    h = mix(h, static_cast<std::uint64_t>(cfg.deref_count));
     return h;
 }
 
@@ -185,6 +205,11 @@ std::vector<std::byte> build_checkpoint(HardenedComm& comm, const CheckpointStat
     for (const auto& [key, owner] : state.owners) {
         put_key(w, key);
         w.i32(owner);
+    }
+    w.u32(static_cast<std::uint32_t>(state.deref_counts.size()));
+    for (const auto& [key, count] : state.deref_counts) {
+        put_key(w, key);
+        w.i32(count);
     }
 
     // Section table, then the sections themselves.

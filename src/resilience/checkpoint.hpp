@@ -1,13 +1,20 @@
 // Versioned binary checkpoint/restart of the full simulation state.
 //
-// Layout (version 1, little-endian fixed-width fields):
+// Layout (version 2, little-endian fixed-width fields):
 //   magic "DFAMRCKP" | u32 version | u32 nranks | u64 config fingerprint
 //   | i64 ts_completed | i64 stage_counter
 //   | objects (count + raw ObjectSpec fields)
 //   | checksum history, drift reference, validation flag
 //   | leaf owner map (count + {level, anchor, owner})
+//   | deref hysteresis counters (count + {key, i32 streak})   [v2]
 //   | per-rank section table (offset, size)
 //   | per-rank block sections ({key, cell data} per owned block)
+//
+// Version 2 added the scenario subsystem's per-block coarsen-willing streak
+// counters (and folded the scenario/estimator selection into the config
+// fingerprint). Version-1 images are rejected with a clear error rather
+// than silently misread — the hysteresis state they lack would make a
+// restored run coarsen on a different check than the uninterrupted run.
 //
 // Writing is collective: every rank serializes its own blocks, ranks != 0
 // ship their blob to rank 0 over hardened point-to-point on dedicated tags,
@@ -32,7 +39,7 @@
 
 namespace dfamr::resilience {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Everything global a restored run needs besides the per-rank blocks.
 struct CheckpointState {
@@ -45,6 +52,8 @@ struct CheckpointState {
     std::vector<double> checksum_reference;  // drift reference per group
     bool validation_ok = true;
     std::map<amr::BlockKey, int> owners;     // global leaf -> rank map
+    /// Replicated coarsen-willing streak per block (scenario hysteresis).
+    std::map<amr::BlockKey, int> deref_counts;
 };
 
 /// Hash of the Config fields a checkpoint must agree on to be restorable.

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     cli.add_option("--nx", "cells per block per dim", "8");
     cli.add_option("--num_vars", "variables per cell", "8");
     cli.add_option("--num_tsteps", "timesteps per job", "4");
-    cli.add_option("--scenario", "single_sphere | four_spheres", "single_sphere");
+    cli.add_option("--scenario", "single_sphere | four_spheres | gaussian | slotted_cylinder | front", "single_sphere");
     cli.add_flag("--no_verify", "skip solo-reference checksum comparison");
     // In-process server knobs (--spawn mode):
     cli.add_option("--pool_workers", "server pool workers", "4");

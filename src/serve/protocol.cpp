@@ -29,9 +29,22 @@ amr::Config job_config(const JobSpec& spec) {
         cfg = amr::single_sphere_input();
     } else if (spec.scenario == "four_spheres") {
         cfg = amr::four_spheres_input();
+    } else if (spec.scenario == "gaussian" || spec.scenario == "slotted_cylinder" ||
+               spec.scenario == "front") {
+        // Problem-generator workloads: field-driven refinement instead of
+        // object intersection. Same deterministic knobs as the object
+        // scenarios, so the loadgen's solo reference run rebuilds them too.
+        cfg = amr::single_sphere_input();
+        cfg.objects.clear();
+        cfg.scenario = spec.scenario;
+        cfg.estimator = "gradient";
+        cfg.refine_threshold = 0.1;
+        cfg.deref_count = 3;
+        cfg.tol = 0.25;  // advective drift headroom (see Config::from_cli)
     } else {
         throw ConfigError("unknown scenario '" + spec.scenario +
-                          "' (expected single_sphere or four_spheres)");
+                          "' (expected single_sphere, four_spheres, gaussian, "
+                          "slotted_cylinder or front)");
     }
     // Scale the canonical inputs down to service-sized jobs. Every knob
     // here is a pure function of the spec: the load generator rebuilds the

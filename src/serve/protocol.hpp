@@ -59,7 +59,7 @@ static_assert(sizeof(FrameHeader) == 24);
 /// problem sizes of the examples so a job is seconds, not minutes.
 struct JobSpec {
     std::string tenant = "default";  // fair-share accounting key
-    std::string scenario = "single_sphere";  // single_sphere | four_spheres
+    std::string scenario = "single_sphere";  // single_sphere | four_spheres | gaussian | slotted_cylinder | front
     amr::Variant variant = amr::Variant::TampiOss;
     std::uint64_t seed = 42;
     int ranks = 1;    // in-process ranks (npx; npy = npz = 1)

@@ -1,0 +1,368 @@
+// Scenario subsystem tests: refinement-condition scoring (estimator edge
+// cases), problem-generator workloads, cross-variant bit-identity of
+// estimator-driven runs, deref hysteresis across checkpoint/restore, and
+// the checkpoint version gate protecting the hysteresis state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytecodec.hpp"
+#include "common/error.hpp"
+#include "core/variants.hpp"
+#include "resilience/checkpoint.hpp"
+#include "scenario/problem_generator.hpp"
+#include "scenario/refinement_condition.hpp"
+
+namespace dfamr {
+namespace {
+
+using amr::Block;
+using amr::BlockKey;
+using amr::BlockShape;
+using amr::Config;
+using amr::Variant;
+using core::RunResult;
+using core::run_variant;
+using scenario::find_condition;
+using scenario::find_generator;
+using scenario::RefinementCondition;
+using scenario::ScoreContext;
+
+/// Two ranks, deep enough refinement and a tight enough threshold that the
+/// gaussian pulse actually drives splits and later coarsening.
+Config scenario_config(const std::string& scenario, const std::string& estimator) {
+    Config cfg;
+    cfg.npx = 2;
+    cfg.npy = 1;
+    cfg.npz = 1;
+    cfg.init_x = cfg.init_y = cfg.init_z = 1;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.num_vars = 4;
+    cfg.num_tsteps = 2;
+    cfg.stages_per_ts = 4;
+    cfg.checksum_freq = 2;
+    cfg.num_refine = 2;
+    cfg.refine_freq = 1;
+    cfg.workers = 2;
+    cfg.tol = 0.25;  // advective drift headroom (see Config::from_cli)
+    cfg.scenario = scenario;
+    cfg.estimator = estimator;
+    cfg.refine_threshold = 0.1;
+    cfg.deref_count = 3;
+    return cfg;
+}
+
+void expect_checksums_identical(const RunResult& a, const RunResult& b) {
+    ASSERT_EQ(a.checksums.size(), b.checksums.size());
+    for (std::size_t i = 0; i < a.checksums.size(); ++i) {
+        EXPECT_EQ(a.checksums[i], b.checksums[i]) << "checksum stage " << i;
+    }
+}
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRegistry, ConditionsAndGeneratorsResolveByName) {
+    for (const std::string& name : scenario::condition_names()) {
+        const RefinementCondition* c = find_condition(name);
+        ASSERT_NE(c, nullptr) << name;
+        EXPECT_EQ(c->name(), name);
+    }
+    for (const std::string& name : scenario::generator_names()) {
+        ASSERT_NE(find_generator(name), nullptr) << name;
+    }
+    EXPECT_EQ(find_condition("no_such_condition"), nullptr);
+    EXPECT_EQ(find_generator("no_such_generator"), nullptr);
+    // "synthetic" selects the legacy stencil path, not a generator.
+    EXPECT_EQ(find_generator("synthetic"), nullptr);
+}
+
+TEST(ScenarioRegistry, UnknownEstimatorOrScenarioIsRejectedByTheDriver) {
+    Config cfg = scenario_config("gaussian", "gradient");
+    cfg.estimator = "bogus";
+    EXPECT_THROW(run_variant(cfg, Variant::MpiOnly), Error);
+    cfg = scenario_config("bogus", "gradient");
+    EXPECT_THROW(run_variant(cfg, Variant::MpiOnly), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Estimator edge cases
+// ---------------------------------------------------------------------------
+
+Block uniform_block(double value, const BlockShape& shape) {
+    Block blk(BlockKey{}, shape);
+    for (int v = 0; v < shape.num_vars; ++v) {
+        for (int x = 0; x <= shape.nx + 1; ++x) {
+            for (int y = 0; y <= shape.ny + 1; ++y) {
+                for (int z = 0; z <= shape.nz + 1; ++z) blk.at(v, x, y, z) = value;
+            }
+        }
+    }
+    return blk;
+}
+
+TEST(Estimators, UniformFieldScoresExactlyZero) {
+    const BlockShape shape{4, 4, 4, 1};
+    const Block blk = uniform_block(3.25, shape);
+    const Box box{{0, 0, 0}, {1, 1, 1}};
+    const ScoreContext ctx;
+    // Score 0 < any positive threshold: a uniform field never refines, no
+    // matter how tight the threshold is.
+    EXPECT_EQ(find_condition("gradient")->score(&blk, box, ctx), 0.0);
+    EXPECT_EQ(find_condition("curvature")->score(&blk, box, ctx), 0.0);
+}
+
+TEST(Estimators, LinearRampHasGradientButZeroCurvature) {
+    const BlockShape shape{4, 4, 4, 1};
+    Block blk = uniform_block(0.0, shape);
+    for (int x = 0; x <= shape.nx + 1; ++x) {
+        for (int y = 0; y <= shape.ny + 1; ++y) {
+            for (int z = 0; z <= shape.nz + 1; ++z) blk.at(0, x, y, z) = 0.5 * x;
+        }
+    }
+    const Box box{{0, 0, 0}, {1, 1, 1}};
+    const ScoreContext ctx;
+    EXPECT_DOUBLE_EQ(find_condition("gradient")->score(&blk, box, ctx), 0.5);
+    EXPECT_EQ(find_condition("curvature")->score(&blk, box, ctx), 0.0);
+}
+
+TEST(Estimators, GradientScoreIsTheMaxUndividedDifference) {
+    const BlockShape shape{4, 4, 4, 2};
+    Block blk = uniform_block(1.0, shape);
+    blk.at(0, 2, 3, 2) = 1.75;  // one bump: max |diff| = 0.75 around it
+    blk.at(1, 2, 2, 2) = 9.0;   // other variables must not contribute
+    const Box box{{0, 0, 0}, {1, 1, 1}};
+    const ScoreContext ctx;
+    EXPECT_DOUBLE_EQ(find_condition("gradient")->score(&blk, box, ctx), 0.75);
+}
+
+TEST(Estimators, ScoreExactlyAtThresholdDoesNotRefine) {
+    // The threshold comparison is strict (score > threshold). The objects
+    // condition scores exactly 1.0 on touched blocks, so refine_threshold
+    // 1.0 puts every score exactly at the boundary: nothing may split.
+    Config cfg = scenario_config("synthetic", "objects");
+    cfg.uniform_refine = true;  // every block scores exactly 1.0
+    cfg.refine_threshold = 1.0;
+    const RunResult at = run_variant(cfg, Variant::MpiOnly);
+    EXPECT_EQ(at.counters.blocks_split, 0);
+
+    // Nudge the threshold below the score: now everything splits.
+    cfg.refine_threshold = 0.999;
+    const RunResult below = run_variant(cfg, Variant::MpiOnly);
+    EXPECT_GT(below.counters.blocks_split, 0);
+}
+
+TEST(Estimators, ObjectsConditionReproducesLegacyRunBitForBit) {
+    // The defaults (objects / 0.5 / 1) route the legacy criterion through
+    // the unified scoring path; an explicit spelling must change nothing.
+    Config legacy = scenario_config("synthetic", "objects");
+    legacy.refine_threshold = 0.5;
+    legacy.deref_count = 1;
+    amr::ObjectSpec sphere;
+    sphere.type = amr::ObjectType::SpheroidSurface;
+    sphere.center = {0.1, 0.1, 0.1};
+    sphere.size = {0.25, 0.25, 0.25};
+    sphere.move = {0.15, 0.1, 0.05};
+    legacy.objects.push_back(sphere);
+
+    const RunResult a = run_variant(legacy, Variant::MpiOnly);
+    const RunResult b = run_variant(legacy, Variant::TampiOss);
+    expect_checksums_identical(a, b);
+    EXPECT_EQ(a.counters.blocks_refined_by_estimator, 0)
+        << "object-driven splits must not count as estimator-driven";
+}
+
+// ---------------------------------------------------------------------------
+// Problem generators
+// ---------------------------------------------------------------------------
+
+TEST(Generators, AnalyticScenariosReportAnErrorNorm) {
+    const RunResult r = run_variant(scenario_config("gaussian", "gradient"), Variant::MpiOnly);
+    EXPECT_TRUE(r.validation_ok);
+    EXPECT_TRUE(r.has_error_norm);
+    EXPECT_GT(r.error_norm, 0.0);
+    EXPECT_LT(r.error_norm, 0.1) << "advected pulse should track the analytic solution";
+    EXPECT_GT(r.counters.blocks_refined_by_estimator, 0);
+}
+
+TEST(Generators, FrontScenarioHasNoReference) {
+    const RunResult r = run_variant(scenario_config("front", "gradient"), Variant::MpiOnly);
+    EXPECT_TRUE(r.validation_ok);
+    EXPECT_FALSE(r.has_error_norm);
+}
+
+TEST(Generators, SyntheticRunsReportNoErrorNorm) {
+    const RunResult r = run_variant(scenario_config("synthetic", "objects"), Variant::MpiOnly);
+    EXPECT_FALSE(r.has_error_norm);
+    EXPECT_EQ(r.error_norm, 0.0);
+}
+
+TEST(Generators, TighterThresholdReducesTheErrorNorm) {
+    Config loose = scenario_config("gaussian", "gradient");
+    loose.refine_threshold = 0.5;  // nothing ever refines at this scale
+    Config tight = scenario_config("gaussian", "gradient");
+    tight.refine_threshold = 0.02;
+    const RunResult a = run_variant(loose, Variant::MpiOnly);
+    const RunResult b = run_variant(tight, Variant::MpiOnly);
+    ASSERT_TRUE(a.has_error_norm);
+    ASSERT_TRUE(b.has_error_norm);
+    EXPECT_LT(b.error_norm, a.error_norm)
+        << "resolving the pulse better must track the analytic solution better";
+    EXPECT_GT(b.final_blocks, a.final_blocks);
+}
+
+TEST(Generators, GoldenRunsDoNotThrash) {
+    for (const char* scenario : {"gaussian", "slotted_cylinder", "front"}) {
+        for (const char* estimator : {"gradient", "curvature"}) {
+            const RunResult r =
+                run_variant(scenario_config(scenario, estimator), Variant::MpiOnly);
+            EXPECT_TRUE(r.validation_ok) << scenario << "/" << estimator;
+            EXPECT_EQ(r.counters.refine_coarsen_thrash, 0)
+                << scenario << "/" << estimator
+                << ": hysteresis must keep refine->coarsen flapping at zero";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-variant / transport-independent bit-identity
+// ---------------------------------------------------------------------------
+
+class ScenarioVariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioVariants, AllVariantsBitIdentical) {
+    for (const char* estimator : {"gradient", "curvature"}) {
+        const Config cfg = scenario_config(GetParam(), estimator);
+        const RunResult mpi = run_variant(cfg, Variant::MpiOnly);
+        const RunResult fj = run_variant(cfg, Variant::ForkJoin);
+        const RunResult tampi = run_variant(cfg, Variant::TampiOss);
+        EXPECT_TRUE(mpi.validation_ok) << estimator;
+        expect_checksums_identical(mpi, fj);
+        expect_checksums_identical(mpi, tampi);
+        EXPECT_EQ(mpi.final_blocks, fj.final_blocks) << estimator;
+        EXPECT_EQ(mpi.final_blocks, tampi.final_blocks) << estimator;
+        EXPECT_EQ(mpi.error_norm, fj.error_norm) << estimator;
+        EXPECT_EQ(mpi.error_norm, tampi.error_norm) << estimator;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioVariants,
+                         ::testing::Values("gaussian", "slotted_cylinder", "front"));
+
+// ---------------------------------------------------------------------------
+// Hysteresis state across checkpoint/restore
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioCheckpoint, RestoredRunReproducesHysteresisDecisionsBitForBit) {
+    const std::string path = temp_path("dfamr_scenario_ckpt.bin");
+
+    // A run whose coarsening decisions straddle the checkpoint boundary:
+    // with deref_count 3 and a refinement check every timestep, counters
+    // accumulated before the checkpoint decide merges after it.
+    Config cfg = scenario_config("gaussian", "gradient");
+    cfg.num_tsteps = 4;
+    const RunResult full = run_variant(cfg, Variant::MpiOnly);
+
+    Config partial = cfg;
+    partial.num_tsteps = 2;
+    partial.checkpoint_every = 2;
+    partial.checkpoint_path = path;
+    run_variant(partial, Variant::MpiOnly);
+
+    // The checkpoint must carry the streak counters (version 2 section).
+    const resilience::CheckpointState st = resilience::read_checkpoint_state(path);
+    EXPECT_EQ(st.ts_completed, 2);
+
+    Config restored_cfg = cfg;
+    restored_cfg.restore_path = path;
+    const RunResult restored = run_variant(restored_cfg, Variant::MpiOnly);
+    EXPECT_TRUE(restored.validation_ok);
+    expect_checksums_identical(full, restored);
+    EXPECT_EQ(full.final_blocks, restored.final_blocks);
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioCheckpoint, DerefCountsRoundTripThroughTheImage) {
+    const std::string path = temp_path("dfamr_scenario_ckpt_counts.bin");
+    Config cfg = scenario_config("gaussian", "gradient");
+    cfg.num_tsteps = 2;
+    cfg.checkpoint_every = 2;
+    cfg.checkpoint_path = path;
+    run_variant(cfg, Variant::MpiOnly);
+
+    const resilience::CheckpointState st = resilience::read_checkpoint_state(path);
+    // A streak at or past deref_count can survive when the sibling group or
+    // the 2:1 constraint vetoed the merge, so only the lower bound and the
+    // leaves-only pruning are invariants.
+    for (const auto& [key, count] : st.deref_counts) {
+        EXPECT_TRUE(st.owners.count(key)) << "streaks must only cover current leaves";
+        EXPECT_GE(count, 1);
+    }
+    EXPECT_FALSE(st.deref_counts.empty())
+        << "the gaussian run is expected to accumulate coarsen-willing streaks";
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioCheckpoint, VersionOneImagesAreRejectedWithAClearError) {
+    // Craft a minimal version-1 header: magic + version. The reader must
+    // reject it before touching anything else.
+    bytes::Writer w;
+    const char magic[8] = {'D', 'F', 'A', 'M', 'R', 'C', 'K', 'P'};
+    w.raw(magic, sizeof magic);
+    w.u32(1);
+    const std::string path = temp_path("dfamr_v1.ckpt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(w.bytes.data()),
+                  static_cast<std::streamsize>(w.bytes.size()));
+    }
+    try {
+        resilience::read_checkpoint_state(path);
+        FAIL() << "version-1 image must be rejected";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unsupported version 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("hysteresis"), std::string::npos)
+            << "the error should say what version 1 is missing: " << msg;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioCheckpoint, FingerprintCoversScenarioSelection) {
+    // Restoring a gaussian/gradient checkpoint into a different scenario,
+    // estimator, threshold or deref_count must be rejected: field data and
+    // refinement decisions would silently disagree.
+    const std::string path = temp_path("dfamr_scenario_fp.ckpt");
+    Config cfg = scenario_config("gaussian", "gradient");
+    cfg.num_tsteps = 1;
+    cfg.checkpoint_every = 1;
+    cfg.checkpoint_path = path;
+    run_variant(cfg, Variant::MpiOnly);
+
+    Config other = cfg;
+    other.checkpoint_every = 0;
+    other.restore_path = path;
+    other.scenario = "front";
+    EXPECT_THROW(run_variant(other, Variant::MpiOnly), Error);
+    other.scenario = cfg.scenario;
+    other.estimator = "curvature";
+    EXPECT_THROW(run_variant(other, Variant::MpiOnly), Error);
+    other.estimator = cfg.estimator;
+    other.refine_threshold = 0.2;
+    EXPECT_THROW(run_variant(other, Variant::MpiOnly), Error);
+    other.refine_threshold = cfg.refine_threshold;
+    other.deref_count = 1;
+    EXPECT_THROW(run_variant(other, Variant::MpiOnly), Error);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dfamr

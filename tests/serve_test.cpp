@@ -427,6 +427,36 @@ TEST(ServeServer, DisconnectCancelsJobsAndServerKeepsServing) {
     EXPECT_EQ(server.stats().done, 1u);
 }
 
+TEST(ServeServer, ScenarioJobOverTheWireMatchesSoloRun) {
+    // A problem-generator scenario submitted by name over DFS1: the server
+    // maps "gaussian" to the estimator-driven config and the checksums must
+    // match the solo run of that same derived config.
+    ServerOptions opts;
+    opts.manager.pool_workers = 2;
+    Server server(opts);
+    const net::HostPort addr{"127.0.0.1", server.port()};
+
+    JobSpec spec = tiny_spec();
+    spec.scenario = "gaussian";
+    spec.num_tsteps = 3;
+    const std::vector<double> solo = solo_checksums(spec);
+    ASSERT_FALSE(solo.empty());
+
+    Client client(addr);
+    const ClientJobResult r = client.wait(client.submit(spec));
+    ASSERT_TRUE(r.accepted);
+    ASSERT_TRUE(r.done) << r.error;
+    EXPECT_EQ(r.checksums, solo);
+
+    // Unknown scenario names are rejected at submit, not crashed on.
+    JobSpec bad = spec;
+    bad.scenario = "warp_drive";
+    const ClientJobResult rejected = client.wait(client.submit(bad));
+    EXPECT_FALSE(rejected.accepted);
+    client.close();
+    server.stop();
+}
+
 TEST(ServeServer, EndToEndChecksumsOverTheWire) {
     ServerOptions opts;
     opts.manager.pool_workers = 2;
