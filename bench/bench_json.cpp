@@ -244,6 +244,11 @@ struct ScenarioPoint {
     std::int64_t thrash = 0;
     double error_norm = 0;
     bool has_error_norm = false;
+    /// Conservation ledger of the flux-form kernel: the post-reflux
+    /// coarse-fine residual (exactly 0.0 when every interface was
+    /// corrected) and the number of corrections applied.
+    double mass_drift = 0;
+    std::int64_t reflux_corrections = 0;
     double total_s = 0;  // TAMPI+OSS wall time
     bool checksums_match_across_variants = false;
 };
@@ -265,7 +270,6 @@ amr::Config scenario_config(const std::string& scenario, const std::string& esti
     cfg.estimator = estimator;
     cfg.refine_threshold = 0.1;
     cfg.deref_count = 3;
-    cfg.tol = 0.25;  // advective drift headroom (see Config::from_cli)
     return cfg;
 }
 
@@ -290,6 +294,8 @@ std::vector<ScenarioPoint> measure_scenarios() {
             p.thrash = tampi.counters.refine_coarsen_thrash;
             p.error_norm = tampi.error_norm;
             p.has_error_norm = tampi.has_error_norm;
+            p.mass_drift = tampi.mass_drift;
+            p.reflux_corrections = tampi.counters.reflux_corrections;
             p.total_s = tampi.times.total;
             p.checksums_match_across_variants = mpi.validation_ok && fj.validation_ok &&
                                                 tampi.validation_ok &&
@@ -459,7 +465,8 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
     // Scenario subsystem: problem-generator workloads under estimator-driven
     // refinement (see measure_scenarios). error_norm is the volume-weighted
     // L1 distance to the analytic reference (-1 when the scenario has none);
-    // thrash must stay 0 and checksums must agree across all variants.
+    // thrash must stay 0, mass_drift must be exactly 0 (Berger-Colella
+    // refluxing) and checksums must agree across all variants.
     std::fprintf(f, "  \"scenarios\": {\n");
     std::fprintf(f, "    \"refine_threshold\": 0.1,\n");
     std::fprintf(f, "    \"deref_count\": 3,\n");
@@ -469,13 +476,16 @@ void write_json(const char* path, const std::vector<Row>& rows, int max_nodes,
         std::fprintf(f,
                      "      {\"scenario\": \"%s\", \"estimator\": \"%s\", "
                      "\"final_blocks\": %lld, \"estimator_splits\": %lld, "
-                     "\"thrash\": %lld, \"error_norm\": %.9g, \"total_s\": %.6f, "
+                     "\"thrash\": %lld, \"error_norm\": %.9g, "
+                     "\"mass_drift\": %.17g, \"reflux_corrections\": %lld, "
+                     "\"total_s\": %.6f, "
                      "\"checksums_match_across_variants\": %s}%s\n",
                      p.scenario.c_str(), p.estimator.c_str(),
                      static_cast<long long>(p.final_blocks),
                      static_cast<long long>(p.estimator_splits),
                      static_cast<long long>(p.thrash),
-                     p.has_error_norm ? p.error_norm : -1.0, p.total_s,
+                     p.has_error_norm ? p.error_norm : -1.0, p.mass_drift,
+                     static_cast<long long>(p.reflux_corrections), p.total_s,
                      p.checksums_match_across_variants ? "true" : "false",
                      i + 1 < scen.size() ? "," : "");
     }
@@ -589,11 +599,12 @@ int main(int argc, char** argv) {
     const std::vector<ScenarioPoint> scen = measure_scenarios();
     for (const ScenarioPoint& p : scen) {
         std::printf("scenario: %-16s %-9s %4lld blocks, %4lld splits, thrash %lld, "
-                    "error %.3g, checksums %s\n",
+                    "error %.3g, drift %.3g (%lld refluxes), checksums %s\n",
                     p.scenario.c_str(), p.estimator.c_str(),
                     static_cast<long long>(p.final_blocks),
                     static_cast<long long>(p.estimator_splits),
                     static_cast<long long>(p.thrash), p.has_error_norm ? p.error_norm : -1.0,
+                    p.mass_drift, static_cast<long long>(p.reflux_corrections),
                     p.checksums_match_across_variants ? "match across variants" : "DIVERGED");
     }
 

@@ -168,6 +168,18 @@ int main(int argc, char** argv) {
             if (r.has_error_norm) {
                 table.add_row({"L1 error vs reference", TextTable::num(r.error_norm, 6)});
             }
+            if (cfg.scenario != "synthetic") {
+                // Conservation ledger: the drift is the post-reflux residual
+                // (exactly zero when every coarse-fine face was corrected);
+                // the budget closes as final = initial - outflux to rounding.
+                table.add_row({"mass drift (reflux residual)", TextTable::num(r.mass_drift, 17)});
+                table.add_row(
+                    {"reflux corrections", std::to_string(r.counters.reflux_corrections)});
+                table.add_row({"boundary outflux", TextTable::num(r.boundary_outflux, 6)});
+                table.add_row({"mass budget residual",
+                               TextTable::num(r.final_mass - r.initial_mass + r.boundary_outflux,
+                                              6)});
+            }
         }
         if (r.sched.tasks_executed > 0) {
             // Scheduler telemetry (all ranks summed); the refine slice shows

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "amr/scratch.hpp"
 #include "common/error.hpp"
 
 namespace dfamr::amr {
@@ -26,8 +27,6 @@ double field_value(int var, const Vec3d& pos, std::uint64_t seed) {
     h = mix(h ^ static_cast<std::uint64_t>(std::llround(pos.z * kScale)));
     return 1.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
 }
-
-thread_local std::vector<double> tls_scratch;
 
 }  // namespace
 
@@ -253,10 +252,8 @@ void Block::copy_face_from(const Block& src, const FaceGeom& g, int var_begin, i
         src_geom.rel = FaceRel::Coarser;
     }
     const std::int64_t n = face_value_count(g, var_end - var_begin);
-    if (static_cast<std::int64_t>(tls_scratch.size()) < n) {
-        tls_scratch.resize(static_cast<std::size_t>(n));
-    }
-    std::span<double> buf(tls_scratch.data(), static_cast<std::size_t>(n));
+    std::span<double> buf(tls_scratch(static_cast<std::size_t>(n)).data(),
+                          static_cast<std::size_t>(n));
     src.pack_face(src_geom, var_begin, var_end, buf);
     unpack_face(g, var_begin, var_end, buf);
 }
@@ -330,9 +327,9 @@ std::int64_t Block::stencil7(int var_begin, int var_end) {
     // the / 7.0 — 1/7 is not exactly representable, a multiplication would
     // change results) is unchanged, so checksums stay bit-identical.
     const std::size_t plane = static_cast<std::size_t>(shape_.ny) * shape_.nz;
-    if (tls_scratch.size() < 2 * plane) tls_scratch.resize(2 * plane);
+    std::vector<double>& scratch = tls_scratch(2 * plane);
     const auto cell = [&](std::size_t buf, int y, int z) -> double& {
-        return tls_scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
+        return scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
     };
     const auto write_back = [&](int v, int x) {
         const std::size_t buf = static_cast<std::size_t>(x & 1);
@@ -388,9 +385,9 @@ std::int64_t Block::stencil27(int var_begin, int var_end) {
     // only reads planes x-1..x+1). The accumulation order and the / 27.0
     // are unchanged — bit-identical results.
     const std::size_t plane = static_cast<std::size_t>(shape_.ny) * shape_.nz;
-    if (tls_scratch.size() < 2 * plane) tls_scratch.resize(2 * plane);
+    std::vector<double>& scratch = tls_scratch(2 * plane);
     const auto cell = [&](std::size_t buf, int y, int z) -> double& {
-        return tls_scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
+        return scratch[buf * plane + static_cast<std::size_t>(y - 1) * shape_.nz + (z - 1)];
     };
     const auto write_back = [&](int v, int x) {
         const std::size_t buf = static_cast<std::size_t>(x & 1);

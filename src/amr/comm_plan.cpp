@@ -107,6 +107,50 @@ CommPlan::CommPlan(const GlobalStructure& structure, const BlockShape& shape, in
     }
 }
 
+FluxPlan build_flux_plan(const CommPlan& plan, const BlockShape& shape) {
+    FluxPlan flux;
+    for (int axis = 0; axis < 3; ++axis) {
+        const DirectionPlan& dp = plan.direction(axis);
+        FluxPlan::Direction& fd = flux.directions[static_cast<std::size_t>(axis)];
+        for (const IntraCopy& copy : dp.copies) {
+            if (copy.geom.rel == FaceRel::Finer) fd.copies.push_back(copy);
+        }
+        for (const NeighborExchange& ex : dp.neighbors) {
+            NeighborExchange fex;
+            fex.peer = ex.peer;
+            for (const FaceTransfer& f : ex.sends) {
+                if (f.geom.rel == FaceRel::Coarser) fex.sends.push_back(f);
+            }
+            for (const FaceTransfer& f : ex.recvs) {
+                if (f.geom.rel == FaceRel::Finer) fex.recvs.push_back(f);
+            }
+            if (fex.sends.empty() && fex.recvs.empty()) continue;
+            const auto relayout = [&](std::vector<FaceTransfer>& faces,
+                                      std::vector<MessageChunk>& chunks, std::int64_t& total) {
+                total = 0;
+                for (FaceTransfer& f : faces) {
+                    f.value_count = shape.face_values_mixed(axis, 1);
+                    f.value_offset = total;
+                    total += f.value_count;
+                }
+                chunks.clear();
+                if (faces.empty()) return;
+                MessageChunk chunk;
+                chunk.first_face = 0;
+                chunk.face_count = static_cast<int>(faces.size());
+                chunk.value_offset = 0;
+                chunk.value_count = total;
+                chunk.tag = flux_tag(axis, 0);
+                chunks.push_back(chunk);
+            };
+            relayout(fex.sends, fex.send_chunks, fex.send_values);
+            relayout(fex.recvs, fex.recv_chunks, fex.recv_values);
+            fd.neighbors.push_back(std::move(fex));
+        }
+    }
+    return flux;
+}
+
 std::int64_t CommPlan::total_send_messages() const {
     std::int64_t n = 0;
     for (const DirectionPlan& plan : directions_) {

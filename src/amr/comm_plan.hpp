@@ -80,6 +80,13 @@ inline int direction_tag(int direction, int id) {
 }
 /// Tag sub-space used by the refinement/load-balance block exchange.
 inline constexpr int kExchangeTagBase = 3 * kTagSpacePerDirection;
+/// Tag sub-spaces (one per direction) used by the coarse-fine flux-register
+/// exchange — disjoint from both the ghost directions (0..2) and the
+/// exchange-control space so reflux traffic can overlap either.
+inline constexpr int kFluxTagBase = 4 * kTagSpacePerDirection;
+inline int flux_tag(int direction, int id) {
+    return kFluxTagBase + direction * kTagSpacePerDirection + id;
+}
 
 struct CommPlanOptions {
     bool send_faces = false;
@@ -112,5 +119,27 @@ private:
     int rank_ = -1;
     std::array<DirectionPlan, 3> directions_;
 };
+
+/// The coarse-fine subset of the ghost plan, reused for the flux-register
+/// exchange (Berger–Colella refluxing). Derived from a CommPlan by
+/// filtering: flux sends are the ghost sends whose receiver is coarser
+/// (I own the fine side and ship restricted registers), flux recvs are the
+/// ghost recvs whose sender is finer (I own the coarse side and reflux),
+/// and intra-rank copies are the ghost copies whose source is finer.
+/// Filtering a TransferOrder-sorted list preserves its order, so the two
+/// endpoints' streams still pair element-wise. Flux traffic always travels
+/// as one message per (direction, neighbor) — the streams are a fraction
+/// of a ghost plane, below any sensible --send_faces granularity.
+struct FluxPlan {
+    struct Direction {
+        std::vector<IntraCopy> copies;            // dst = my coarse block (rel == Finer)
+        std::vector<NeighborExchange> neighbors;  // level-crossing faces only
+    };
+    std::array<Direction, 3> directions;
+
+    const Direction& direction(int d) const { return directions[static_cast<std::size_t>(d)]; }
+};
+
+FluxPlan build_flux_plan(const CommPlan& plan, const BlockShape& shape);
 
 }  // namespace dfamr::amr

@@ -1,7 +1,5 @@
 #include "amr/config.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace dfamr::amr {
@@ -140,12 +138,6 @@ Config Config::from_cli(const CliParser& cli, Config base) {
     set_int("--block_change", cfg.block_change);
     if (cli.has("--scenario")) cfg.scenario = cli.get_string("--scenario");
     if (cli.has("--estimator")) cfg.estimator = cli.get_string("--estimator");
-    // The default drift tolerance is sized for the synthetic stencil (an
-    // average, conservative up to reflective-ghost effects). The advective
-    // generators lose mass through first-order upwind fluxes at coarse-fine
-    // interfaces, so their expected per-window drift is larger; widen the
-    // guardrail unless the user pinned one explicitly.
-    if (cfg.scenario != "synthetic" && !cli.has("--tol")) cfg.tol = std::max(cfg.tol, 0.25);
     set_double("--refine_threshold", cfg.refine_threshold);
     set_int("--deref_count", cfg.deref_count);
     if (cli.get_flag("--uniform_refine")) cfg.uniform_refine = true;

@@ -1,0 +1,34 @@
+#include "amr/scratch.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace dfamr::amr {
+
+namespace {
+
+std::atomic<std::uint64_t> g_scratch_generation{0};
+
+struct ScratchSlot {
+    std::uint64_t generation = 0;
+    std::vector<double> buf;
+};
+
+thread_local ScratchSlot t_scratch;
+
+}  // namespace
+
+std::vector<double>& tls_scratch(std::size_t min_size) {
+    const std::uint64_t gen = g_scratch_generation.load(std::memory_order_acquire);
+    if (t_scratch.generation != gen) {
+        t_scratch.buf.clear();
+        t_scratch.buf.shrink_to_fit();
+        t_scratch.generation = gen;
+    }
+    if (t_scratch.buf.size() < min_size) t_scratch.buf.resize(min_size);
+    return t_scratch.buf;
+}
+
+void retire_tls_scratch() { g_scratch_generation.fetch_add(1, std::memory_order_acq_rel); }
+
+}  // namespace dfamr::amr

@@ -1,0 +1,28 @@
+// Thread-local kernel scratch with explicit retirement.
+//
+// The stencil and advection kernels stage rolling planes in a per-thread
+// buffer sized for the largest block they have touched. In a one-shot run
+// that allocation dies with the process, but dfamr-serve runs many worlds
+// back to back on a long-lived worker pool — without retirement every pool
+// thread would pin the largest block's scratch for the daemon's lifetime.
+// retire_tls_scratch() bumps a global generation; each thread notices the
+// stale stamp on its next acquisition, frees its old buffer, and resizes
+// for the current workload.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dfamr::amr {
+
+/// Returns this thread's scratch buffer, at least `min_size` doubles.
+/// Contents are unspecified on entry.
+std::vector<double>& tls_scratch(std::size_t min_size);
+
+/// Invalidates every thread's scratch buffer. Threads release their
+/// allocation lazily at the next tls_scratch() call, so this is safe to
+/// call while other threads are idle between jobs (dfamr-serve calls it
+/// after each job segment).
+void retire_tls_scratch();
+
+}  // namespace dfamr::amr

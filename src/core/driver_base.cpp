@@ -5,6 +5,7 @@
 #include <iterator>
 #include <span>
 
+#include "amr/scratch.hpp"
 #include "common/error.hpp"
 #include "common/timing.hpp"
 
@@ -16,6 +17,14 @@ resilience::RetryPolicy retry_policy(const Config& cfg) {
     policy.max_attempts = cfg.comm_max_attempts;
     policy.timeout_ns = static_cast<std::int64_t>(cfg.comm_timeout_s * 1e9);
     return policy;
+}
+
+/// Cell coordinates of the in-plane point (u, v) on plane `a` of `axis`
+/// (same convention as block.cpp's PlaneIndexer).
+Vec3i plane_coords(int axis, int a, int u, int v) {
+    if (axis == 0) return {a, u, v};
+    if (axis == 1) return {u, a, v};
+    return {u, v, a};
 }
 }  // namespace
 
@@ -67,6 +76,29 @@ void DriverBase::rebuild_comm_plan() {
     options.max_comm_tasks = cfg_.max_comm_tasks;
     plan_ = CommPlan(mesh_.structure(), mesh_.shape(), rank_, options);
     buffers_ = std::make_unique<CommBuffers>(plan_, cfg_.vars_per_group(), cfg_.separate_buffers);
+    if (generator_ != nullptr) {
+        // Flux registers and their exchange plan follow the ghost plan's
+        // lifetime: registers are per-stage transient, so nothing needs to
+        // survive a rebuild.
+        flux_plan_ = amr::build_flux_plan(plan_, mesh_.shape());
+        flux_regs_.clear();
+        for (const BlockKey& key : mesh_.owned_keys()) {
+            flux_regs_.emplace(key, FluxRegister(mesh_.shape()));
+        }
+        const int gvars = cfg_.vars_per_group();
+        for (int d = 0; d < 3; ++d) {
+            const auto& fd = flux_plan_.direction(d);
+            auto& sends = flux_send_[static_cast<std::size_t>(d)];
+            auto& recvs = flux_recv_[static_cast<std::size_t>(d)];
+            sends.assign(fd.neighbors.size(), {});
+            recvs.assign(fd.neighbors.size(), {});
+            for (std::size_t i = 0; i < fd.neighbors.size(); ++i) {
+                const amr::NeighborExchange& ex = fd.neighbors[i];
+                sends[i].assign(static_cast<std::size_t>(ex.send_values * gvars), 0.0);
+                recvs[i].assign(static_cast<std::size_t>(ex.recv_values * gvars), 0.0);
+            }
+        }
+    }
 }
 
 RankResult DriverBase::run() {
@@ -85,9 +117,26 @@ RankResult DriverBase::run() {
         // Fig. 1 traces).
         refinement_phase(0);
     }
+    if (generator_ != nullptr && !restored_initial_mass_) {
+        const double local = local_mass();
+        comm_.allreduce(&local, &result_.initial_mass, 1, mpi::Op::Sum);
+    }
     main_loop();
     final_sync();
     compute_error_norm();
+    if (generator_ != nullptr) {
+        // Conservation accounting, allreduced once so every rank reports
+        // the global values (like error_norm). The budget identity
+        // |final - initial + outflux| ~ rounding is what "conserved" means;
+        // mass_drift is the per-interface reflux residual, exactly zero.
+        const double local = local_mass();
+        comm_.allreduce(&local, &result_.final_mass, 1, mpi::Op::Sum);
+        double drift = mass_drift_.load();
+        comm_.allreduce(&drift, &result_.mass_drift, 1, mpi::Op::Sum);
+        comm_.allreduce(&boundary_outflux_, &result_.boundary_outflux, 1, mpi::Op::Sum);
+        const std::int64_t corrections = reflux_corrections_.load();
+        comm_.allreduce(&corrections, &result_.counters.reflux_corrections, 1, mpi::Op::Sum);
+    }
     total.stop();
     result_.sched = scheduler_counters();
     result_.times.total = total.elapsed_s();
@@ -97,12 +146,15 @@ RankResult DriverBase::run() {
 
 void DriverBase::main_loop() {
     for (int ts = start_ts_; ts <= cfg_.num_tsteps; ++ts) {
+        maybe_recompute_dt();
         for (int stage = 0; stage < cfg_.stages_per_ts; ++stage) {
             for (int group = 0; group < cfg_.num_groups(); ++group) {
                 communicate_stage(group);
                 stencil_stage(group);
+                if (generator_ != nullptr) reflux_stage(group);
             }
             ++stage_counter_;
+            sim_time_ += dt_;
             if (cfg_.checksum_freq > 0 && stage_counter_ % cfg_.checksum_freq == 0) {
                 Stopwatch sw;
                 sw.start();
@@ -161,6 +213,18 @@ void DriverBase::write_state(int ts_completed, bool suspending) {
     state.nranks = cfg_.num_ranks();
     state.ts_completed = ts_completed;
     state.stage_counter = stage_counter_;
+    state.sim_time = sim_time_;
+    state.initial_mass = result_.initial_mass;  // allreduced before main_loop
+    // Conservation tallies are per-rank accumulators; the image stores the
+    // global sums (we are quiesced and collective here) and a restore seeds
+    // rank 0 with them, so end-of-run totals match an uninterrupted run.
+    // The flux registers themselves are per-stage transient — overwritten by
+    // the first advance after the restore — and are not serialized.
+    double drift = mass_drift_.load();
+    comm_.allreduce(&drift, &state.mass_drift, 1, mpi::Op::Sum);
+    comm_.allreduce(&boundary_outflux_, &state.boundary_outflux, 1, mpi::Op::Sum);
+    const std::int64_t corrections = reflux_corrections_.load();
+    comm_.allreduce(&corrections, &state.reflux_corrections, 1, mpi::Op::Sum);
     state.objects = cfg_.objects;
     state.checksums = result_.checksums;
     state.checksum_reference = checksum_reference_;
@@ -213,6 +277,19 @@ void DriverBase::restore_state() {
     checksum_reference_ = state.checksum_reference;
     start_ts_ = state.ts_completed + 1;
     stage_counter_ = state.stage_counter;
+    sim_time_ = state.sim_time;
+    // The budget identity must keep referring to the true start of the
+    // simulation: every rank adopts the stored global initial mass instead
+    // of re-summing the (mid-run) restored field.
+    result_.initial_mass = state.initial_mass;
+    restored_initial_mass_ = true;
+    // The image holds global tallies; seed them on rank 0 only so the
+    // end-of-run Sum-allreduce does not multiply-count them.
+    if (rank_ == 0) {
+        mass_drift_.store(state.mass_drift);
+        boundary_outflux_ = state.boundary_outflux;
+        reflux_corrections_.store(state.reflux_corrections);
+    }
     // Mid-streak coarsen-willing counters resume exactly where the
     // checkpointed run stood; a restored run must coarsen on the same
     // check the uninterrupted run would have.
@@ -389,9 +466,124 @@ void DriverBase::prune_refine_state() {
     }
 }
 
+double DriverBase::checksum_weight(const BlockKey& key) const {
+    if (generator_ == nullptr) return 1.0;
+    const Box box = mesh_.structure().box(key);
+    const amr::BlockShape& s = mesh_.shape();
+    const Vec3d ext = box.extent();
+    return (ext.x / s.nx) * (ext.y / s.ny) * (ext.z / s.nz);
+}
+
+double DriverBase::local_mass() const {
+    double total = 0;
+    for (const BlockKey& key : mesh_.owned_keys()) {
+        total += checksum_weight(key) * mesh_.block(key).checksum(0, cfg_.num_vars);
+    }
+    return total;
+}
+
+void DriverBase::maybe_recompute_dt() {
+    if (generator_ == nullptr || !generator_->cfl_from_field()) return;
+    quiesce();
+    const amr::BlockShape& s = mesh_.shape();
+    double local = 0;
+    for (const BlockKey& key : mesh_.owned_keys()) {
+        const Block& blk = mesh_.block(key);
+        for (int var = 0; var < s.num_vars; ++var) {
+            for (int x = 1; x <= s.nx; ++x) {
+                for (int y = 1; y <= s.ny; ++y) {
+                    for (int z = 1; z <= s.nz; ++z) {
+                        local = std::max(local, std::abs(blk.at(var, x, y, z)));
+                    }
+                }
+            }
+        }
+    }
+    double global = 0;
+    const std::int64_t t0 = now_ns();
+    comm_.allreduce(&local, &global, 1, mpi::Op::Max);
+    trace(0, t0, now_ns(), PhaseKind::Control);
+    // Max is order-insensitive, so every rank lands on the identical dt
+    // regardless of decomposition. A zero field would mean no transport at
+    // all; keep the a-priori bound in that (degenerate) case.
+    if (global > 0.0) dt_ = generator_->dt_for_speed(cfg_, global);
+}
+
+void DriverBase::apply_flux_correction(const amr::FaceTransfer& face, int var_begin, int var_end,
+                                       std::span<const double> fine_flux) {
+    Block& blk = mesh_.block(face.mine);
+    FluxRegister& reg = flux_regs_.at(face.mine);
+    const FaceGeom& g = face.geom;  // rel == Finer: quad names the fine quarter
+    const amr::BlockShape& s = mesh_.shape();
+    const Box box = mesh_.structure().box(face.mine);
+    const auto [ua, va] = s.plane_axes(g.axis);
+    const int U = s.dim(ua), V = s.dim(va);
+    const int a = g.sense > 0 ? s.dim(g.axis) : 1;  // interior boundary plane
+    const double h = box.extent()[g.axis] / s.dim(g.axis);
+    const double scale = -g.sense * (dt_ / h);
+    const int qu = (g.quad & 1) * (U / 2);
+    const int qv = ((g.quad >> 1) & 1) * (V / 2);
+    double drift = 0;
+    std::size_t o = 0;
+    for (int var = var_begin; var < var_end; ++var) {
+        for (int u = 0; u < U / 2; ++u) {
+            for (int v = 0; v < V / 2; ++v) {
+                const double fine = fine_flux[o++];
+                double& coarse = reg.at(g.axis, g.sense, var, qu + u + 1, qv + v + 1);
+                const Vec3i c = plane_coords(g.axis, a, qu + u + 1, qv + v + 1);
+                // Berger–Colella reflux: replace my flux with the restricted
+                // fine flux; the interface then telescopes against the fine
+                // side's registers exactly.
+                blk.at(var, c.x, c.y, c.z) += scale * (fine - coarse);
+                coarse = fine;
+                drift += std::abs(coarse - fine);
+            }
+        }
+    }
+    // Every term above is exactly 0.0 (the register was just assigned), so
+    // the accumulation order across threads cannot matter. Any nonzero total
+    // would mean a coarse-fine face escaped the reflux pass.
+    mass_drift_.fetch_add(drift, std::memory_order_relaxed);
+    reflux_corrections_.fetch_add(static_cast<std::int64_t>(o), std::memory_order_relaxed);
+}
+
+void DriverBase::apply_intra_flux(const amr::IntraCopy& copy, int var_begin, int var_end) {
+    const FluxRegister& src = flux_regs_.at(copy.src);
+    const std::size_t n = static_cast<std::size_t>(
+        mesh_.shape().face_values_mixed(copy.geom.axis, var_end - var_begin));
+    std::span<double> buf(amr::tls_scratch(n).data(), n);
+    // The fine source's matching face is on its opposite sense.
+    src.pack_restricted(copy.geom.axis, -copy.geom.sense, var_begin, var_end, buf);
+    const amr::FaceTransfer face{copy.dst, copy.src, copy.geom, 0,
+                                 static_cast<std::int64_t>(n) / (var_end - var_begin)};
+    apply_flux_correction(face, var_begin, var_end, buf);
+}
+
+void DriverBase::accumulate_boundary_outflux(int dir, int var_begin, int var_end) {
+    const amr::BlockShape& s = mesh_.shape();
+    const auto [ua, va] = s.plane_axes(dir);
+    for (const auto& [key, sense] : plan_.direction(dir).boundary) {
+        const FluxRegister& reg = flux_regs_.at(key);
+        const Box box = mesh_.structure().box(key);
+        const Vec3d ext = box.extent();
+        const double area = (ext[ua] / s.dim(ua)) * (ext[va] / s.dim(va));
+        double sum = 0;
+        for (int var = var_begin; var < var_end; ++var) {
+            for (int u = 1; u <= s.dim(ua); ++u) {
+                for (int v = 1; v <= s.dim(va); ++v) {
+                    sum += reg.at(dir, sense, var, u, v);
+                }
+            }
+        }
+        // Signed: mass leaving through a high face (sense +1) counts
+        // positive. One term per block keeps the accumulation order fixed.
+        boundary_outflux_ += sense * sum * area * dt_;
+    }
+}
+
 void DriverBase::compute_error_norm() {
     if (generator_ == nullptr || !generator_->has_reference()) return;
-    const double t = stage_counter_ * dt_;
+    const double t = sim_time_;
     double local = 0;
     for (const BlockKey& key : mesh_.owned_keys()) {
         const Block& blk = mesh_.block(key);

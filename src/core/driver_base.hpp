@@ -6,11 +6,13 @@
 //   * TampiOssDriver — the paper's data-flow taskification
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "amr/comm_plan.hpp"
 #include "amr/config.hpp"
+#include "amr/flux_register.hpp"
 #include "amr/mesh.hpp"
 #include "amr/trace.hpp"
 #include "core/result.hpp"
@@ -28,6 +30,8 @@ using amr::CommBuffers;
 using amr::CommPlan;
 using amr::Config;
 using amr::FaceGeom;
+using amr::FluxPlan;
+using amr::FluxRegister;
 using amr::Mesh;
 using amr::PhaseKind;
 using amr::RefineRound;
@@ -66,9 +70,20 @@ protected:
     /// data-flow variant only *submits* tasks here; the others execute.
     virtual void communicate_stage(int group) = 0;
     virtual void stencil_stage(int group) = 0;
+    /// Coarse-fine flux correction for one variable group (scenario runs
+    /// only; called right after stencil_stage): exchanges restricted fine
+    /// flux registers per the flux plan and refluxes coarse boundary cells
+    /// so every interface telescopes to zero. The data-flow variant only
+    /// submits tasks here.
+    virtual void reflux_stage(int group) { (void)group; }
     /// Checksum across all groups; calls reduce_and_validate() (possibly for
     /// the previous stage when the delayed optimization is active).
     virtual void checksum_stage() = 0;
+    /// Drains in-flight compute so the main thread may read/scale field
+    /// state mid-run (live CFL recomputation). Taskwait for the data-flow
+    /// variant; the synchronous variants are already quiescent between
+    /// stages.
+    virtual void quiesce() {}
     /// Drains outstanding work at the end of the run (final validation of a
     /// deferred checksum included).
     virtual void final_sync() {}
@@ -103,14 +118,45 @@ protected:
     void reset_checksum_reference() { checksum_reference_.clear(); }
 
     /// One compute update of a block's variable group: the synthetic
-    /// stencil sweep, or the scenario generator's advection step. Returns
+    /// stencil sweep, or the scenario generator's advection step (which also
+    /// records the block's boundary fluxes into its register). Returns
     /// FLOPs done. Thread-safe — the hybrid variants call it from worker
-    /// threads (the structure is read-only during compute stages).
+    /// threads (the structure and register map are read-only during compute
+    /// stages).
     std::int64_t update_block(Block& blk, int var_begin, int var_end) {
         if (generator_ == nullptr) return blk.apply_stencil(cfg_.stencil, var_begin, var_end);
         return generator_->advance(blk, mesh_.structure().box(blk.key()), var_begin, var_end,
-                                   dt_);
+                                   dt_, &flux_regs_.at(blk.key()));
     }
+
+    /// The block's flux register (scenario runs; rebuilt with the plan).
+    FluxRegister& flux_register(const BlockKey& key) { return flux_regs_.at(key); }
+    /// Per-block weight applied to scenario checksums: the cell volume, so
+    /// the drift gate checks genuine mass conservation across refinement
+    /// levels. Synthetic runs keep the historic unweighted sum (weight 1).
+    double checksum_weight(const BlockKey& key) const;
+    /// Applies one received restricted fine-flux stream section to the
+    /// coarse block `face.mine` (face.geom.rel == Finer): for every covered
+    /// coarse face cell, replaces the coarse flux with the restricted fine
+    /// flux and corrects the adjacent interior cell by -sense * dt/h times
+    /// the difference. Accumulates mass_drift_ (the telescoping residual
+    /// left after the replacement — exactly zero) and reflux_corrections_.
+    /// Thread-safe across disjoint faces (corrections touch only the
+    /// target block's own boundary plane).
+    void apply_flux_correction(const amr::FaceTransfer& face, int var_begin, int var_end,
+                               std::span<const double> fine_flux);
+    /// Intra-rank equivalent: restricts the fine source's register on the
+    /// fly and refluxes the coarse destination.
+    void apply_intra_flux(const amr::IntraCopy& copy, int var_begin, int var_end);
+    /// Tallies signed mass flow through this direction's physical-boundary
+    /// faces into boundary_outflux_ (deterministic order: callers invoke it
+    /// sequentially per direction).
+    void accumulate_boundary_outflux(int dir, int var_begin, int var_end);
+    /// Volume-weighted total mass over owned blocks, all variables.
+    double local_mass() const;
+    /// Recomputes dt from the live field max when the generator asks for it
+    /// (collective: allreduced max, so every rank picks the same dt).
+    void maybe_recompute_dt();
 
     int group_begin(int group) const { return group * cfg_.vars_per_group(); }
     int group_end(int group) const {
@@ -141,6 +187,13 @@ protected:
     Mesh mesh_;
     CommPlan plan_;
     std::unique_ptr<CommBuffers> buffers_;
+    /// Coarse-fine subset of plan_ driving the flux-register exchange, plus
+    /// its staging streams ([direction][neighbor], sized for one variable
+    /// group). Scenario runs only; rebuilt with the plan. std::map keeps
+    /// register addresses stable for task dependency declarations.
+    FluxPlan flux_plan_;
+    std::map<BlockKey, FluxRegister> flux_regs_;
+    std::array<std::vector<std::vector<double>>, 3> flux_send_, flux_recv_;
 
     RankResult result_;
     std::vector<double> checksum_reference_;  // per group; empty = no reference
@@ -156,9 +209,31 @@ protected:
     const scenario::RefinementCondition* condition_ = nullptr;
     /// Active problem generator; null = the synthetic stencil workload.
     const scenario::ProblemGenerator* generator_ = nullptr;
-    /// Per-stage advection step (CFL-stable, deterministic from cfg alone);
-    /// final simulated time is stage_counter_ * dt_.
+    /// Per-stage advection step. CFL-stable and deterministic from cfg
+    /// alone, except for cfl_from_field() generators, where it is
+    /// recomputed from the allreduced live field max each timestep.
     double dt_ = 0;
+    /// Simulated time advanced so far (sum of per-stage dt; persisted in
+    /// checkpoints — with live CFL the step is no longer constant, so
+    /// stage_counter_ * dt_ stopped being the right clock).
+    double sim_time_ = 0;
+
+    // ---- conservation accounting (scenario runs) --------------------------
+    /// Telescoping reflux residual: |restricted fine flux - accounted coarse
+    /// flux| after each correction — exactly zero by construction; any
+    /// nonzero value means a coarse-fine face escaped the reflux pass.
+    /// Atomic because hybrid variants reflux from worker threads (every
+    /// contribution is 0.0, so accumulation order cannot matter).
+    std::atomic<double> mass_drift_{0.0};
+    std::atomic<std::int64_t> reflux_corrections_{0};
+    /// Signed mass that left through the reflective physical boundary
+    /// (accumulated in one deterministic order on the main thread / via a
+    /// serialized task, so it is bitwise identical across variants).
+    double boundary_outflux_ = 0;
+    /// Set by restore_state: the image carries the original run's global
+    /// initial mass, so a restored run keeps the budget identity against
+    /// the true start of the simulation, not the restart point.
+    bool restored_initial_mass_ = false;
 
 private:
     void main_loop();

@@ -286,6 +286,118 @@ void ForkJoinDriver::stencil_stage(int group) {
     result_.times.stencil += sw.elapsed_s();
 }
 
+void ForkJoinDriver::reflux_stage(int group) {
+    // Same master-MPI / workshared-compute split as exchange_direction, over
+    // the flux plan: workers restrict and apply register corrections (faces
+    // touch disjoint cells, so static worksharing is race-free), the master
+    // does every MPI call and the deterministic boundary tally.
+    Stopwatch sw;
+    sw.start();
+    const int gb = group_begin(group), ge = group_end(group);
+    const int gvars = ge - gb;
+    for (int dir = 0; dir < 3; ++dir) {
+        const amr::FluxPlan::Direction& fd = flux_plan_.direction(dir);
+        auto& send_bufs = flux_send_[static_cast<std::size_t>(dir)];
+        auto& recv_bufs = flux_recv_[static_cast<std::size_t>(dir)];
+
+        // Master posts all receives.
+        std::vector<mpi::Request> recv_reqs;
+        for (std::size_t ni = 0; ni < fd.neighbors.size(); ++ni) {
+            const amr::NeighborExchange& ex = fd.neighbors[ni];
+            std::span<double> stream(recv_bufs[ni]);
+            for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+                auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                           static_cast<std::size_t>(chunk.value_count * gvars));
+                recv_reqs.push_back(
+                    hcomm_.irecv(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+            }
+        }
+
+        // Workshared restriction of fine registers into the send streams.
+        struct PackJob {
+            const amr::FaceTransfer* face;
+            int neighbor_index;
+        };
+        std::vector<PackJob> pack_jobs;
+        for (std::size_t ni = 0; ni < fd.neighbors.size(); ++ni) {
+            for (const amr::FaceTransfer& face : fd.neighbors[ni].sends) {
+                pack_jobs.push_back(PackJob{&face, static_cast<int>(ni)});
+            }
+        }
+        pfor(static_cast<std::int64_t>(pack_jobs.size()), [&](std::int64_t i) {
+            const PackJob& job = pack_jobs[static_cast<std::size_t>(i)];
+            std::span<double> stream(send_bufs[static_cast<std::size_t>(job.neighbor_index)]);
+            auto section =
+                stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
+                               static_cast<std::size_t>(job.face->value_count * gvars));
+            const std::int64_t t0 = now_ns();
+            DFAMR_CHECK_WRITE(section.data(), section.size_bytes());
+            flux_register(job.face->mine)
+                .pack_restricted(job.face->geom.axis, job.face->geom.sense, gb, ge, section);
+            trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
+        });
+
+        // Master sends every chunk.
+        std::vector<mpi::Request> send_reqs;
+        for (std::size_t ni = 0; ni < fd.neighbors.size(); ++ni) {
+            const amr::NeighborExchange& ex = fd.neighbors[ni];
+            std::span<double> stream(send_bufs[ni]);
+            for (const amr::MessageChunk& chunk : ex.send_chunks) {
+                auto span = stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                           static_cast<std::size_t>(chunk.value_count * gvars));
+                const std::int64_t t0 = now_ns();
+                send_reqs.push_back(
+                    hcomm_.isend(span.data(), span.size_bytes(), ex.peer, chunk.tag));
+                trace(0, t0, now_ns(), PhaseKind::Send);
+            }
+        }
+
+        // Workshared intra-rank refluxes while messages are in flight.
+        pfor(static_cast<std::int64_t>(fd.copies.size()), [&](std::int64_t i) {
+            const amr::IntraCopy& copy = fd.copies[static_cast<std::size_t>(i)];
+            const std::int64_t t0 = now_ns();
+            apply_intra_flux(copy, gb, ge);
+            trace(worker_index(), t0, now_ns(), PhaseKind::IntraCopy);
+        });
+
+        // Master waits for all receives, then a workshared apply loop.
+        const std::int64_t t0 = now_ns();
+        hcomm_.wait_all(std::span<mpi::Request>(recv_reqs));
+        trace(0, t0, now_ns(), PhaseKind::CommWait);
+
+        struct ApplyJob {
+            const amr::FaceTransfer* face;
+            int neighbor_index;
+        };
+        std::vector<ApplyJob> apply_jobs;
+        for (std::size_t ni = 0; ni < fd.neighbors.size(); ++ni) {
+            for (const amr::FaceTransfer& face : fd.neighbors[ni].recvs) {
+                apply_jobs.push_back(ApplyJob{&face, static_cast<int>(ni)});
+            }
+        }
+        pfor(static_cast<std::int64_t>(apply_jobs.size()), [&](std::int64_t i) {
+            const ApplyJob& job = apply_jobs[static_cast<std::size_t>(i)];
+            std::span<const double> stream(recv_bufs[static_cast<std::size_t>(job.neighbor_index)]);
+            auto section =
+                stream.subspan(static_cast<std::size_t>(job.face->value_offset * gvars),
+                               static_cast<std::size_t>(job.face->value_count * gvars));
+            const std::int64_t t1 = now_ns();
+            DFAMR_CHECK_READ(section.data(), section.size_bytes());
+            apply_flux_correction(*job.face, gb, ge, section);
+            trace(worker_index(), t1, now_ns(), PhaseKind::Unpack);
+        });
+
+        const std::int64_t t2 = now_ns();
+        hcomm_.wait_all(std::span<mpi::Request>(send_reqs));
+        trace(0, t2, now_ns(), PhaseKind::CommWait);
+
+        // Deterministic mass-budget tally on the master.
+        accumulate_boundary_outflux(dir, gb, ge);
+    }
+    sw.stop();
+    result_.times.comm += sw.elapsed_s();
+}
+
 void ForkJoinDriver::checksum_stage() {
     const std::vector<BlockKey> keys = mesh_.owned_keys();
     std::vector<double> sums(static_cast<std::size_t>(cfg_.num_groups()), 0.0);
@@ -294,9 +406,12 @@ void ForkJoinDriver::checksum_stage() {
         std::vector<double> partials(keys.size(), 0.0);
         pfor(static_cast<std::int64_t>(keys.size()), [&](std::int64_t i) {
             const std::int64_t t0 = now_ns();
-            const Block& blk = mesh_.block(keys[static_cast<std::size_t>(i)]);
+            const BlockKey& key = keys[static_cast<std::size_t>(i)];
+            const Block& blk = mesh_.block(key);
             DFAMR_CHECK_READ(blk.group_span(gb, ge).data(), blk.group_span(gb, ge).size_bytes());
-            partials[static_cast<std::size_t>(i)] = blk.checksum(gb, ge);
+            // Cell-volume weight for scenario runs (mass conservation gate);
+            // 1.0 — a bitwise identity — for the synthetic workload.
+            partials[static_cast<std::size_t>(i)] = checksum_weight(key) * blk.checksum(gb, ge);
             trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
         });
         double sum = 0;

@@ -24,6 +24,7 @@ public:
 protected:
     void communicate_stage(int group) override;
     void stencil_stage(int group) override;
+    void reflux_stage(int group) override;
     void checksum_stage() override;
     SchedulerCounters scheduler_counters() const override;
     void do_splits(const std::vector<BlockKey>& parents) override;

@@ -41,6 +41,11 @@ MetricsSnapshot make_metrics_snapshot(const amr::Tracer& tracer, const RunResult
     m.refine_coarsen_thrash = result.counters.refine_coarsen_thrash;
     m.error_norm = result.error_norm;
     m.has_error_norm = result.has_error_norm;
+    m.mass_drift = result.mass_drift;
+    m.boundary_outflux = result.boundary_outflux;
+    m.initial_mass = result.initial_mass;
+    m.final_mass = result.final_mass;
+    m.reflux_corrections = result.counters.reflux_corrections;
     return m;
 }
 
@@ -134,10 +139,17 @@ std::string metrics_to_json(const MetricsSnapshot& m) {
                   "    \"blocks_refined_by_estimator\": %" PRId64 ",\n"
                   "    \"refine_coarsen_thrash\": %" PRId64 ",\n"
                   "    \"error_norm\": %.17g,\n"
-                  "    \"has_error_norm\": %s\n",
+                  "    \"has_error_norm\": %s,\n"
+                  "    \"mass_drift\": %.17g,\n"
+                  "    \"boundary_outflux\": %.17g,\n"
+                  "    \"initial_mass\": %.17g,\n"
+                  "    \"final_mass\": %.17g,\n"
+                  "    \"reflux_corrections\": %" PRId64 "\n",
                   m.total_s, m.refine_s, m.messages, m.bytes, m.final_blocks,
                   m.validation_ok ? "true" : "false", m.blocks_refined_by_estimator,
-                  m.refine_coarsen_thrash, m.error_norm, m.has_error_norm ? "true" : "false");
+                  m.refine_coarsen_thrash, m.error_norm, m.has_error_norm ? "true" : "false",
+                  m.mass_drift, m.boundary_outflux, m.initial_mass, m.final_mass,
+                  m.reflux_corrections);
     out += buf;
     out += "  }\n}\n";
     return out;

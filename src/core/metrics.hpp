@@ -35,6 +35,15 @@ struct MetricsSnapshot {
     std::int64_t refine_coarsen_thrash = 0;
     double error_norm = 0;
     bool has_error_norm = false;
+    /// Conservation ledger (scenario runs only; all zero for synthetic):
+    /// mass_drift is the post-reflux coarse-fine residual — exactly 0.0
+    /// when every interface was corrected; the mass budget closes as
+    /// final_mass = initial_mass - boundary_outflux up to rounding.
+    double mass_drift = 0;
+    double boundary_outflux = 0;
+    double initial_mass = 0;
+    double final_mass = 0;
+    std::int64_t reflux_corrections = 0;
 };
 
 /// Joins the tracer's analysis with the run's reduced result.

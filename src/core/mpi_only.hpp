@@ -12,6 +12,7 @@ public:
 protected:
     void communicate_stage(int group) override;
     void stencil_stage(int group) override;
+    void reflux_stage(int group) override;
     void checksum_stage() override;
     void do_splits(const std::vector<BlockKey>& parents) override;
     void do_merges(const std::vector<BlockKey>& parents) override;

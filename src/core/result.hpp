@@ -40,6 +40,11 @@ struct RunCounters {
     /// checks (replicated bookkeeping: identical on every rank). Zero in
     /// healthy runs — the hysteresis exists to keep it there.
     std::int64_t refine_coarsen_thrash = 0;
+    /// Coarse-fine flux corrections applied by the reflux pass (one per
+    /// corrected face value). Allreduce-summed by the driver at the end of
+    /// the run, so every rank already holds the global count. Zero for
+    /// synthetic runs and for scenario runs with no level jumps.
+    std::int64_t reflux_corrections = 0;
 
     RunCounters& operator+=(const RunCounters& o) {
         blocks_split += o.blocks_split;
@@ -50,6 +55,7 @@ struct RunCounters {
         load_balances = std::max(load_balances, o.load_balances);
         checksum_stages = std::max(checksum_stages, o.checksum_stages);
         refine_coarsen_thrash = std::max(refine_coarsen_thrash, o.refine_coarsen_thrash);
+        reflux_corrections = std::max(reflux_corrections, o.reflux_corrections);
         return *this;
     }
 };
@@ -110,6 +116,16 @@ struct RankResult {
     /// Last completed timestep when stop != None (every rank agrees: the
     /// decision is broadcast).
     int stop_ts = -1;
+    /// Scenario conservation ledger (DESIGN.md §18), all driver-allreduced
+    /// globals — identical on every rank, like error_norm. mass_drift is the
+    /// residual coarse-fine flux mismatch AFTER refluxing (exactly 0.0 by
+    /// construction when the reflux pass ran); the mass budget
+    /// final - initial + boundary_outflux closes to rounding. All zero for
+    /// synthetic runs.
+    double mass_drift = 0;
+    double boundary_outflux = 0;
+    double initial_mass = 0;
+    double final_mass = 0;
 };
 
 /// Global result (reduced across ranks; the numbers a bench prints).
@@ -140,6 +156,12 @@ struct RunResult {
     /// or the run completed). checksums hold the history up to stop_ts.
     StopKind stop = StopKind::None;
     int stop_ts = -1;
+    /// Scenario conservation ledger (max-reduced: already global on every
+    /// rank). See RankResult for semantics.
+    double mass_drift = 0;
+    double boundary_outflux = 0;
+    double initial_mass = 0;
+    double final_mass = 0;
 
     bool completed() const { return stop == StopKind::None; }
 

@@ -25,18 +25,25 @@ RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
     RunResult g;
     g.checksums = r.checksums;
 
-    // error_norm is already globally summed inside the driver; Max just
-    // picks the agreed value without double counting.
-    double tmax_in[6] = {r.times.total, r.times.refine, r.times.comm, r.times.stencil,
-                         r.times.checksum, r.error_norm};
-    double tmax[6];
-    comm.allreduce(tmax_in, tmax, 6, mpi::Op::Max);
+    // error_norm and the conservation ledger are already globally summed
+    // inside the driver; Max just picks the agreed value without double
+    // counting.
+    double tmax_in[10] = {r.times.total,   r.times.refine,      r.times.comm,
+                          r.times.stencil, r.times.checksum,    r.error_norm,
+                          r.mass_drift,    r.boundary_outflux,  r.initial_mass,
+                          r.final_mass};
+    double tmax[10];
+    comm.allreduce(tmax_in, tmax, 10, mpi::Op::Max);
     g.times.total = tmax[0];
     g.times.refine = tmax[1];
     g.times.comm = tmax[2];
     g.times.stencil = tmax[3];
     g.times.checksum = tmax[4];
     g.error_norm = tmax[5];
+    g.mass_drift = tmax[6];
+    g.boundary_outflux = tmax[7];
+    g.initial_mass = tmax[8];
+    g.final_mass = tmax[9];
 
     std::int64_t sums_in[6] = {r.stencil_flops,          r.final_blocks,
                                r.counters.blocks_split,  r.counters.blocks_merged,
@@ -50,16 +57,18 @@ RunResult reduce_distributed(mpi::Communicator& comm, const RankResult& r,
     g.counters.blocks_moved = sums[4];
     g.counters.blocks_refined_by_estimator = sums[5];
 
-    std::int64_t maxes_in[5] = {r.counters.refinement_phases, r.counters.load_balances,
+    std::int64_t maxes_in[6] = {r.counters.refinement_phases, r.counters.load_balances,
                                 r.counters.checksum_stages, r.counters.refine_coarsen_thrash,
-                                r.has_error_norm ? std::int64_t{1} : std::int64_t{0}};
-    std::int64_t maxes[5];
-    comm.allreduce(maxes_in, maxes, 5, mpi::Op::Max);
+                                r.has_error_norm ? std::int64_t{1} : std::int64_t{0},
+                                r.counters.reflux_corrections};
+    std::int64_t maxes[6];
+    comm.allreduce(maxes_in, maxes, 6, mpi::Op::Max);
     g.counters.refinement_phases = maxes[0];
     g.counters.load_balances = maxes[1];
     g.counters.checksum_stages = maxes[2];
     g.counters.refine_coarsen_thrash = maxes[3];
     g.has_error_norm = maxes[4] != 0;
+    g.counters.reflux_corrections = maxes[5];
 
     std::uint64_t usums_in[23] = {
         r.sched.tasks_executed, r.sched.steals, r.sched.steal_fails, r.sched.parks,
@@ -250,6 +259,13 @@ RunResult run_variant(const amr::Config& cfg, amr::Variant variant, amr::Tracer*
         total.sched_refine += r.sched_refine;
         total.error_norm = std::max(total.error_norm, r.error_norm);
         total.has_error_norm = total.has_error_norm || r.has_error_norm;
+        // Driver-allreduced globals: every rank already holds the agreed
+        // value, so plain assignment selects it without double counting
+        // (and unlike Max stays correct when outflux is negative).
+        total.mass_drift = r.mass_drift;
+        total.boundary_outflux = r.boundary_outflux;
+        total.initial_mass = r.initial_mass;
+        total.final_mass = r.final_mass;
         DFAMR_REQUIRE(r.checksums.size() == total.checksums.size(),
                       "ranks disagree on the number of checksum stages");
     }

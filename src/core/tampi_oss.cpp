@@ -60,6 +60,16 @@ Dep TampiOssDriver::block_dep_inout(const BlockKey& key, int gb, int ge) {
     return inout(span.data(), span.size_bytes());
 }
 
+Dep TampiOssDriver::reg_dep_in(const BlockKey& key, int gb, int ge) {
+    auto span = flux_register(key).slice(gb, ge);
+    return in(span.data(), span.size_bytes());
+}
+
+Dep TampiOssDriver::reg_dep_inout(const BlockKey& key, int gb, int ge) {
+    auto span = flux_register(key).slice(gb, ge);
+    return inout(span.data(), span.size_bytes());
+}
+
 void TampiOssDriver::communicate_stage(int group) {
     // Algorithm 3: tasks are instantiated for each direction; whether the
     // directions can actually run concurrently depends on the buffers
@@ -178,16 +188,160 @@ void TampiOssDriver::submit_direction(int dir, int group) {
 void TampiOssDriver::stencil_stage(int group) {
     const int gb = group_begin(group), ge = group_end(group);
     for (const BlockKey& key : mesh_.owned_keys()) {
+        // Scenario runs also write the block's flux register inside
+        // update_block; declaring it inout orders the reflux pass's
+        // pack/apply tasks after the kernel.
+        std::vector<Dep> deps{block_dep_inout(key, gb, ge)};
+        if (generator_ != nullptr) deps.push_back(reg_dep_inout(key, gb, ge));
         rt_.submit(
             [this, key, gb, ge] {
                 const std::int64_t t0 = now_ns();
                 auto blk = mesh_.block(key).group_span(gb, ge);
                 DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
                 DFAMR_CHECK_WRITE(blk.data(), blk.size_bytes());
+                if (generator_ != nullptr) {
+                    auto reg = flux_register(key).slice(gb, ge);
+                    DFAMR_CHECK_WRITE(reg.data(), reg.size_bytes());
+                }
                 flops_ += update_block(mesh_.block(key), gb, ge);
                 trace(worker_index(), t0, now_ns(), PhaseKind::Stencil);
             },
-            {block_dep_inout(key, gb, ge)}, "stencil");
+            std::move(deps), "stencil");
+    }
+}
+
+void TampiOssDriver::reflux_stage(int group) {
+    // Like communicate_stage, this only instantiates tasks; the dependency
+    // system orders each direction's corrections after the kernels that
+    // recorded the registers and before anything that re-reads the blocks.
+    for (int dir = 0; dir < 3; ++dir) {
+        submit_reflux_direction(dir, group);
+    }
+}
+
+void TampiOssDriver::submit_reflux_direction(int dir, int group) {
+    const int gb = group_begin(group), ge = group_end(group);
+    const int gvars = ge - gb;
+    const amr::FluxPlan::Direction& fd = flux_plan_.direction(dir);
+    auto& send_bufs = flux_send_[static_cast<std::size_t>(dir)];
+    auto& recv_bufs = flux_recv_[static_cast<std::size_t>(dir)];
+
+    for (std::size_t ni = 0; ni < fd.neighbors.size(); ++ni) {
+        const amr::NeighborExchange& ex = fd.neighbors[ni];
+        std::span<double> recv_stream(recv_bufs[ni]);
+        std::span<double> send_stream(send_bufs[ni]);
+
+        // Receive tasks: TAMPI-bound, out-dependency on the stream section.
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            auto span = recv_stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                            static_cast<std::size_t>(chunk.value_count * gvars));
+            const int peer = ex.peer;
+            const int tag = chunk.tag;
+            rt_.submit(
+                [this, span, peer, tag] {
+                    const std::int64_t t0 = now_ns();
+                    tampi_.irecv(comm_, span.data(), span.size_bytes(), peer, tag);
+                    trace(worker_index(), t0, now_ns(), PhaseKind::Recv);
+                },
+                {out(span.data(), span.size_bytes())}, "flux_recv");
+        }
+
+        // Restriction (pack) tasks per fine face + one send task per chunk.
+        for (const amr::MessageChunk& chunk : ex.send_chunks) {
+            for (int f = chunk.first_face; f < chunk.first_face + chunk.face_count; ++f) {
+                const amr::FaceTransfer* face = &ex.sends[static_cast<std::size_t>(f)];
+                auto section =
+                    send_stream.subspan(static_cast<std::size_t>(face->value_offset * gvars),
+                                        static_cast<std::size_t>(face->value_count * gvars));
+                rt_.submit(
+                    [this, face, section, gb, ge] {
+                        const std::int64_t t0 = now_ns();
+                        auto reg = flux_register(face->mine).slice(gb, ge);
+                        DFAMR_CHECK_READ(reg.data(), reg.size_bytes());
+                        DFAMR_CHECK_WRITE(section.data(), section.size_bytes());
+                        flux_register(face->mine)
+                            .pack_restricted(face->geom.axis, face->geom.sense, gb, ge, section);
+                        trace(worker_index(), t0, now_ns(), PhaseKind::Pack);
+                    },
+                    {reg_dep_in(face->mine, gb, ge), out(section.data(), section.size_bytes())},
+                    "flux_pack");
+            }
+            auto span = send_stream.subspan(static_cast<std::size_t>(chunk.value_offset * gvars),
+                                            static_cast<std::size_t>(chunk.value_count * gvars));
+            const int peer = ex.peer;
+            const int tag = chunk.tag;
+            rt_.submit(
+                [this, span, peer, tag] {
+                    const std::int64_t t0 = now_ns();
+                    tampi_.isend(comm_, span.data(), span.size_bytes(), peer, tag);
+                    trace(worker_index(), t0, now_ns(), PhaseKind::Send);
+                },
+                {in(span.data(), span.size_bytes())}, "flux_send");
+        }
+
+        // Apply tasks: one per received coarse-side face. The inout on the
+        // block's group span serializes corrections of different directions
+        // on the same block in submission order (dir 0 -> 1 -> 2, matching
+        // the synchronous variants' sequential loop).
+        for (const amr::MessageChunk& chunk : ex.recv_chunks) {
+            for (int f = chunk.first_face; f < chunk.first_face + chunk.face_count; ++f) {
+                const amr::FaceTransfer* face = &ex.recvs[static_cast<std::size_t>(f)];
+                auto section =
+                    recv_stream.subspan(static_cast<std::size_t>(face->value_offset * gvars),
+                                        static_cast<std::size_t>(face->value_count * gvars));
+                rt_.submit(
+                    [this, face, section, gb, ge] {
+                        const std::int64_t t0 = now_ns();
+                        DFAMR_CHECK_READ(section.data(), section.size_bytes());
+                        auto blk = mesh_.block(face->mine).group_span(gb, ge);
+                        DFAMR_CHECK_WRITE(blk.data(), blk.size_bytes());
+                        auto reg = flux_register(face->mine).slice(gb, ge);
+                        DFAMR_CHECK_WRITE(reg.data(), reg.size_bytes());
+                        apply_flux_correction(*face, gb, ge,
+                                              std::span<const double>(section));
+                        trace(worker_index(), t0, now_ns(), PhaseKind::Unpack);
+                    },
+                    {in(section.data(), section.size_bytes()), block_dep_inout(face->mine, gb, ge),
+                     reg_dep_inout(face->mine, gb, ge)},
+                    "reflux");
+            }
+        }
+    }
+
+    // Intra-rank refluxes: restrict the fine source register on the fly.
+    for (const amr::IntraCopy& copy_ref : fd.copies) {
+        const amr::IntraCopy* copy = &copy_ref;
+        rt_.submit(
+            [this, copy, gb, ge] {
+                const std::int64_t t0 = now_ns();
+                apply_intra_flux(*copy, gb, ge);
+                trace(worker_index(), t0, now_ns(), PhaseKind::IntraCopy);
+            },
+            {reg_dep_in(copy->src, gb, ge), block_dep_inout(copy->dst, gb, ge),
+             reg_dep_inout(copy->dst, gb, ge)},
+            "reflux_intra");
+    }
+
+    // One boundary-outflux task per direction: in on every boundary block's
+    // register, inout on the scalar accumulator — the latter serializes the
+    // three directions in submission order so the tally is bitwise identical
+    // to the synchronous variants'.
+    const amr::DirectionPlan& dp = plan_.direction(dir);
+    if (!dp.boundary.empty()) {
+        std::vector<Dep> deps;
+        for (const auto& [key, sense] : dp.boundary) {
+            (void)sense;
+            deps.push_back(reg_dep_in(key, gb, ge));
+        }
+        deps.push_back(inout(&boundary_outflux_, sizeof boundary_outflux_));
+        rt_.submit(
+            [this, dir, gb, ge] {
+                const std::int64_t t0 = now_ns();
+                DFAMR_CHECK_WRITE(&boundary_outflux_, sizeof boundary_outflux_);
+                accumulate_boundary_outflux(dir, gb, ge);
+                trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
+            },
+            std::move(deps), "boundary_outflux");
     }
 }
 
@@ -211,7 +365,9 @@ void TampiOssDriver::checksum_stage() {
                     auto blk = mesh_.block(key).group_span(gb, ge);
                     DFAMR_CHECK_READ(blk.data(), blk.size_bytes());
                     DFAMR_CHECK_WRITE(cell, sizeof(double));
-                    *cell = mesh_.block(key).checksum(gb, ge);
+                    // Cell-volume weight for scenario runs (mass gate);
+                    // 1.0 — a bitwise identity — for the synthetic workload.
+                    *cell = checksum_weight(key) * mesh_.block(key).checksum(gb, ge);
                     trace(worker_index(), t0, now_ns(), PhaseKind::ChecksumLocal);
                 },
                 {block_dep_in(key, gb, ge), out(cell, sizeof(double))}, "checksum_local");
@@ -254,6 +410,12 @@ void TampiOssDriver::checksum_stage() {
 
 SchedulerCounters TampiOssDriver::scheduler_counters() const {
     return to_scheduler_counters(rt_.stats());
+}
+
+void TampiOssDriver::quiesce() {
+    // Drain in-flight tasks so the main thread may read field state (live
+    // CFL recomputation) without racing the stencil/reflux pipeline.
+    rt_.taskwait();
 }
 
 int TampiOssDriver::worker_index() {

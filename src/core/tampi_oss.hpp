@@ -38,8 +38,10 @@ public:
 protected:
     void communicate_stage(int group) override;
     void stencil_stage(int group) override;
+    void reflux_stage(int group) override;
     void checksum_stage() override;
     SchedulerCounters scheduler_counters() const override;
+    void quiesce() override;
     void final_sync() override;
     void sync_before_refine() override;
     void sync_refine_step() override;
@@ -51,8 +53,17 @@ protected:
 
 private:
     void submit_direction(int dir, int group);
+    /// Task graph of one direction's flux-register exchange + reflux: pack
+    /// (in: fine register / out: stream section), TAMPI send/recv tasks,
+    /// apply tasks (in: stream section, inout: coarse block + register) and
+    /// one boundary-outflux task per direction whose inout on the scalar
+    /// accumulator serializes the tally in submission order (bitwise
+    /// deterministic, like the synchronous variants' sequential loop).
+    void submit_reflux_direction(int dir, int group);
     tasking::Dep block_dep_in(const BlockKey& key, int gb, int ge);
     tasking::Dep block_dep_inout(const BlockKey& key, int gb, int ge);
+    tasking::Dep reg_dep_in(const BlockKey& key, int gb, int ge);
+    tasking::Dep reg_dep_inout(const BlockKey& key, int gb, int ge);
 
     /// DepLint + access checker, populated in DFAMR_VERIFY builds or when
     /// DFAMR_DEPLINT=1 opts a default build in (multi-process race proofs).

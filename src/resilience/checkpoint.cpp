@@ -76,18 +76,33 @@ CheckpointState parse_header(Reader& r) {
     DFAMR_REQUIRE(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
                   "checkpoint: bad magic (not a dfamr checkpoint)");
     const std::uint32_t version = r.u32();
-    DFAMR_REQUIRE(version == kCheckpointVersion,
-                  "checkpoint: unsupported version " + std::to_string(version) +
-                      " (this build reads version " + std::to_string(kCheckpointVersion) +
+    DFAMR_REQUIRE(version != 1,
+                  "checkpoint: unsupported version 1 (this build reads version " +
+                      std::to_string(kCheckpointVersion) +
                       "; version-1 images predate the scenario hysteresis state and cannot "
                       "be restored — re-run the original configuration to produce a fresh "
                       "checkpoint)");
+    DFAMR_REQUIRE(version != 2,
+                  "checkpoint: unsupported version 2 (this build reads version " +
+                      std::to_string(kCheckpointVersion) +
+                      "; version-2 images predate the conservative-transport state — the "
+                      "simulated time and the mass-conservation ledger a restored run must "
+                      "continue from — re-run the original configuration to produce a fresh "
+                      "checkpoint)");
+    DFAMR_REQUIRE(version == kCheckpointVersion,
+                  "checkpoint: unsupported version " + std::to_string(version) +
+                      " (this build reads version " + std::to_string(kCheckpointVersion) + ")");
 
     CheckpointState st;
     st.nranks = static_cast<int>(r.u32());
     st.config_fingerprint = r.u64();
     st.ts_completed = static_cast<int>(r.i64());
     st.stage_counter = static_cast<int>(r.i64());
+    st.sim_time = r.f64();
+    st.initial_mass = r.f64();
+    st.mass_drift = r.f64();
+    st.boundary_outflux = r.f64();
+    st.reflux_corrections = r.i64();
 
     const std::uint32_t nobjects = r.u32();
     st.objects.resize(nobjects);
@@ -187,6 +202,11 @@ std::vector<std::byte> build_checkpoint(HardenedComm& comm, const CheckpointStat
     w.u64(state.config_fingerprint);
     w.i64(state.ts_completed);
     w.i64(state.stage_counter);
+    w.f64(state.sim_time);
+    w.f64(state.initial_mass);
+    w.f64(state.mass_drift);
+    w.f64(state.boundary_outflux);
+    w.i64(state.reflux_corrections);
     w.u32(static_cast<std::uint32_t>(state.objects.size()));
     for (const amr::ObjectSpec& obj : state.objects) {
         w.i32(static_cast<std::int32_t>(obj.type));

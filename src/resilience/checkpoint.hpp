@@ -1,8 +1,10 @@
 // Versioned binary checkpoint/restart of the full simulation state.
 //
-// Layout (version 2, little-endian fixed-width fields):
+// Layout (version 3, little-endian fixed-width fields):
 //   magic "DFAMRCKP" | u32 version | u32 nranks | u64 config fingerprint
 //   | i64 ts_completed | i64 stage_counter
+//   | f64 sim_time | f64 initial_mass | f64 mass_drift
+//   | f64 boundary_outflux | i64 reflux_corrections           [v3]
 //   | objects (count + raw ObjectSpec fields)
 //   | checksum history, drift reference, validation flag
 //   | leaf owner map (count + {level, anchor, owner})
@@ -12,9 +14,13 @@
 //
 // Version 2 added the scenario subsystem's per-block coarsen-willing streak
 // counters (and folded the scenario/estimator selection into the config
-// fingerprint). Version-1 images are rejected with a clear error rather
-// than silently misread — the hysteresis state they lack would make a
-// restored run coarsen on a different check than the uninterrupted run.
+// fingerprint). Version 3 added the conservative-transport state: the
+// simulated time (dt now varies for cfl_from_field scenarios, so
+// stage * dt no longer reconstructs it) and the global conservation ledger
+// (mass drift, boundary outflux, reflux-correction count — allreduced at
+// write, restored on rank 0 only). Flux registers themselves are per-stage
+// transients, rebuilt with the comm plan, and are never serialized. Older
+// images are rejected with a clear error rather than silently misread.
 //
 // Writing is collective: every rank serializes its own blocks, ranks != 0
 // ship their blob to rank 0 over hardened point-to-point on dedicated tags,
@@ -39,7 +45,7 @@
 
 namespace dfamr::resilience {
 
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Everything global a restored run needs besides the per-rank blocks.
 struct CheckpointState {
@@ -47,6 +53,17 @@ struct CheckpointState {
     int nranks = 0;
     int ts_completed = 0;
     int stage_counter = 0;
+    /// Simulated time so far (sum of the dt of every completed stage; not
+    /// stage_counter * dt once dt varies with the live field).
+    double sim_time = 0;
+    /// Global initial mass of the original (pre-checkpoint) run: a restored
+    /// run keeps the budget identity against the true simulation start.
+    double initial_mass = 0;
+    /// Global conservation ledger at checkpoint time (allreduced at write;
+    /// restore seeds rank 0 only so the end-of-run allreduce is exact).
+    double mass_drift = 0;
+    double boundary_outflux = 0;
+    std::int64_t reflux_corrections = 0;
     std::vector<amr::ObjectSpec> objects;
     std::vector<double> checksums;           // RankResult history so far
     std::vector<double> checksum_reference;  // drift reference per group

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "amr/flux_register.hpp"
+#include "amr/scratch.hpp"
 #include "common/error.hpp"
 
 namespace dfamr::scenario {
@@ -14,8 +16,6 @@ namespace {
 /// stay below 1; with per-axis speeds bounded by max_speed() this keeps the
 /// three-term sum at or under 3 * kCfl.
 constexpr double kCfl = 0.2;
-
-thread_local std::vector<double> tls_scratch;
 
 /// Advected Gaussian pulse: the classic smooth-transport benchmark. The
 /// pulse starts near a lower corner and drifts diagonally; velocities and
@@ -72,11 +72,28 @@ private:
 class SteepeningFront final : public ProblemGenerator {
 public:
     const char* name() const override { return "front"; }
-    double max_speed() const override { return 1.2; }  // initial max u; upwind preserves it
+    double max_speed() const override { return 1.2; }  // initial max u (a priori bound)
+    /// The wave speed IS the field: reflux corrections and refinement can
+    /// nudge the local max, so dt is recomputed from the live field each
+    /// timestep rather than frozen at the initial bound.
+    bool cfl_from_field() const override { return true; }
     double initial(const Vec3d& p) const override {
         return 0.8 + 0.4 * std::tanh((0.35 - p.x) / 0.08);
     }
     Vec3d velocity(const Vec3d&, double u) const override { return {u, 0.0, 0.0}; }
+    /// Godunov flux for f(u) = u^2/2 along x; the transverse axes carry
+    /// nothing. Exact for the convex Burgers flux, including transonic
+    /// rarefactions (the ul <= 0 <= ur case).
+    double face_flux(int axis, const Vec3d&, double ul, double ur) const override {
+        if (axis != 0) return 0.0;
+        const double fl = 0.5 * ul * ul;
+        const double fr = 0.5 * ur * ur;
+        if (ul <= ur) {
+            if (ul <= 0.0 && 0.0 <= ur) return 0.0;
+            return std::min(fl, fr);
+        }
+        return std::max(fl, fr);
+    }
 };
 
 const GaussianPulse g_gaussian;
@@ -88,6 +105,11 @@ const ProblemGenerator* const g_generators[] = {&g_gaussian, &g_slotted, &g_fron
 
 double ProblemGenerator::reference(const Vec3d&, double) const {
     throw Error(std::string("scenario '") + name() + "' has no analytic reference");
+}
+
+double ProblemGenerator::face_flux(int axis, const Vec3d& p, double ul, double ur) const {
+    const double v = velocity(p, 0.5 * (ul + ur))[axis];
+    return v >= 0.0 ? v * ul : v * ur;
 }
 
 void ProblemGenerator::init_block(amr::Block& blk, const Box& box) const {
@@ -108,18 +130,30 @@ void ProblemGenerator::init_block(amr::Block& blk, const Box& box) const {
 }
 
 std::int64_t ProblemGenerator::advance(amr::Block& blk, const Box& box, int var_begin,
-                                       int var_end, double dt) const {
+                                       int var_end, double dt, amr::FluxRegister* reg) const {
     // Same rolling two-plane update as Block::stencil7: plane x reads
     // original planes x-1..x+1, so plane x-1 writes back once plane x is
-    // done. The per-cell expression has one fixed evaluation order —
-    // bit-identical results on every variant and transport.
+    // done. Each cell computes all six of its face fluxes; interior faces
+    // are therefore evaluated twice from identical inputs, which is exactly
+    // what makes the telescoping sum cancel bitwise. The per-cell expression
+    // has one fixed evaluation order — bit-identical results on every
+    // variant and transport.
     const amr::BlockShape& s = blk.shape();
     const Vec3d ext = box.extent();
     const double hx = ext.x / s.nx, hy = ext.y / s.ny, hz = ext.z / s.nz;
+    // Face coordinate i in 0..n along an axis. The two boundary faces take
+    // the box bounds verbatim: abutting blocks derive those from the same
+    // integer anchor arithmetic (GlobalStructure::box), so both sides of a
+    // same-level interface evaluate velocity at bitwise-identical positions.
+    const auto face_coord = [](double lo, double hi, double h, int i, int n) {
+        if (i == 0) return lo;
+        if (i == n) return hi;
+        return lo + i * h;
+    };
     const std::size_t plane = static_cast<std::size_t>(s.ny) * s.nz;
-    if (tls_scratch.size() < 2 * plane) tls_scratch.resize(2 * plane);
+    std::vector<double>& scratch = amr::tls_scratch(2 * plane);
     const auto cell = [&](std::size_t buf, int y, int z) -> double& {
-        return tls_scratch[buf * plane + static_cast<std::size_t>(y - 1) * s.nz + (z - 1)];
+        return scratch[buf * plane + static_cast<std::size_t>(y - 1) * s.nz + (z - 1)];
     };
     const auto write_back = [&](int v, int x) {
         const std::size_t buf = static_cast<std::size_t>(x & 1);
@@ -132,31 +166,50 @@ std::int64_t ProblemGenerator::advance(amr::Block& blk, const Box& box, int var_
     for (int v = var_begin; v < var_end; ++v) {
         for (int x = 1; x <= s.nx; ++x) {
             const std::size_t buf = static_cast<std::size_t>(x & 1);
-            const double px = box.lo.x + (x - 0.5) * hx;
+            const double pxc = box.lo.x + (x - 0.5) * hx;
+            const double xl = face_coord(box.lo.x, box.hi.x, hx, x - 1, s.nx);
+            const double xh = face_coord(box.lo.x, box.hi.x, hx, x, s.nx);
             for (int y = 1; y <= s.ny; ++y) {
-                const double py = box.lo.y + (y - 0.5) * hy;
+                const double pyc = box.lo.y + (y - 0.5) * hy;
+                const double yl = face_coord(box.lo.y, box.hi.y, hy, y - 1, s.ny);
+                const double yh = face_coord(box.lo.y, box.hi.y, hy, y, s.ny);
                 for (int z = 1; z <= s.nz; ++z) {
-                    const Vec3d pos{px, py, box.lo.z + (z - 0.5) * hz};
+                    const double pzc = box.lo.z + (z - 0.5) * hz;
+                    const double zl = face_coord(box.lo.z, box.hi.z, hz, z - 1, s.nz);
+                    const double zh = face_coord(box.lo.z, box.hi.z, hz, z, s.nz);
                     const double u = blk.at(v, x, y, z);
-                    const Vec3d vel = velocity(pos, u);
-                    const double fx = std::max(vel.x, 0.0) * (u - blk.at(v, x - 1, y, z)) +
-                                      std::min(vel.x, 0.0) * (blk.at(v, x + 1, y, z) - u);
-                    const double fy = std::max(vel.y, 0.0) * (u - blk.at(v, x, y - 1, z)) +
-                                      std::min(vel.y, 0.0) * (blk.at(v, x, y + 1, z) - u);
-                    const double fz = std::max(vel.z, 0.0) * (u - blk.at(v, x, y, z - 1)) +
-                                      std::min(vel.z, 0.0) * (blk.at(v, x, y, z + 1) - u);
-                    cell(buf, y, z) = u - dt * (fx / hx + fy / hy + fz / hz);
+                    const double fxl = face_flux(0, {xl, pyc, pzc}, blk.at(v, x - 1, y, z), u);
+                    const double fxh = face_flux(0, {xh, pyc, pzc}, u, blk.at(v, x + 1, y, z));
+                    const double fyl = face_flux(1, {pxc, yl, pzc}, blk.at(v, x, y - 1, z), u);
+                    const double fyh = face_flux(1, {pxc, yh, pzc}, u, blk.at(v, x, y + 1, z));
+                    const double fzl = face_flux(2, {pxc, pyc, zl}, blk.at(v, x, y, z - 1), u);
+                    const double fzh = face_flux(2, {pxc, pyc, zh}, u, blk.at(v, x, y, z + 1));
+                    cell(buf, y, z) =
+                        u - dt * ((fxh - fxl) / hx + (fyh - fyl) / hy + (fzh - fzl) / hz);
+                    if (reg != nullptr) {
+                        if (x == 1) reg->at(0, -1, v, y, z) = fxl;
+                        if (x == s.nx) reg->at(0, +1, v, y, z) = fxh;
+                        if (y == 1) reg->at(1, -1, v, x, z) = fyl;
+                        if (y == s.ny) reg->at(1, +1, v, x, z) = fyh;
+                        if (z == 1) reg->at(2, -1, v, x, y) = fzl;
+                        if (z == s.nz) reg->at(2, +1, v, x, y) = fzh;
+                    }
                 }
             }
             if (x > 1) write_back(v, x - 1);
         }
         write_back(v, s.nx);
     }
-    // Bookkeeping like apply_stencil: ~22 floating-point operations per cell.
-    return 22 * static_cast<std::int64_t>(s.nx) * s.ny * s.nz * (var_end - var_begin);
+    // Bookkeeping like apply_stencil: ~33 floating-point operations per cell
+    // (six upwind fluxes plus the three-term divergence).
+    return 33 * static_cast<std::int64_t>(s.nx) * s.ny * s.nz * (var_end - var_begin);
 }
 
 double ProblemGenerator::stable_dt(const amr::Config& cfg) const {
+    return dt_for_speed(cfg, max_speed());
+}
+
+double ProblemGenerator::dt_for_speed(const amr::Config& cfg, double speed) const {
     // Finest cell any run of this config can create: level-0 blocks per
     // dimension, each splittable num_refine times, nx/ny/nz cells per block.
     const double side = static_cast<double>(std::int64_t{1} << cfg.num_refine);
@@ -164,7 +217,7 @@ double ProblemGenerator::stable_dt(const amr::Config& cfg) const {
     const double fy = cfg.npy * cfg.init_y * side * cfg.ny;
     const double fz = cfg.npz * cfg.init_z * side * cfg.nz;
     const double h_min = std::min({1.0 / fx, 1.0 / fy, 1.0 / fz});
-    return kCfl * h_min / max_speed();
+    return kCfl * h_min / speed;
 }
 
 const ProblemGenerator* find_generator(const std::string& name) {

@@ -4,17 +4,28 @@
 //
 // A generator defines an initial profile, a (time-independent) velocity
 // field, and — for analytic scenarios — the exact reference solution. The
-// per-stage update is first-order upwind advection using the one-deep ghost
-// shell the face exchange already fills:
+// per-stage update is first-order finite-volume upwind advection in FLUX
+// FORM: every cell face gets one upwind numerical flux and the update is
+// the divergence of those fluxes,
 //
-//   u += -dt * [ max(vx,0)(u - u[x-1]) + min(vx,0)(u[x+1] - u) ] / hx
-//        -dt * [ ... y ... ] / hy  -dt * [ ... z ... ] / hz
+//   u -= dt * [ (Fx_hi - Fx_lo)/hx + (Fy_hi - Fy_lo)/hy + (Fz_hi - Fz_lo)/hz ]
+//
+// Both cells adjacent to an interior face recompute the identical flux from
+// identical inputs, and abutting same-level blocks evaluate their shared
+// face at bitwise-identical coordinates (integer anchor arithmetic in
+// GlobalStructure::box), so every same-level interface telescopes to zero
+// exactly. At coarse-fine interfaces the two sides disagree; the kernel
+// records its boundary-plane fluxes into a per-block FluxRegister and the
+// drivers run a Berger–Colella reflux pass after each stage (DESIGN.md §18)
+// so total mass is conserved to rounding there too.
 //
 // The kernel is a pure function of (block data, block box, dt): identical
 // across variants, decompositions and transports by construction, so the
 // cross-variant bit-identity guarantees of the synthetic stencil carry
 // over. dt is CFL-stable against the finest cell the run could ever create
-// (a deterministic function of the Config alone).
+// (a deterministic function of the Config alone); generators whose speed is
+// the advected field itself (cfl_from_field) have dt recomputed from the
+// allreduced live field max each timestep instead.
 //
 // Every variable carries the same advected field: the update is uniform
 // over the variable-group loop exactly like the synthetic stencil, so the
@@ -28,6 +39,10 @@
 #include "amr/block.hpp"
 #include "amr/config.hpp"
 #include "common/geometry.hpp"
+
+namespace dfamr::amr {
+class FluxRegister;
+}
 
 namespace dfamr::scenario {
 
@@ -43,19 +58,33 @@ public:
     /// Velocity at position p given the local value u (time-independent;
     /// only the shock-front scenario uses u).
     virtual Vec3d velocity(const Vec3d& p, double u) const = 0;
+    /// Upwind numerical flux through a face orthogonal to `axis` at position
+    /// p, with left (lower-coordinate) and right cell states ul / ur. The
+    /// default upwinds on the face velocity evaluated at the state average;
+    /// nonlinear scenarios (Burgers front) override with a Godunov flux.
+    virtual double face_flux(int axis, const Vec3d& p, double ul, double ur) const;
+    /// True when the CFL speed is the advected field itself, so dt must be
+    /// recomputed from the live field max each timestep (the drivers
+    /// allreduce the max, keeping dt identical on every rank).
+    virtual bool cfl_from_field() const { return false; }
     /// Analytic solution at (p, t); only meaningful when has_reference().
     virtual bool has_reference() const { return false; }
     virtual double reference(const Vec3d& p, double t) const;
 
     /// Fills every variable's interior cells from the initial profile.
     void init_block(amr::Block& blk, const Box& box) const;
-    /// One upwind advection step of dt over [var_begin, var_end). Returns
-    /// the FLOPs done (throughput bookkeeping, like apply_stencil).
+    /// One flux-form upwind advection step of dt over [var_begin, var_end).
+    /// Records the block's six boundary-plane fluxes into `reg` when given
+    /// (the drivers' reflux pass consumes them; tests may pass null).
+    /// Returns the FLOPs done (throughput bookkeeping, like apply_stencil).
     /// Thread-safe: hybrid variants call it from worker threads.
-    std::int64_t advance(amr::Block& blk, const Box& box, int var_begin, int var_end,
-                         double dt) const;
+    std::int64_t advance(amr::Block& blk, const Box& box, int var_begin, int var_end, double dt,
+                         amr::FluxRegister* reg = nullptr) const;
     /// CFL-stable step against the finest possible cell of `cfg`.
     double stable_dt(const amr::Config& cfg) const;
+    /// Same CFL bound for an externally supplied speed (the live field max
+    /// when cfl_from_field()).
+    double dt_for_speed(const amr::Config& cfg, double speed) const;
 };
 
 /// Registry lookup by CLI name: "gaussian", "slotted_cylinder" or "front".

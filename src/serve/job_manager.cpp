@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "amr/scratch.hpp"
 #include "common/error.hpp"
 
 namespace dfamr::serve {
@@ -443,8 +444,13 @@ void JobManager::run_segment(Job* job) {
     try {
         const core::RunResult result =
             core::run_variant(job->cfg, job->spec.variant, nullptr, faults.get(), ropts);
+        // The pool threads that hosted this world keep thread-local scratch
+        // alive; retire it so the next tenant's segment on the same threads
+        // starts from fresh allocations rather than another job's buffers.
+        amr::retire_tls_scratch();
         segment_finished(job, result);
     } catch (const std::exception& e) {
+        amr::retire_tls_scratch();
         segment_crashed(job, e.what());
     }
 }

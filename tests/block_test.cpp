@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "amr/block.hpp"
+#include "amr/flux_register.hpp"
 
 namespace dfamr::amr {
 namespace {
@@ -305,6 +306,78 @@ TEST(Block, FaceValueCounts) {
     EXPECT_EQ(b.face_value_count(FaceGeom{0, +1, FaceRel::Coarser, 0}, 3), 2 * 4 * 3);
     EXPECT_EQ(b.face_value_count(FaceGeom{1, +1, FaceRel::Finer, 2}, 1), 3 * 4);
     EXPECT_EQ(b.face_value_count(FaceGeom{2, -1, FaceRel::Same, 0}, 2), 6 * 4 * 2);
+}
+
+TEST(FluxRegister, SlotsAreDisjointAcrossFacesVariablesAndCells) {
+    const BlockShape shape{6, 4, 8, 2};  // anisotropic: catches axis mixups
+    FluxRegister reg(shape);
+    // Stamp every slot with a unique value through at(); if any two slots
+    // aliased, the read-back pass would see a later stamp.
+    double stamp = 1.0;
+    for (int var = 0; var < shape.num_vars; ++var) {
+        for (int axis = 0; axis < 3; ++axis) {
+            const auto [ua, va] = shape.plane_axes(axis);
+            for (int sense : {-1, +1}) {
+                for (int u = 1; u <= shape.dim(ua); ++u) {
+                    for (int v = 1; v <= shape.dim(va); ++v) {
+                        reg.at(axis, sense, var, u, v) = stamp++;
+                    }
+                }
+            }
+        }
+    }
+    double expect = 1.0;
+    for (int var = 0; var < shape.num_vars; ++var) {
+        for (int axis = 0; axis < 3; ++axis) {
+            const auto [ua, va] = shape.plane_axes(axis);
+            for (int sense : {-1, +1}) {
+                for (int u = 1; u <= shape.dim(ua); ++u) {
+                    for (int v = 1; v <= shape.dim(va); ++v) {
+                        EXPECT_EQ(reg.at(axis, sense, var, u, v), expect)
+                            << "axis " << axis << " sense " << sense << " var " << var << " ("
+                            << u << "," << v << ")";
+                        ++expect;
+                    }
+                }
+            }
+        }
+    }
+    // Var-major slices: each variable's registers are one contiguous run of
+    // per_var values, so group task dependencies can be declared per slice.
+    const std::size_t per_var = reg.slice(0, 1).size();
+    EXPECT_EQ(per_var, 2u * (4 * 8 + 6 * 8 + 6 * 4));
+    EXPECT_EQ(reg.slice(0, 2).size(), 2 * per_var);
+    EXPECT_EQ(reg.slice(1, 2).data(), reg.slice(0, 2).data() + per_var);
+}
+
+TEST(FluxRegister, PackRestrictedQuarterAveragesInCoarserPackOrder) {
+    const BlockShape shape{4, 4, 4, 2};
+    FluxRegister reg(shape);
+    const int axis = 0, sense = +1;  // +x face: u indexes y, v indexes z
+    for (int var = 0; var < 2; ++var) {
+        for (int u = 1; u <= 4; ++u) {
+            for (int v = 1; v <= 4; ++v) {
+                reg.at(axis, sense, var, u, v) = 1000 * var + 10 * u + v;
+            }
+        }
+    }
+    std::vector<double> out(static_cast<std::size_t>(shape.face_values_mixed(axis, 2)));
+    reg.pack_restricted(axis, sense, 0, 2, out);
+    ASSERT_EQ(out.size(), 8u);
+    const auto avg = [&](int var, int u0, int v0) {
+        return 0.25 * (reg.at(axis, sense, var, u0, v0) + reg.at(axis, sense, var, u0, v0 + 1) +
+                       reg.at(axis, sense, var, u0 + 1, v0) +
+                       reg.at(axis, sense, var, u0 + 1, v0 + 1));
+    };
+    // u-major, v contiguous, variables outermost — exactly the order
+    // Block::pack_face uses for FaceRel::Coarser, so the flux stream pairs
+    // element-wise with the ghost plan's transfer lists.
+    EXPECT_DOUBLE_EQ(out[0], avg(0, 1, 1));
+    EXPECT_DOUBLE_EQ(out[1], avg(0, 1, 3));
+    EXPECT_DOUBLE_EQ(out[2], avg(0, 3, 1));
+    EXPECT_DOUBLE_EQ(out[3], avg(0, 3, 3));
+    EXPECT_DOUBLE_EQ(out[4], avg(1, 1, 1));
+    EXPECT_DOUBLE_EQ(out[7], avg(1, 3, 3));
 }
 
 }  // namespace

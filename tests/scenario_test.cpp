@@ -4,6 +4,7 @@
 // the checkpoint version gate protecting the hysteresis state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "amr/flux_register.hpp"
 #include "common/bytecodec.hpp"
 #include "common/error.hpp"
 #include "core/variants.hpp"
@@ -49,7 +51,6 @@ Config scenario_config(const std::string& scenario, const std::string& estimator
     cfg.num_refine = 2;
     cfg.refine_freq = 1;
     cfg.workers = 2;
-    cfg.tol = 0.25;  // advective drift headroom (see Config::from_cli)
     cfg.scenario = scenario;
     cfg.estimator = estimator;
     cfg.refine_threshold = 0.1;
@@ -233,6 +234,157 @@ TEST(Generators, GoldenRunsDoNotThrash) {
 }
 
 // ---------------------------------------------------------------------------
+// Conservation: flux-form transport + Berger-Colella refluxing
+// ---------------------------------------------------------------------------
+
+TEST(Conservation, SameLevelSharedFaceFluxesAreBitwiseIdentical) {
+    // Two abutting same-level blocks evaluate their shared face from
+    // bitwise-identical inputs (exchanged ghosts + canonical face
+    // coordinates), so the interface telescopes to exactly zero with no
+    // correction: left's +x register must equal right's -x register bit
+    // for bit.
+    const scenario::ProblemGenerator* gen = find_generator("gaussian");
+    ASSERT_NE(gen, nullptr);
+    const amr::BlockShape shape{4, 4, 4, 1};
+    amr::Block left(BlockKey{}, shape), right(BlockKey{}, shape);
+    const Box box_l{{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+    const Box box_r{{0.5, 0.0, 0.0}, {1.0, 0.5, 0.5}};
+    gen->init_block(left, box_l);
+    gen->init_block(right, box_r);
+    left.copy_face_from(right, amr::FaceGeom{0, +1, amr::FaceRel::Same, 0}, 0, 1);
+    right.copy_face_from(left, amr::FaceGeom{0, -1, amr::FaceRel::Same, 0}, 0, 1);
+
+    amr::FluxRegister reg_l(shape), reg_r(shape);
+    const double dt = 0.01;
+    gen->advance(left, box_l, 0, 1, dt, &reg_l);
+    gen->advance(right, box_r, 0, 1, dt, &reg_r);
+
+    bool any_nonzero = false;
+    for (int u = 1; u <= 4; ++u) {
+        for (int v = 1; v <= 4; ++v) {
+            EXPECT_EQ(reg_l.at(0, +1, 0, u, v), reg_r.at(0, -1, 0, u, v))
+                << "(" << u << "," << v << ")";
+            any_nonzero = any_nonzero || reg_l.at(0, +1, 0, u, v) != 0.0;
+        }
+    }
+    EXPECT_TRUE(any_nonzero) << "the gaussian pulse must actually flux through the face";
+}
+
+TEST(Conservation, CoarseFineFaceTelescopesAfterRestriction) {
+    // One coarse block with a half-size fine neighbor on its -x side (quad
+    // 0 of the face), so the gaussian's +x velocity upwinds on the FINE
+    // side: the coarse kernel fluxes v * (restricted ghost average) while
+    // each fine kernel fluxes v * (its own boundary cell) — different
+    // rounding, a genuine pre-correction disagreement. The Berger-Colella
+    // replacement installs the restricted fine flux on the coarse side,
+    // after which the area-weighted interface budget cancels bitwise:
+    // quarter-face averaging and the 4x area ratio are exact power-of-two
+    // operations.
+    const scenario::ProblemGenerator* gen = find_generator("gaussian");
+    ASSERT_NE(gen, nullptr);
+    const amr::BlockShape shape{4, 4, 4, 1};
+    amr::Block coarse(BlockKey{}, shape), fine(BlockKey{}, shape);
+    const Box box_c{{0.5, 0.0, 0.0}, {1.0, 0.5, 0.5}};     // h = 0.125
+    const Box box_f{{0.25, 0.0, 0.0}, {0.5, 0.25, 0.25}};  // h = 0.0625
+    gen->init_block(coarse, box_c);
+    gen->init_block(fine, box_f);
+    coarse.copy_face_from(fine, amr::FaceGeom{0, -1, amr::FaceRel::Finer, 0}, 0, 1);
+    fine.copy_face_from(coarse, amr::FaceGeom{0, +1, amr::FaceRel::Coarser, 0}, 0, 1);
+
+    amr::FluxRegister reg_c(shape), reg_f(shape);
+    const double dt = 0.01;
+    gen->advance(coarse, box_c, 0, 1, dt, &reg_c);
+    gen->advance(fine, box_f, 0, 1, dt, &reg_f);
+
+    // Restrict the fine side's +x registers exactly as the flux plan ships
+    // them to the coarse neighbor.
+    std::vector<double> restricted(static_cast<std::size_t>(shape.face_values_mixed(0, 1)));
+    reg_f.pack_restricted(0, +1, 0, 1, restricted);
+    ASSERT_EQ(restricted.size(), 4u);
+
+    const double area_f = 0.0625 * 0.0625;
+    const double area_c = 4.0 * area_f;
+    bool any_mismatch = false;
+    std::size_t o = 0;
+    for (int u = 1; u <= 2; ++u) {  // quad 0: lower half in u and v
+        for (int v = 1; v <= 2; ++v, ++o) {
+            const double coarse_flux = reg_c.at(0, -1, 0, u, v);
+            const double fine_hat = restricted[o];
+            any_mismatch = any_mismatch || coarse_flux != fine_hat;
+            // After the reflux replacement the coarse side's area-weighted
+            // flux equals the fine side's sum exactly.
+            double fine_sum = 0;
+            for (int du = 1; du <= 2; ++du) {
+                for (int dv = 1; dv <= 2; ++dv) {
+                    fine_sum += reg_f.at(0, +1, 0, 2 * (u - 1) + du, 2 * (v - 1) + dv);
+                }
+            }
+            EXPECT_EQ(fine_hat * area_c, fine_sum * area_f) << "(" << u << "," << v << ")";
+        }
+    }
+    EXPECT_TRUE(any_mismatch)
+        << "pre-correction coarse and restricted fine fluxes should disagree somewhere — "
+           "otherwise this face exercises nothing";
+}
+
+TEST(Conservation, MassBudgetClosesForEveryGenerator) {
+    for (const char* scenario : {"gaussian", "slotted_cylinder", "front"}) {
+        Config cfg = scenario_config(scenario, "gradient");
+        cfg.num_tsteps = 3;  // enough for refine AND coarsen activity
+        const RunResult r = run_variant(cfg, Variant::MpiOnly);
+        EXPECT_TRUE(r.validation_ok) << scenario;
+        // The reflux residual telescopes to exactly zero: the coarse flux
+        // is replaced by the restricted fine flux, so the |difference|
+        // tally only ever sums bitwise zeros. Any other value means a
+        // coarse-fine face escaped the correction pass.
+        EXPECT_EQ(r.mass_drift, 0.0) << scenario;
+        // And the budget closes: the change in total mass is exactly the
+        // signed mass that left through the domain boundary, to rounding.
+        const double residual = r.final_mass - r.initial_mass + r.boundary_outflux;
+        EXPECT_LE(std::abs(residual), 1e-12 * std::max(1.0, std::abs(r.initial_mass)))
+            << scenario << ": initial " << r.initial_mass << " final " << r.final_mass
+            << " outflux " << r.boundary_outflux;
+    }
+}
+
+TEST(Conservation, RefluxCorrectionsFireAcrossRefineCoarsenCycles) {
+    Config cfg = scenario_config("gaussian", "gradient");
+    cfg.num_tsteps = 3;
+    const RunResult r = run_variant(cfg, Variant::MpiOnly);
+    EXPECT_GT(r.counters.blocks_refined_by_estimator, 0);
+    EXPECT_GT(r.counters.reflux_corrections, 0)
+        << "estimator-driven splits create coarse-fine faces that must reflux";
+    EXPECT_EQ(r.mass_drift, 0.0);
+}
+
+TEST(Conservation, SlottedCylinderFullTurnL1Regression) {
+    // One full solid-body rotation (omega = 1, period 2*pi) on a
+    // single-rank mesh deep enough to sustain coarse-fine interfaces all
+    // the way around: 84 timesteps x 6 stages at the CFL-limited
+    // dt = 0.0125 advance sim_time to 6.3 ~ 2*pi, so the cylinder sweeps
+    // every coarse-fine configuration (~129k reflux corrections). The L1
+    // bound is loose in absolute terms (first-order upwind smears the
+    // slot) but pins down regressions in the transport kernel; the mass
+    // budget must still close to rounding (measured residual ~8e-17).
+    Config cfg = scenario_config("slotted_cylinder", "gradient");
+    cfg.npx = 1;
+    cfg.num_vars = 1;
+    cfg.num_refine = 2;
+    cfg.num_tsteps = 84;
+    cfg.stages_per_ts = 6;
+    cfg.checksum_freq = 20;
+    cfg.workers = 1;
+    const RunResult r = run_variant(cfg, Variant::MpiOnly);
+    EXPECT_TRUE(r.validation_ok);
+    ASSERT_TRUE(r.has_error_norm);
+    EXPECT_LT(r.error_norm, 0.15) << "full-turn L1 error regressed (expected ~0.095)";
+    EXPECT_GT(r.counters.reflux_corrections, 0);
+    EXPECT_EQ(r.mass_drift, 0.0);
+    const double residual = r.final_mass - r.initial_mass + r.boundary_outflux;
+    EXPECT_LE(std::abs(residual), 1e-12 * std::max(1.0, std::abs(r.initial_mass)));
+}
+
+// ---------------------------------------------------------------------------
 // Cross-variant / transport-independent bit-identity
 // ---------------------------------------------------------------------------
 
@@ -251,6 +403,17 @@ TEST_P(ScenarioVariants, AllVariantsBitIdentical) {
         EXPECT_EQ(mpi.final_blocks, tampi.final_blocks) << estimator;
         EXPECT_EQ(mpi.error_norm, fj.error_norm) << estimator;
         EXPECT_EQ(mpi.error_norm, tampi.error_norm) << estimator;
+        // The conservation ledger is part of the bit-identity contract: the
+        // outflux tally is accumulated in one deterministic order in every
+        // variant, and the reflux residual is zero everywhere.
+        EXPECT_EQ(mpi.mass_drift, 0.0) << estimator;
+        EXPECT_EQ(fj.mass_drift, 0.0) << estimator;
+        EXPECT_EQ(tampi.mass_drift, 0.0) << estimator;
+        EXPECT_EQ(mpi.boundary_outflux, fj.boundary_outflux) << estimator;
+        EXPECT_EQ(mpi.boundary_outflux, tampi.boundary_outflux) << estimator;
+        EXPECT_EQ(mpi.counters.reflux_corrections, fj.counters.reflux_corrections) << estimator;
+        EXPECT_EQ(mpi.counters.reflux_corrections, tampi.counters.reflux_corrections)
+            << estimator;
     }
 }
 
@@ -287,6 +450,18 @@ TEST(ScenarioCheckpoint, RestoredRunReproducesHysteresisDecisionsBitForBit) {
     EXPECT_TRUE(restored.validation_ok);
     expect_checksums_identical(full, restored);
     EXPECT_EQ(full.final_blocks, restored.final_blocks);
+    // The v3 state (sim_time + conservation ledger) must round-trip: the
+    // restored run reports the same error norm (reference sampled at the
+    // same simulated time) and the same mass budget as the full run.
+    EXPECT_EQ(full.error_norm, restored.error_norm);
+    EXPECT_EQ(full.initial_mass, restored.initial_mass);
+    EXPECT_EQ(full.final_mass, restored.final_mass);
+    // The outflux tally regroups across the restore (pre-checkpoint
+    // contributions collapse into one stored sum), so it agrees to
+    // rounding, not bitwise.
+    EXPECT_NEAR(full.boundary_outflux, restored.boundary_outflux, 1e-12);
+    EXPECT_EQ(full.counters.reflux_corrections, restored.counters.reflux_corrections);
+    EXPECT_EQ(restored.mass_drift, 0.0);
     std::remove(path.c_str());
 }
 
@@ -332,6 +507,32 @@ TEST(ScenarioCheckpoint, VersionOneImagesAreRejectedWithAClearError) {
         EXPECT_NE(msg.find("unsupported version 1"), std::string::npos) << msg;
         EXPECT_NE(msg.find("hysteresis"), std::string::npos)
             << "the error should say what version 1 is missing: " << msg;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioCheckpoint, VersionTwoImagesAreRejectedWithAClearError) {
+    // Version 2 predates the conservative-transport state (sim_time + the
+    // mass ledger); restoring one would silently reset the simulated clock
+    // and the conservation accounting. The reader must name what's missing.
+    bytes::Writer w;
+    const char magic[8] = {'D', 'F', 'A', 'M', 'R', 'C', 'K', 'P'};
+    w.raw(magic, sizeof magic);
+    w.u32(2);
+    const std::string path = temp_path("dfamr_v2.ckpt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(w.bytes.data()),
+                  static_cast<std::streamsize>(w.bytes.size()));
+    }
+    try {
+        resilience::read_checkpoint_state(path);
+        FAIL() << "version-2 image must be rejected";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unsupported version 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("conservative-transport"), std::string::npos)
+            << "the error should say what version 2 is missing: " << msg;
     }
     std::remove(path.c_str());
 }
